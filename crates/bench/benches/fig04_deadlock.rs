@@ -1,0 +1,36 @@
+//! Figure 4 harness: demonstrates the deadlock without delay buffers, then
+//! times the simulator on the buffered design.
+
+use criterion::{criterion_group, Criterion};
+use stencilflow_bench::deadlock_demo;
+use stencilflow_core::AnalysisConfig;
+use stencilflow_reference::generate_inputs;
+use stencilflow_sim::{SimConfig, Simulator};
+use stencilflow_workloads::listing1::listing1_with_shape;
+
+fn bench(c: &mut Criterion) {
+    let (deadlocked, completed) = deadlock_demo();
+    println!("== Figure 4: deadlock demonstration ==");
+    println!("unit-depth channels deadlock: {deadlocked}; analysis-computed depths stream: {completed}");
+    let mut group = c.benchmark_group("fig04");
+    group.sample_size(10);
+    group.bench_function("simulate_listing1_buffered", |b| {
+        let program = listing1_with_shape(&[6, 6, 6]);
+        let inputs = generate_inputs(&program, 1);
+        let sim = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        b.iter(|| sim.run(&inputs).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

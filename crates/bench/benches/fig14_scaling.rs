@@ -1,0 +1,26 @@
+//! Figure 14 harness: prints the scaling series, then times the analysis and
+//! mapping pipeline with Criterion.
+
+use criterion::{criterion_group, Criterion};
+use stencilflow_bench::{format_scaling, scaling_series};
+use stencilflow_core::{AnalysisConfig, HardwareMapping};
+use stencilflow_workloads::{chain_program, ChainSpec};
+
+fn bench(c: &mut Criterion) {
+    print!("{}", format_scaling(&scaling_series(1, 8, true), "Figure 14 (W=1, quick domain)"));
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("analyze_and_map_32_stage_chain", |b| {
+        let program = chain_program(&ChainSpec::new(32, 8).with_shape(&[1 << 11, 32, 32]));
+        let config = AnalysisConfig::paper_defaults();
+        b.iter(|| HardwareMapping::build(&program, &config).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

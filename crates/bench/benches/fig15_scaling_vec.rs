@@ -1,0 +1,27 @@
+//! Figure 15 harness: vectorized scaling series plus analysis timing.
+
+use criterion::{criterion_group, Criterion};
+use stencilflow_bench::{format_scaling, scaling_series};
+use stencilflow_core::{AnalysisConfig, HardwareMapping};
+use stencilflow_workloads::{chain_program, ChainSpec};
+
+fn bench(c: &mut Criterion) {
+    print!("{}", format_scaling(&scaling_series(4, 24, true), "Figure 15 (W=4, quick domain)"));
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("analyze_and_map_vectorized_chain", |b| {
+        let program = chain_program(
+            &ChainSpec::new(16, 24).with_shape(&[1 << 11, 32, 32]).with_vectorization(4),
+        );
+        let config = AnalysisConfig::paper_defaults().with_vectorization(4);
+        b.iter(|| HardwareMapping::build(&program, &config).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,34 @@
+//! Figure 16 harness: prints the bandwidth table, then times the bandwidth
+//! microbenchmark program construction and simulation.
+
+use criterion::{criterion_group, Criterion};
+use stencilflow_bench::{bandwidth_series, format_bandwidth};
+use stencilflow_core::AnalysisConfig;
+use stencilflow_reference::generate_inputs;
+use stencilflow_sim::{SimConfig, Simulator};
+use stencilflow_workloads::{membench_program, MembenchSpec};
+
+fn bench(c: &mut Criterion) {
+    print!("{}", format_bandwidth(&bandwidth_series()));
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("simulate_membench_8ap_bandwidth_limited", |b| {
+        let program = membench_program(&MembenchSpec::new(8, 1).with_shape(&[16, 8, 8]));
+        let inputs = generate_inputs(&program, 1);
+        let sim = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default().with_memory_bandwidth(8.0),
+        )
+        .unwrap();
+        b.iter(|| sim.run(&inputs).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,28 @@
+//! Table I harness: prints the kernel/resource table, then times resource
+//! estimation.
+
+use criterion::{criterion_group, Criterion};
+use stencilflow_bench::{format_table1, table1_rows};
+use stencilflow_core::{AnalysisConfig, HardwareMapping};
+use stencilflow_hwmodel::estimate_resources;
+use stencilflow_workloads::jacobi3d;
+
+fn bench(c: &mut Criterion) {
+    print!("{}", format_table1(&table1_rows(true)));
+    let mut group = c.benchmark_group("tab1");
+    group.sample_size(10);
+    group.bench_function("estimate_resources_jacobi3d_64", |b| {
+        let program = jacobi3d(64, &[1 << 11, 32, 32], 1);
+        let mapping =
+            HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
+        b.iter(|| estimate_resources(&mapping));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,28 @@
+//! Table II harness: prints the horizontal-diffusion table and analysis,
+//! then times the end-to-end analysis of the production program.
+
+use criterion::{criterion_group, Criterion};
+use stencilflow_bench::{format_table2, table2_rows};
+use stencilflow_core::{analyze, AnalysisConfig};
+use stencilflow_workloads::{horizontal_diffusion, HorizontalDiffusionSpec};
+
+fn bench(c: &mut Criterion) {
+    let (rows, analysis) = table2_rows();
+    print!("{analysis}");
+    print!("{}", format_table2(&rows));
+    let mut group = c.benchmark_group("tab2");
+    group.sample_size(10);
+    group.bench_function("analyze_horizontal_diffusion_production", |b| {
+        let program = horizontal_diffusion(&HorizontalDiffusionSpec::production(8));
+        let config = AnalysisConfig::paper_defaults().with_vectorization(8);
+        b.iter(|| analyze(&program, &config).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

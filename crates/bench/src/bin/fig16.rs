@@ -1,0 +1,6 @@
+//! Regenerates Figure 16: effective off-chip memory bandwidth.
+
+fn main() {
+    let points = stencilflow_bench::bandwidth_series();
+    print!("{}", stencilflow_bench::format_bandwidth(&points));
+}

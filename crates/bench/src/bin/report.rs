@@ -1,0 +1,17 @@
+//! Prints every table and figure of the evaluation in one run, plus the
+//! Fig. 4 deadlock demonstration.
+
+fn main() {
+    let fig14 = stencilflow_bench::scaling_series(1, 8, false);
+    print!("{}", stencilflow_bench::format_scaling(&fig14, "Figure 14 (W=1)"));
+    let fig15 = stencilflow_bench::scaling_series(4, 24, false);
+    print!("{}", stencilflow_bench::format_scaling(&fig15, "Figure 15 (W=4)"));
+    print!("{}", stencilflow_bench::format_table1(&stencilflow_bench::table1_rows(false)));
+    print!("{}", stencilflow_bench::format_bandwidth(&stencilflow_bench::bandwidth_series()));
+    let (rows, analysis) = stencilflow_bench::table2_rows();
+    print!("{analysis}");
+    print!("{}", stencilflow_bench::format_table2(&rows));
+    let (deadlocked, completed) = stencilflow_bench::deadlock_demo();
+    println!("== Figure 4: deadlock demonstration ==");
+    println!("unit-depth channels deadlock: {deadlocked}; analysis-computed depths stream: {completed}");
+}

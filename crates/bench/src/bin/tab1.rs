@@ -1,0 +1,6 @@
+//! Regenerates Table I: highest performing kernels and resource usage.
+
+fn main() {
+    let rows = stencilflow_bench::table1_rows(false);
+    print!("{}", stencilflow_bench::format_table1(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II and the §IX-A analysis for horizontal diffusion.
+
+fn main() {
+    let (rows, analysis) = stencilflow_bench::table2_rows();
+    print!("{analysis}");
+    print!("{}", stencilflow_bench::format_table2(&rows));
+}

@@ -1,0 +1,123 @@
+//! Translation of stencil expressions to C (OpenCL C) source text.
+
+use stencilflow_expr::ast::{BinOp, Expr, MathFn, Program, UnOp};
+
+/// Translate a full code segment to a sequence of C statements. Field
+/// accesses are rendered through `access`, which receives the field name and
+/// its offsets and returns the C expression for that tap (e.g. a shift-
+/// register read with boundary predication).
+pub fn program_to_c(
+    program: &Program,
+    access: &impl Fn(&str, &[i64]) -> String,
+) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (idx, stmt) in program.statements.iter().enumerate() {
+        let rhs = expr_to_c(&stmt.value, access);
+        let line = match (&stmt.name, idx + 1 == program.statements.len()) {
+            (Some(name), _) => format!("const float {name} = {rhs};"),
+            (None, true) => format!("result = {rhs};"),
+            (None, false) => format!("(void)({rhs});"),
+        };
+        lines.push(line);
+    }
+    lines
+}
+
+/// Translate one expression to C.
+pub fn expr_to_c(expr: &Expr, access: &impl Fn(&str, &[i64]) -> String) -> String {
+    match expr {
+        Expr::IntLit(v) => format!("{v}"),
+        Expr::FloatLit(v) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}f")
+            } else {
+                format!("{v}f")
+            }
+        }
+        Expr::Var(name) => name.clone(),
+        Expr::FieldAccess { field, indices } => {
+            let offsets: Vec<i64> = indices.iter().map(|ix| ix.offset).collect();
+            access(field, &offsets)
+        }
+        Expr::Unary { op, operand } => {
+            let inner = expr_to_c(operand, access);
+            match op {
+                UnOp::Neg => format!("(-{inner})"),
+                UnOp::Not => format!("(!{inner})"),
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = expr_to_c(lhs, access);
+            let r = expr_to_c(rhs, access);
+            format!("({l} {} {r})", binop_c(*op))
+        }
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => {
+            let c = expr_to_c(cond, access);
+            let t = expr_to_c(then, access);
+            let e = expr_to_c(otherwise, access);
+            format!("({c} ? {t} : {e})")
+        }
+        Expr::Call { func, args } => {
+            let rendered: Vec<String> = args.iter().map(|a| expr_to_c(a, access)).collect();
+            format!("{}({})", mathfn_c(*func), rendered.join(", "))
+        }
+    }
+}
+
+fn binop_c(op: BinOp) -> &'static str {
+    op.symbol()
+}
+
+fn mathfn_c(func: MathFn) -> &'static str {
+    match func {
+        MathFn::Sqrt => "sqrtf",
+        MathFn::Abs => "fabsf",
+        MathFn::Min => "fminf",
+        MathFn::Max => "fmaxf",
+        MathFn::Exp => "expf",
+        MathFn::Log => "logf",
+        MathFn::Pow => "powf",
+        MathFn::Sin => "sinf",
+        MathFn::Cos => "cosf",
+        MathFn::Tan => "tanf",
+        MathFn::Floor => "floorf",
+        MathFn::Ceil => "ceilf",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_expr::parse_program;
+
+    fn simple_access(field: &str, offsets: &[i64]) -> String {
+        let parts: Vec<String> = offsets.iter().map(|o| format!("{o}")).collect();
+        format!("buf_{field}[{}]", parts.join("]["))
+    }
+
+    #[test]
+    fn translates_arithmetic_and_calls() {
+        let program = parse_program("0.5 * (a[i-1] + a[i+1]) - sqrt(b[i])").unwrap();
+        let c = program_to_c(&program, &simple_access);
+        assert_eq!(c.len(), 1);
+        assert!(c[0].contains("0.5f"));
+        assert!(c[0].contains("buf_a[-1]"));
+        assert!(c[0].contains("sqrtf(buf_b[0])"));
+        assert!(c[0].starts_with("result ="));
+    }
+
+    #[test]
+    fn translates_locals_ternaries_and_minmax() {
+        let program =
+            parse_program("d = a[i] - b[i]; min(max(d, 0.0), 1.0) > 0.5 ? d : -d").unwrap();
+        let c = program_to_c(&program, &simple_access);
+        assert_eq!(c.len(), 2);
+        assert!(c[0].starts_with("const float d ="));
+        assert!(c[1].contains("fminf(fmaxf(d, 0.0f), 1.0f)"));
+        assert!(c[1].contains("? d : (-d)"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Human-readable mapping reports.
+
+use stencilflow_core::HardwareMapping;
+use stencilflow_program::StencilProgram;
+use std::fmt::Write as _;
+
+/// Produce a textual summary of a mapped design: units, channels, buffer
+/// sizes, and the expected-performance model. Used by the benchmark binaries
+/// and handy when inspecting generated architectures.
+pub fn mapping_report(program: &StencilProgram, mapping: &HardwareMapping) -> String {
+    let mut out = String::new();
+    let perf = &mapping.performance;
+    let _ = writeln!(out, "program `{}`", program.name());
+    let _ = writeln!(
+        out,
+        "  domain {:?}, vectorization W={}",
+        program.space().shape,
+        mapping.vector_width
+    );
+    let _ = writeln!(
+        out,
+        "  {} stencil units, {} channels, {} memory interfaces",
+        mapping.unit_count(),
+        mapping.channels.len(),
+        mapping.memory_units.len()
+    );
+    let _ = writeln!(
+        out,
+        "  {} Op/cycle, {} operand/cycle from DRAM, {} buffered elements on chip",
+        mapping.ops_per_cycle(),
+        mapping.memory_operands_per_cycle(),
+        mapping.total_buffer_elements()
+    );
+    let _ = writeln!(
+        out,
+        "  expected cycles: {} (L = {}, N = {}), {:.1} us at {:.0} MHz, {:.1} GOp/s",
+        perf.expected_cycles,
+        perf.pipeline_latency,
+        perf.iterations,
+        perf.runtime_microseconds(),
+        perf.frequency_hz / 1e6,
+        perf.gops()
+    );
+    let _ = writeln!(out, "  stencil units:");
+    for unit in &mapping.units {
+        let _ = writeln!(
+            out,
+            "    {:<20} {:>4} Op  init {:>8} iters  latency {:>4} cyc  buffers {:>10} elems  fan-in {} fan-out {}",
+            unit.name,
+            unit.ops.flops(),
+            unit.init_iterations,
+            unit.compute_latency,
+            unit.internal_buffer_elements,
+            unit.fan_in,
+            unit.fan_out
+        );
+    }
+    let _ = writeln!(out, "  channels:");
+    for channel in &mapping.channels {
+        let _ = writeln!(
+            out,
+            "    {:<20} -> {:<20} depth {:>8} words",
+            channel.from.name(),
+            channel.to.name(),
+            channel.depth_words
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_core::AnalysisConfig;
+    use stencilflow_workloads::listing1;
+
+    #[test]
+    fn report_lists_units_and_channels() {
+        let program = listing1();
+        let mapping =
+            HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
+        let report = mapping_report(&program, &mapping);
+        assert!(report.contains("5 stencil units"));
+        assert!(report.contains("b3"));
+        assert!(report.contains("expected cycles"));
+        assert!(report.lines().count() > 15);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the buffering analysis and hardware mapping.
+
+use std::fmt;
+use stencilflow_program::ProgramError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors raised by the buffering analysis, mapping, or partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying program is invalid (cycle, unknown field, ...).
+    Program(ProgramError),
+    /// A partitioning request could not be satisfied.
+    Partition {
+        /// Description of the problem.
+        message: String,
+    },
+    /// An internal consistency error (indicates a bug in the analysis).
+    Internal {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Program(e) => write!(f, "invalid stencil program: {e}"),
+            CoreError::Partition { message } => write!(f, "partitioning failed: {message}"),
+            CoreError::Internal { message } => write!(f, "internal analysis error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Program(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProgramError> for CoreError {
+    fn from(e: ProgramError) -> Self {
+        CoreError::Program(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::Program(ProgramError::Invalid {
+            message: "nope".into(),
+        });
+        assert!(e.to_string().contains("nope"));
+        assert!(e.source().is_some());
+        let e = CoreError::Partition {
+            message: "too many stencils".into(),
+        };
+        assert!(e.to_string().contains("too many stencils"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,62 @@
+//! Data-centric dataflow IR substrate and program transformations.
+//!
+//! The paper lowers stencil programs onto the DaCe framework's Stateful
+//! DataFlow multiGraph (SDFG) representation and extends it with a `Stencil`
+//! library node, pipeline scopes, and three transformations (§V). DaCe itself
+//! is a large Python framework that is not available here, so this crate
+//! provides the subset of that substrate the StencilFlow stack actually
+//! needs:
+//!
+//! * [`sdfg`] — a small SDFG-like IR: states containing access nodes,
+//!   tasklets, streams, and library nodes, connected by memlets that carry
+//!   explicit data-movement volumes (the data-centric property).
+//! * [`library`] — the `Stencil` library node and its expansion into the
+//!   shift / update / compute structure of Fig. 12.
+//! * [`lower`] — lowering a `StencilProgram` into an SDFG with one stencil
+//!   library node per DAG node, and extracting a `StencilProgram` back out of
+//!   such an SDFG (the "stencil extraction" canonicalization of Fig. 13).
+//! * [`transforms`] — `StencilFusion` (§V-B, with the paper's legality
+//!   heuristics), `NestDim`, and `MapFission`.
+
+pub mod library;
+pub mod lower;
+pub mod sdfg;
+pub mod transforms;
+
+pub use library::{ExpandedStencil, StencilLibraryNode};
+pub use lower::{extract_program, lower_to_sdfg};
+pub use sdfg::{Memlet, Sdfg, SdfgNode, SdfgState};
+pub use transforms::{fuse_all, map_fission, nest_dim, try_fuse, FusionOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+    use stencilflow_workloads::{horizontal_diffusion, HorizontalDiffusionSpec};
+
+    #[test]
+    fn lower_and_extract_round_trip() {
+        let program = stencilflow_workloads::listing1();
+        let sdfg = lower_to_sdfg(&program);
+        assert_eq!(sdfg.library_nodes().count(), program.stencil_count());
+        let extracted = extract_program(&sdfg).unwrap();
+        assert_eq!(extracted.stencil_count(), program.stencil_count());
+        assert_eq!(extracted.outputs(), program.outputs());
+    }
+
+    #[test]
+    fn aggressive_fusion_preserves_horizontal_diffusion_semantics() {
+        let program = horizontal_diffusion(&HorizontalDiffusionSpec::small());
+        let fused = fuse_all(&program).unwrap();
+        assert!(fused.stencil_count() < program.stencil_count());
+        // Functional equivalence on the program outputs.
+        let inputs = generate_inputs(&program, 9);
+        let reference = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let fused_result = ReferenceExecutor::new().run(&fused, &inputs).unwrap();
+        for output in program.outputs() {
+            let a = reference.field(output).unwrap();
+            let b = fused_result.field(output).unwrap();
+            assert!(a.approx_eq(b, 1e-4), "output {output} diverges after fusion");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The `Stencil` library node and its expansion (Fig. 12).
+
+use stencilflow_program::{BoundarySpec, StencilNode};
+
+/// A domain-specific library node wrapping one stencil operation.
+///
+/// Library nodes "function similarly to computational nodes, but encode
+/// domain-specific information and contain multiple implementation targets,
+/// which translate into different subgraphs upon expansion" (§V-A). Here the
+/// node carries the parsed stencil and expands into the shift / update /
+/// compute structure the paper's Intel-FPGA backend emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilLibraryNode {
+    /// Node (and produced field) name.
+    pub name: String,
+    /// The wrapped stencil operation.
+    pub stencil: StencilNode,
+    /// Boundary specification (duplicated from the stencil for convenience).
+    pub boundary: BoundarySpec,
+    /// Vectorization width the expansion will use.
+    pub vector_width: usize,
+}
+
+impl StencilLibraryNode {
+    /// Wrap a stencil node.
+    pub fn new(stencil: &StencilNode, vector_width: usize) -> Self {
+        StencilLibraryNode {
+            name: stencil.name.clone(),
+            stencil: stencil.clone(),
+            boundary: stencil.boundary.clone(),
+            vector_width,
+        }
+    }
+
+    /// Expand the library node into its per-iteration structure.
+    pub fn expand(&self, buffer_sizes: &[(String, u64)]) -> ExpandedStencil {
+        let mut shift_phases = Vec::new();
+        let mut update_phases = Vec::new();
+        for (field, size) in buffer_sizes {
+            if *size > 0 {
+                shift_phases.push(ShiftPhase {
+                    field: field.clone(),
+                    buffer_elements: *size,
+                    shift_by: self.vector_width as u64,
+                });
+            }
+            update_phases.push(UpdatePhase {
+                field: field.clone(),
+                from_channel: format!("{}_in", field),
+            });
+        }
+        ExpandedStencil {
+            name: self.name.clone(),
+            shift_phases,
+            update_phases,
+            compute: ComputePhase {
+                code: self.stencil.code.clone(),
+                vector_unroll: self.vector_width,
+                conditional_write: true,
+            },
+        }
+    }
+}
+
+/// The shift phase of an expanded stencil: move every element of a shift
+/// register forward by the vector width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShiftPhase {
+    /// Buffered field.
+    pub field: String,
+    /// Shift-register length in elements.
+    pub buffer_elements: u64,
+    /// Elements shifted per cycle (the vector width).
+    pub shift_by: u64,
+}
+
+/// The update phase: read new values from the input channel into the front
+/// of the shift register.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdatePhase {
+    /// Buffered field.
+    pub field: String,
+    /// Channel the new values are read from.
+    pub from_channel: String,
+}
+
+/// The compute phase: evaluate the stencil expression on all tap points,
+/// unrolled over the vector lanes, and conditionally write the output stream
+/// (suppressed during the initialization phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputePhase {
+    /// Stencil source code.
+    pub code: String,
+    /// Vector lanes unrolled in the compute phase.
+    pub vector_unroll: usize,
+    /// Whether the output write is predicated on not being in the
+    /// initialization phase.
+    pub conditional_write: bool,
+}
+
+/// A fully expanded stencil library node: the three phases executed each
+/// pipeline iteration (Fig. 12).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpandedStencil {
+    /// Stencil name.
+    pub name: String,
+    /// Shift phases (one per buffered field).
+    pub shift_phases: Vec<ShiftPhase>,
+    /// Update phases (one per input field).
+    pub update_phases: Vec<UpdatePhase>,
+    /// The compute phase.
+    pub compute: ComputePhase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> StencilLibraryNode {
+        let stencil = StencilNode::parse("lap", "a[i-1,j] + a[i+1,j] + b[i,j]").unwrap();
+        StencilLibraryNode::new(&stencil, 4)
+    }
+
+    #[test]
+    fn expansion_has_three_phase_structure() {
+        let lib = node();
+        let expanded = lib.expand(&[("a".to_string(), 130), ("b".to_string(), 0)]);
+        // Only the buffered field gets a shift phase.
+        assert_eq!(expanded.shift_phases.len(), 1);
+        assert_eq!(expanded.shift_phases[0].buffer_elements, 130);
+        assert_eq!(expanded.shift_phases[0].shift_by, 4);
+        // Every field gets an update phase reading its channel.
+        assert_eq!(expanded.update_phases.len(), 2);
+        assert!(expanded.update_phases.iter().any(|u| u.from_channel == "a_in"));
+        // The compute phase is vector-unrolled and conditionally writes.
+        assert_eq!(expanded.compute.vector_unroll, 4);
+        assert!(expanded.compute.conditional_write);
+        assert!(expanded.compute.code.contains("a[i-1,j]"));
+    }
+
+    #[test]
+    fn library_node_mirrors_stencil_metadata() {
+        let lib = node();
+        assert_eq!(lib.name, "lap");
+        assert_eq!(lib.vector_width, 4);
+        assert!(lib.stencil.reads("a"));
+    }
+}

@@ -1,0 +1,208 @@
+//! Lowering stencil programs to SDFGs and extracting them back
+//! ("stencil extraction", Fig. 13).
+
+use crate::library::StencilLibraryNode;
+use crate::sdfg::{Sdfg, SdfgNode};
+use stencilflow_expr::DataType;
+use stencilflow_program::{ProgramError, Result, StencilProgram, StencilProgramBuilder};
+
+/// Lower a stencil program to an SDFG with one `Stencil` library node per DAG
+/// node, access nodes for off-chip containers, and a pipeline scope recording
+/// the shared iteration domain.
+pub fn lower_to_sdfg(program: &StencilProgram) -> Sdfg {
+    let space = program.space();
+    let cells = space.num_cells() as u64;
+    let mut sdfg = Sdfg::new(program.name());
+    for (name, decl) in program.inputs() {
+        let elements: u64 = decl
+            .dims
+            .iter()
+            .map(|d| space.dim_index(d).map(|ix| space.shape[ix] as u64).unwrap_or(1))
+            .product::<u64>()
+            .max(1);
+        sdfg.add_container(name, elements);
+    }
+    for stencil in program.stencils() {
+        sdfg.add_container(&stencil.name, cells);
+    }
+
+    let width = program.vectorization();
+    let state = sdfg.add_state("dataflow");
+    // The global pipeline scope over the iteration domain.
+    state.add_node(SdfgNode::PipelineScope {
+        name: "iteration_space".to_string(),
+        domain: space
+            .dims
+            .iter()
+            .zip(space.shape.iter())
+            .map(|(d, &s)| (d.clone(), s))
+            .collect(),
+        init_phase: 0,
+        drain_phase: 0,
+    });
+
+    // Access nodes for inputs.
+    for (name, _) in program.inputs() {
+        state.add_node(SdfgNode::Access { data: name.to_string() });
+    }
+    // Library nodes for stencils.
+    for stencil in program.stencils() {
+        state.add_node(SdfgNode::Library(StencilLibraryNode::new(stencil, width)));
+    }
+    // Access nodes for outputs, plus memlets.
+    for output in program.outputs() {
+        state.add_node(SdfgNode::Access {
+            data: output.to_string(),
+        });
+    }
+    // Memlets: producer (access or library) -> consuming library node.
+    let node_index = |state: &crate::sdfg::SdfgState, label: &str| {
+        state.nodes.iter().position(|n| n.label() == label)
+    };
+    let state = sdfg.states.last_mut().expect("state added above");
+    let mut memlets = Vec::new();
+    for stencil in program.stencils() {
+        let to = node_index(state, &format!("stencil:{}", stencil.name)).expect("library node");
+        for (field, info) in stencil.accesses.iter() {
+            let from = if program.is_input(field) {
+                node_index(state, field)
+            } else {
+                node_index(state, &format!("stencil:{field}"))
+            };
+            if let Some(from) = from {
+                memlets.push((from, to, field.to_string(), cells * info.access_count() as u64));
+            }
+        }
+    }
+    for output in program.outputs() {
+        let from = node_index(state, &format!("stencil:{output}")).expect("library node");
+        let to = node_index(state, output).expect("output access node");
+        memlets.push((from, to, output.clone(), cells));
+    }
+    for (from, to, data, volume) in memlets {
+        state.add_memlet(from, to, &data, volume);
+    }
+    sdfg
+}
+
+/// Extract a stencil program from an SDFG containing stencil library nodes
+/// (the canonicalization pass used to ingest external programs, §VII).
+///
+/// # Errors
+///
+/// Returns an error if the SDFG has no pipeline scope describing the
+/// iteration domain, or if the reconstructed program fails validation.
+pub fn extract_program(sdfg: &Sdfg) -> Result<StencilProgram> {
+    // Find the iteration domain.
+    let domain = sdfg
+        .states
+        .iter()
+        .flat_map(|s| s.nodes.iter())
+        .find_map(|n| match n {
+            SdfgNode::PipelineScope { domain, .. } => Some(domain.clone()),
+            _ => None,
+        })
+        .ok_or_else(|| ProgramError::Invalid {
+            message: "SDFG has no pipeline scope describing the iteration domain".into(),
+        })?;
+    let shape: Vec<usize> = domain.iter().map(|(_, s)| *s).collect();
+    let dims: Vec<&str> = domain.iter().map(|(d, _)| d.as_str()).collect();
+
+    let libraries: Vec<&StencilLibraryNode> = sdfg.library_nodes().collect();
+    let stencil_names: std::collections::BTreeSet<&str> =
+        libraries.iter().map(|l| l.name.as_str()).collect();
+
+    let mut builder = StencilProgramBuilder::new(&sdfg.name, &shape).dims(&dims);
+    if let Some(first) = libraries.first() {
+        builder = builder.vectorization(first.vector_width.max(1));
+    }
+
+    // Inputs: every field accessed by a library node that is not itself
+    // produced by a library node. Dimensions are recovered from the access
+    // index variables.
+    let mut declared: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for lib in &libraries {
+        for (field, info) in lib.stencil.accesses.iter() {
+            if stencil_names.contains(field) || declared.contains(field) {
+                continue;
+            }
+            let field_dims: Vec<&str> = info.index_vars.iter().map(String::as_str).collect();
+            builder = builder.input(field, DataType::Float32, &field_dims);
+            declared.insert(field.to_string());
+        }
+    }
+
+    // Stencils with their boundary conditions.
+    for lib in &libraries {
+        builder = builder.stencil(&lib.name, &lib.stencil.code);
+        for (field, condition) in &lib.boundary.per_field {
+            builder = builder.boundary(&lib.name, field, *condition);
+        }
+        if lib.boundary.shrink {
+            builder = builder.shrink(&lib.name);
+        }
+        builder = builder.output_type(&lib.name, lib.stencil.output_type);
+    }
+
+    // Outputs: access nodes that receive data from a library node.
+    for state in &sdfg.states {
+        for memlet in &state.memlets {
+            let from_is_library = matches!(state.nodes[memlet.from], SdfgNode::Library(_));
+            if let SdfgNode::Access { data } = &state.nodes[memlet.to] {
+                if from_is_library {
+                    builder = builder.output(data);
+                }
+            }
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_workloads::{horizontal_diffusion, listing1, HorizontalDiffusionSpec};
+
+    #[test]
+    fn lowering_produces_expected_node_counts() {
+        let program = listing1();
+        let sdfg = lower_to_sdfg(&program);
+        // 1 pipeline scope + 3 inputs + 5 stencils + 1 output access node.
+        assert_eq!(sdfg.node_count(), 10);
+        assert_eq!(sdfg.library_nodes().count(), 5);
+        // Memlet volumes are per-access: b3 reads b1 twice.
+        let cells = program.space().num_cells() as u64;
+        let state = &sdfg.states[0];
+        let b1 = state.nodes.iter().position(|n| n.label() == "stencil:b1").unwrap();
+        let b3 = state.nodes.iter().position(|n| n.label() == "stencil:b3").unwrap();
+        let volume = state
+            .memlets
+            .iter()
+            .find(|m| m.from == b1 && m.to == b3)
+            .unwrap()
+            .volume;
+        assert_eq!(volume, 2 * cells);
+    }
+
+    #[test]
+    fn extraction_round_trips_metadata() {
+        let program = horizontal_diffusion(&HorizontalDiffusionSpec::small());
+        let sdfg = lower_to_sdfg(&program);
+        let extracted = extract_program(&sdfg).unwrap();
+        assert_eq!(extracted.stencil_count(), program.stencil_count());
+        assert_eq!(extracted.space().shape, program.space().shape);
+        assert_eq!(extracted.inputs().count(), program.inputs().count());
+        let mut expected: Vec<_> = program.outputs().to_vec();
+        let mut actual: Vec<_> = extracted.outputs().to_vec();
+        expected.sort();
+        actual.sort();
+        assert_eq!(expected, actual);
+    }
+
+    #[test]
+    fn extraction_fails_without_pipeline_scope() {
+        let sdfg = Sdfg::new("empty");
+        assert!(extract_program(&sdfg).is_err());
+    }
+}

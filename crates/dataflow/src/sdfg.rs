@@ -1,0 +1,248 @@
+//! A minimal Stateful DataFlow multiGraph (SDFG) representation.
+//!
+//! Only the features StencilFlow relies on are modelled: a state machine of
+//! dataflow states, each holding access nodes (data containers), tasklets
+//! (code), streams (FIFO containers), and library nodes, connected by memlets
+//! that record the data volume they move. This is deliberately a substrate,
+//! not a reimplementation of DaCe.
+
+use crate::library::StencilLibraryNode;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A node inside an SDFG state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdfgNode {
+    /// An access node referring to a named data container (array or scalar).
+    Access {
+        /// Container name.
+        data: String,
+    },
+    /// A stream (FIFO) container access node.
+    Stream {
+        /// Stream name.
+        data: String,
+        /// Buffer depth in elements.
+        depth: u64,
+    },
+    /// A tasklet: a unit of computation with explicit inputs and outputs.
+    Tasklet {
+        /// Tasklet name.
+        name: String,
+        /// Source code of the tasklet.
+        code: String,
+        /// Input connector names.
+        inputs: Vec<String>,
+        /// Output connector names.
+        outputs: Vec<String>,
+    },
+    /// A domain-specific library node (here: always a stencil).
+    Library(StencilLibraryNode),
+    /// A parametric map/pipeline scope over an iteration domain, marking a
+    /// region executed for every point of the domain. The paper's pipeline
+    /// scopes additionally carry initialization and draining phases.
+    PipelineScope {
+        /// Scope name.
+        name: String,
+        /// Iteration domain, e.g. `[("i", 128), ("j", 128), ("k", 80)]`.
+        domain: Vec<(String, usize)>,
+        /// Cycles of initialization phase (buffers filling).
+        init_phase: u64,
+        /// Cycles of draining phase (results still flowing out).
+        drain_phase: u64,
+    },
+}
+
+impl SdfgNode {
+    /// A short label for display and tests.
+    pub fn label(&self) -> String {
+        match self {
+            SdfgNode::Access { data } => data.clone(),
+            SdfgNode::Stream { data, .. } => format!("stream:{data}"),
+            SdfgNode::Tasklet { name, .. } => format!("tasklet:{name}"),
+            SdfgNode::Library(lib) => format!("stencil:{}", lib.name),
+            SdfgNode::PipelineScope { name, .. } => format!("pipeline:{name}"),
+        }
+    }
+}
+
+/// A memlet: an edge carrying data between two nodes, annotated with the
+/// number of elements moved over the whole execution (the data-centric
+/// "volume").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Memlet {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Data container the memlet refers to.
+    pub data: String,
+    /// Total number of elements moved.
+    pub volume: u64,
+}
+
+/// One dataflow state of an SDFG.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SdfgState {
+    /// State name.
+    pub name: String,
+    /// Nodes of the state.
+    pub nodes: Vec<SdfgNode>,
+    /// Memlets of the state.
+    pub memlets: Vec<Memlet>,
+}
+
+impl SdfgState {
+    /// Create an empty state.
+    pub fn new(name: &str) -> Self {
+        SdfgState {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a node, returning its index.
+    pub fn add_node(&mut self, node: SdfgNode) -> usize {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Add a memlet between two existing nodes.
+    pub fn add_memlet(&mut self, from: usize, to: usize, data: &str, volume: u64) {
+        assert!(from < self.nodes.len() && to < self.nodes.len(), "memlet endpoints must exist");
+        self.memlets.push(Memlet {
+            from,
+            to,
+            data: data.to_string(),
+            volume,
+        });
+    }
+
+    /// Find the index of the access node for a container, if present.
+    pub fn access_node(&self, data: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| matches!(n, SdfgNode::Access { data: d } if d == data))
+    }
+
+    /// Total data volume moved in this state.
+    pub fn total_volume(&self) -> u64 {
+        self.memlets.iter().map(|m| m.volume).sum()
+    }
+
+    /// Degree (in + out memlets) of a node.
+    pub fn degree(&self, node: usize) -> usize {
+        self.memlets.iter().filter(|m| m.from == node || m.to == node).count()
+    }
+}
+
+/// A stateful dataflow multigraph: data containers plus a sequence of states.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Sdfg {
+    /// Graph name.
+    pub name: String,
+    /// Declared data containers and their element counts.
+    pub containers: BTreeMap<String, u64>,
+    /// Dataflow states in control-flow order.
+    pub states: Vec<SdfgState>,
+}
+
+impl Sdfg {
+    /// Create an empty SDFG.
+    pub fn new(name: &str) -> Self {
+        Sdfg {
+            name: name.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Declare a data container with the given number of elements.
+    pub fn add_container(&mut self, name: &str, elements: u64) {
+        self.containers.insert(name.to_string(), elements);
+    }
+
+    /// Add a state and return a mutable reference to it.
+    pub fn add_state(&mut self, name: &str) -> &mut SdfgState {
+        self.states.push(SdfgState::new(name));
+        self.states.last_mut().expect("just pushed")
+    }
+
+    /// Iterate over all stencil library nodes in all states.
+    pub fn library_nodes(&self) -> impl Iterator<Item = &StencilLibraryNode> {
+        self.states.iter().flat_map(|s| {
+            s.nodes.iter().filter_map(|n| match n {
+                SdfgNode::Library(lib) => Some(lib),
+                _ => None,
+            })
+        })
+    }
+
+    /// Total number of nodes across all states.
+    pub fn node_count(&self) -> usize {
+        self.states.iter().map(|s| s.nodes.len()).sum()
+    }
+
+    /// How many states reference a container (used by the fusion legality
+    /// check: a container that appears in more than one state cannot be
+    /// removed without changing off-chip traffic).
+    pub fn container_state_uses(&self, data: &str) -> usize {
+        self.states
+            .iter()
+            .filter(|s| s.nodes.iter().any(|n| matches!(n, SdfgNode::Access { data: d } if d == data)))
+            .count()
+    }
+}
+
+impl fmt::Display for Sdfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sdfg {} ({} containers)", self.name, self.containers.len())?;
+        for state in &self.states {
+            writeln!(
+                f,
+                "  state {}: {} nodes, {} memlets, volume {}",
+                state.name,
+                state.nodes.len(),
+                state.memlets.len(),
+                state.total_volume()
+            )?;
+            for node in &state.nodes {
+                writeln!(f, "    {}", node.label())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_a_small_state() {
+        let mut sdfg = Sdfg::new("test");
+        sdfg.add_container("A", 100);
+        sdfg.add_container("B", 100);
+        let state = sdfg.add_state("main");
+        let a = state.add_node(SdfgNode::Access { data: "A".into() });
+        let t = state.add_node(SdfgNode::Tasklet {
+            name: "double".into(),
+            code: "b = a * 2".into(),
+            inputs: vec!["a".into()],
+            outputs: vec!["b".into()],
+        });
+        let b = state.add_node(SdfgNode::Access { data: "B".into() });
+        state.add_memlet(a, t, "A", 100);
+        state.add_memlet(t, b, "B", 100);
+        assert_eq!(sdfg.node_count(), 3);
+        assert_eq!(sdfg.states[0].total_volume(), 200);
+        assert_eq!(sdfg.states[0].access_node("A"), Some(0));
+        assert_eq!(sdfg.states[0].degree(t), 2);
+        assert_eq!(sdfg.container_state_uses("A"), 1);
+        assert!(sdfg.to_string().contains("tasklet:double"));
+    }
+
+    #[test]
+    #[should_panic(expected = "memlet endpoints must exist")]
+    fn memlets_require_existing_nodes() {
+        let mut state = SdfgState::new("s");
+        state.add_memlet(0, 1, "x", 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! Program and SDFG transformations (§V-A/B, Fig. 10).
+//!
+//! * `StencilFusion` (domain-specific): schedule two dependent stencils as
+//!   one stencil with multiple statements. On spatial architectures this does
+//!   not change the (already fully parallel) schedule; it shortens the
+//!   critical path by merging initialization phases, merges internal buffers,
+//!   coarsens stencil nodes (improving the useful-logic ratio), and exposes
+//!   common subexpressions (§V-B).
+//! * `NestDim` (domain-specific): subsume an outer parametric dimension into
+//!   the stencil nodes.
+//! * `MapFission` (general-purpose): split a parallel subgraph scope into
+//!   multiple scopes with temporary storage in between.
+
+use crate::sdfg::{Sdfg, SdfgNode};
+use stencilflow_expr::ast::{Expr, Program, Stmt};
+use stencilflow_program::{Result, StencilNode, StencilProgram};
+
+/// Result of the aggressive fusion pass.
+#[derive(Debug, Clone)]
+pub struct FusionOutcome {
+    /// The fused program.
+    pub program: StencilProgram,
+    /// `(producer, consumer)` pairs fused, in application order.
+    pub fused: Vec<(String, String)>,
+}
+
+/// Check the fusion legality conditions of §V-B for fusing `producer` into
+/// `consumer` and return the fused program if they hold:
+///
+/// 1. both stencils operate on the same iteration space (always true within
+///    one program);
+/// 2. they have the same boundary-condition behaviour;
+/// 3. they are connected by one data container with degree 2, i.e. the
+///    producer's output is consumed *only* by this consumer;
+/// 4. the container is not used elsewhere (not a program output), so removing
+///    it adds no off-chip traffic;
+/// 5. (implementation restriction) the consumer reads the producer only at
+///    the center offset, so no recomputation is introduced.
+///
+/// # Errors
+///
+/// Returns an error only if re-validation of the fused program fails, which
+/// would indicate a bug in the rewriting.
+pub fn try_fuse(
+    program: &StencilProgram,
+    producer: &str,
+    consumer: &str,
+) -> Result<Option<StencilProgram>> {
+    let Some(prod) = program.stencil(producer) else {
+        return Ok(None);
+    };
+    let Some(cons) = program.stencil(consumer) else {
+        return Ok(None);
+    };
+    // Condition 4: producer must not be a program output.
+    if program.outputs().iter().any(|o| o == producer) {
+        return Ok(None);
+    }
+    // Condition 3: the producer's output is consumed only by `consumer`.
+    let consumers: Vec<&StencilNode> = program
+        .stencils()
+        .filter(|s| s.reads(producer))
+        .collect();
+    if consumers.len() != 1 || consumers[0].name != consumer {
+        return Ok(None);
+    }
+    // Condition 2: identical boundary behaviour.
+    if !prod.boundary.behaviour_eq(&cons.boundary) {
+        return Ok(None);
+    }
+    // Condition 5: center-only accesses to the producer.
+    let Some(info) = cons.accesses.get(producer) else {
+        return Ok(None);
+    };
+    if !info.offsets.iter().all(|o| o.iter().all(|&x| x == 0)) {
+        return Ok(None);
+    }
+
+    // Build the fused code: producer statements (locals renamed), a binding
+    // for the producer's output value, then the consumer statements with
+    // center accesses to the producer replaced by that binding.
+    let bound_name = format!("__fused_{producer}");
+    let mut statements: Vec<Stmt> = Vec::new();
+    let prefix = |name: &str| format!("__{producer}_{name}");
+    for (idx, stmt) in prod.program.statements.iter().enumerate() {
+        let value = rename_locals(&stmt.value, &prod.program, &prefix);
+        let name = if idx + 1 == prod.program.statements.len() {
+            Some(bound_name.clone())
+        } else {
+            stmt.name.as_ref().map(|n| prefix(n))
+        };
+        statements.push(Stmt { name, value });
+    }
+    for (idx, stmt) in cons.program.statements.iter().enumerate() {
+        let replaced = replace_center_access(&stmt.value, producer, &bound_name);
+        let name = if idx + 1 == cons.program.statements.len() {
+            stmt.name.clone()
+        } else {
+            stmt.name.clone()
+        };
+        statements.push(Stmt {
+            name,
+            value: replaced,
+        });
+    }
+    let fused_ast = Program { statements };
+    let fused_code = fused_ast.to_string();
+
+    // Assemble the new program.
+    let mut fused = program.clone();
+    fused.remove_stencil(producer);
+    let mut node = StencilNode::parse(consumer, &fused_code)?;
+    // Merge boundary specifications (identical by condition 2, minus the now
+    // internal producer field).
+    let mut boundary = cons.boundary.clone();
+    for (field, condition) in &prod.boundary.per_field {
+        boundary.per_field.entry(field.clone()).or_insert(*condition);
+    }
+    boundary.per_field.remove(producer);
+    node.boundary = boundary;
+    node.output_type = cons.output_type;
+    fused.insert_stencil(node);
+    fused.validate()?;
+    Ok(Some(fused))
+}
+
+fn rename_locals(expr: &Expr, program: &Program, prefix: &impl Fn(&str) -> String) -> Expr {
+    let locals: std::collections::BTreeSet<&str> = program.local_names().into_iter().collect();
+    map_expr(expr, &|e| match e {
+        Expr::Var(name) if locals.contains(name.as_str()) => Some(Expr::Var(prefix(name))),
+        _ => None,
+    })
+}
+
+fn replace_center_access(expr: &Expr, field: &str, with_var: &str) -> Expr {
+    map_expr(expr, &|e| match e {
+        Expr::FieldAccess { field: f, indices }
+            if f == field && indices.iter().all(|ix| ix.offset == 0) =>
+        {
+            Some(Expr::Var(with_var.to_string()))
+        }
+        _ => None,
+    })
+}
+
+/// Structurally rewrite an expression bottom-up: `f` returns `Some` to
+/// replace a node, `None` to keep it (children already rewritten).
+fn map_expr(expr: &Expr, f: &impl Fn(&Expr) -> Option<Expr>) -> Expr {
+    let rebuilt = match expr {
+        Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) | Expr::FieldAccess { .. } => {
+            expr.clone()
+        }
+        Expr::Unary { op, operand } => Expr::Unary {
+            op: *op,
+            operand: Box::new(map_expr(operand, f)),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(map_expr(lhs, f)),
+            rhs: Box::new(map_expr(rhs, f)),
+        },
+        Expr::Ternary {
+            cond,
+            then,
+            otherwise,
+        } => Expr::Ternary {
+            cond: Box::new(map_expr(cond, f)),
+            then: Box::new(map_expr(then, f)),
+            otherwise: Box::new(map_expr(otherwise, f)),
+        },
+        Expr::Call { func, args } => Expr::Call {
+            func: *func,
+            args: args.iter().map(|a| map_expr(a, f)).collect(),
+        },
+    };
+    f(&rebuilt).unwrap_or(rebuilt)
+}
+
+/// Apply stencil fusion greedily until no more pairs can be fused (the
+/// "aggressive stencil fusion" the paper applies to its input programs).
+///
+/// # Errors
+///
+/// Propagates re-validation errors from [`try_fuse`].
+pub fn fuse_all(program: &StencilProgram) -> Result<StencilProgram> {
+    Ok(fuse_all_with_report(program)?.program)
+}
+
+/// Like [`fuse_all`], additionally reporting which pairs were fused.
+///
+/// # Errors
+///
+/// Propagates re-validation errors from [`try_fuse`].
+pub fn fuse_all_with_report(program: &StencilProgram) -> Result<FusionOutcome> {
+    let mut current = program.clone();
+    let mut fused_pairs = Vec::new();
+    loop {
+        let mut fused_this_round = None;
+        let order = current.topological_stencils()?;
+        'search: for producer in &order {
+            for consumer in &order {
+                if producer == consumer {
+                    continue;
+                }
+                if current
+                    .stencil(consumer)
+                    .map(|c| c.reads(producer))
+                    .unwrap_or(false)
+                {
+                    if let Some(next) = try_fuse(&current, producer, consumer)? {
+                        fused_pairs.push((producer.clone(), consumer.clone()));
+                        fused_this_round = Some(next);
+                        break 'search;
+                    }
+                }
+            }
+        }
+        match fused_this_round {
+            Some(next) => current = next,
+            None => break,
+        }
+    }
+    Ok(FusionOutcome {
+        program: current,
+        fused: fused_pairs,
+    })
+}
+
+/// `NestDim`: subsume the named outer dimension into every stencil library
+/// node of the SDFG (removing it from the pipeline scope). Returns the number
+/// of library nodes affected.
+pub fn nest_dim(sdfg: &mut Sdfg, dim: &str) -> usize {
+    let mut affected = 0;
+    for state in &mut sdfg.states {
+        for node in &mut state.nodes {
+            match node {
+                SdfgNode::PipelineScope { domain, .. } => {
+                    domain.retain(|(d, _)| d != dim);
+                }
+                SdfgNode::Library(_) => affected += 1,
+                _ => {}
+            }
+        }
+    }
+    affected
+}
+
+/// `MapFission`: split a state containing several library nodes into one
+/// state per library node, introducing the producing container as temporary
+/// storage between them. Returns the number of states after fission.
+pub fn map_fission(sdfg: &mut Sdfg, state_index: usize) -> usize {
+    if state_index >= sdfg.states.len() {
+        return sdfg.states.len();
+    }
+    let original = sdfg.states[state_index].clone();
+    let libraries: Vec<SdfgNode> = original
+        .nodes
+        .iter()
+        .filter(|n| matches!(n, SdfgNode::Library(_)))
+        .cloned()
+        .collect();
+    if libraries.len() <= 1 {
+        return sdfg.states.len();
+    }
+    let scope = original
+        .nodes
+        .iter()
+        .find(|n| matches!(n, SdfgNode::PipelineScope { .. }))
+        .cloned();
+    let mut new_states = Vec::new();
+    for (idx, library) in libraries.into_iter().enumerate() {
+        let mut state = crate::sdfg::SdfgState::new(&format!("{}_{idx}", original.name));
+        if let Some(scope) = &scope {
+            state.add_node(scope.clone());
+        }
+        if let SdfgNode::Library(lib) = &library {
+            // Temporary containers: one access node per consumed field and
+            // one for the produced field.
+            let mut producers = Vec::new();
+            for (field, info) in lib.stencil.accesses.iter() {
+                let node = state.add_node(SdfgNode::Access { data: field.to_string() });
+                producers.push((node, field.to_string(), info.access_count() as u64));
+            }
+            let library_index = state.add_node(library.clone());
+            for (node, field, accesses) in producers {
+                state.add_memlet(node, library_index, &field, accesses);
+            }
+            let out = state.add_node(SdfgNode::Access {
+                data: lib.name.clone(),
+            });
+            state.add_memlet(library_index, out, &lib.name, 1);
+        }
+        new_states.push(state);
+    }
+    sdfg.states.splice(state_index..=state_index, new_states);
+    sdfg.states.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_to_sdfg;
+    use stencilflow_expr::DataType;
+    use stencilflow_program::{BoundaryCondition, StencilProgramBuilder};
+    use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+
+    fn chainable() -> StencilProgram {
+        StencilProgramBuilder::new("p", &[8, 8])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("double", "a[i,j] * 2.0")
+            .stencil("plus1", "double[i,j] + 1.0")
+            .output("plus1")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fuses_center_only_chains() {
+        let program = chainable();
+        let fused = try_fuse(&program, "double", "plus1").unwrap().unwrap();
+        assert_eq!(fused.stencil_count(), 1);
+        let node = fused.stencil("plus1").unwrap();
+        assert!(node.reads("a"));
+        assert!(!node.reads("double"));
+        // Semantics preserved.
+        let inputs = generate_inputs(&program, 4);
+        let before = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let after = ReferenceExecutor::new().run(&fused, &inputs).unwrap();
+        assert!(before
+            .field("plus1")
+            .unwrap()
+            .approx_eq(after.field("plus1").unwrap(), 1e-6));
+    }
+
+    #[test]
+    fn refuses_fusion_when_producer_has_multiple_consumers() {
+        let program = StencilProgramBuilder::new("p", &[8, 8])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("shared", "a[i,j] * 2.0")
+            .stencil("c1", "shared[i,j] + 1.0")
+            .stencil("c2", "shared[i,j] - 1.0")
+            .stencil("out", "c1[i,j] + c2[i,j]")
+            .output("out")
+            .build()
+            .unwrap();
+        assert!(try_fuse(&program, "shared", "c1").unwrap().is_none());
+    }
+
+    #[test]
+    fn refuses_fusion_across_offsets_or_outputs_or_boundaries() {
+        // Offset access.
+        let offset = StencilProgramBuilder::new("p", &[8, 8])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("b", "a[i,j] * 2.0")
+            .stencil("c", "b[i-1,j] + b[i+1,j]")
+            .output("c")
+            .build()
+            .unwrap();
+        assert!(try_fuse(&offset, "b", "c").unwrap().is_none());
+        // Producer is a program output.
+        let output = StencilProgramBuilder::new("p", &[8, 8])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("b", "a[i,j] * 2.0")
+            .stencil("c", "b[i,j] + 1.0")
+            .output("b")
+            .output("c")
+            .build()
+            .unwrap();
+        assert!(try_fuse(&output, "b", "c").unwrap().is_none());
+        // Mismatched boundary behaviour.
+        let boundary = StencilProgramBuilder::new("p", &[8, 8])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("b", "a[i-1,j] + a[i+1,j]")
+            .boundary("b", "a", BoundaryCondition::Copy)
+            .stencil("c", "b[i,j] + 1.0")
+            .output("c")
+            .build()
+            .unwrap();
+        assert!(try_fuse(&boundary, "b", "c").unwrap().is_none());
+    }
+
+    #[test]
+    fn fuse_all_reports_pairs_and_reduces_latency_proxy() {
+        let program = chainable();
+        let outcome = fuse_all_with_report(&program).unwrap();
+        assert_eq!(outcome.fused.len(), 1);
+        assert_eq!(outcome.program.stencil_count(), 1);
+    }
+
+    #[test]
+    fn nest_dim_removes_dimension_from_scope() {
+        let program = chainable();
+        let mut sdfg = lower_to_sdfg(&program);
+        let affected = nest_dim(&mut sdfg, "j");
+        assert_eq!(affected, 2);
+        let scope_dims: Vec<String> = sdfg
+            .states
+            .iter()
+            .flat_map(|s| s.nodes.iter())
+            .find_map(|n| match n {
+                SdfgNode::PipelineScope { domain, .. } => {
+                    Some(domain.iter().map(|(d, _)| d.clone()).collect())
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(scope_dims, vec!["i".to_string()]);
+    }
+
+    #[test]
+    fn map_fission_splits_states() {
+        let program = chainable();
+        let mut sdfg = lower_to_sdfg(&program);
+        assert_eq!(sdfg.states.len(), 1);
+        let states = map_fission(&mut sdfg, 0);
+        assert_eq!(states, 2);
+        assert_eq!(sdfg.states.len(), 2);
+        // Each new state holds exactly one library node.
+        for state in &sdfg.states {
+            let libs = state
+                .nodes
+                .iter()
+                .filter(|n| matches!(n, SdfgNode::Library(_)))
+                .count();
+            assert_eq!(libs, 1);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Error types for the expression language.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ExprError>;
+
+/// Errors raised while lexing, parsing, type-checking or evaluating stencil
+/// code segments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprError {
+    /// An unexpected character was encountered while tokenizing.
+    Lex {
+        /// Byte position of the offending character.
+        position: usize,
+        /// The offending character.
+        character: char,
+    },
+    /// The parser encountered an unexpected token.
+    Parse {
+        /// Byte position at which the error occurred.
+        position: usize,
+        /// Human-readable description of what was expected.
+        message: String,
+    },
+    /// A field access used a malformed index expression (e.g. `a[2*i]`).
+    InvalidIndex {
+        /// Field being accessed.
+        field: String,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An unknown function name was called.
+    UnknownFunction {
+        /// The name that failed to resolve to a builtin math function.
+        name: String,
+    },
+    /// A function was called with the wrong number of arguments.
+    Arity {
+        /// Function name.
+        name: String,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments found.
+        found: usize,
+    },
+    /// The evaluator could not resolve a field access or scalar symbol.
+    UnresolvedSymbol {
+        /// Symbol that could not be resolved.
+        name: String,
+    },
+    /// A type error was detected (e.g. using a boolean as an arithmetic
+    /// operand).
+    Type {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// Division by zero (or other undefined arithmetic) during constant
+    /// folding or evaluation of integer expressions.
+    Arithmetic {
+        /// Description of the failure.
+        message: String,
+    },
+    /// The program contained no statements.
+    EmptyProgram,
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex {
+                position,
+                character,
+            } => write!(
+                f,
+                "unexpected character `{character}` at byte offset {position}"
+            ),
+            ExprError::Parse { position, message } => {
+                write!(f, "parse error at byte offset {position}: {message}")
+            }
+            ExprError::InvalidIndex { field, message } => {
+                write!(f, "invalid index expression for field `{field}`: {message}")
+            }
+            ExprError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            ExprError::Arity {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{name}` expects {expected} argument(s), found {found}"
+            ),
+            ExprError::UnresolvedSymbol { name } => {
+                write!(f, "unresolved symbol `{name}` during evaluation")
+            }
+            ExprError::Type { message } => write!(f, "type error: {message}"),
+            ExprError::Arithmetic { message } => write!(f, "arithmetic error: {message}"),
+            ExprError::EmptyProgram => write!(f, "program contains no statements"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            ExprError::Lex {
+                position: 3,
+                character: '$',
+            },
+            ExprError::Parse {
+                position: 0,
+                message: "expected expression".into(),
+            },
+            ExprError::UnknownFunction { name: "foo".into() },
+            ExprError::EmptyProgram,
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<ExprError>();
+    }
+}

@@ -1,0 +1,69 @@
+//! Clock-frequency model.
+//!
+//! "Frequencies across all benchmarks are consistently in the range
+//! 292–317 MHz" (§VIII-C). Larger, more congested designs close timing at the
+//! lower end of that band; small designs at the upper end. The model below
+//! interpolates linearly with the binding resource utilization.
+
+use crate::device::Device;
+use crate::resources::ResourceEstimate;
+
+/// Fill-dependent clock-frequency model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyModel {
+    /// Frequency achieved by small designs (Hz).
+    pub max_hz: f64,
+    /// Frequency achieved by nearly full designs (Hz).
+    pub min_hz: f64,
+}
+
+impl Default for FrequencyModel {
+    fn default() -> Self {
+        FrequencyModel {
+            max_hz: 317e6,
+            min_hz: 292e6,
+        }
+    }
+}
+
+impl FrequencyModel {
+    /// Estimated clock frequency for a design with the given resource
+    /// estimate on the given device.
+    pub fn frequency_hz(&self, estimate: &ResourceEstimate, device: &Device) -> f64 {
+        let fill = estimate.max_utilization(device).clamp(0.0, 1.0);
+        self.max_hz - (self.max_hz - self.min_hz) * fill
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate(alm: u64) -> ResourceEstimate {
+        ResourceEstimate {
+            alm,
+            ff: alm * 2,
+            m20k: 500,
+            dsp: 500,
+        }
+    }
+
+    #[test]
+    fn frequency_stays_in_paper_band() {
+        let model = FrequencyModel::default();
+        let device = Device::stratix10_gx2800();
+        for alm in [10_000, 200_000, 400_000, 690_000] {
+            let f = model.frequency_hz(&estimate(alm), &device);
+            assert!((292e6..=317e6).contains(&f), "f = {f}");
+        }
+    }
+
+    #[test]
+    fn fuller_designs_run_slower() {
+        let model = FrequencyModel::default();
+        let device = Device::stratix10_gx2800();
+        let small = model.frequency_hz(&estimate(50_000), &device);
+        let large = model.frequency_hz(&estimate(600_000), &device);
+        assert!(small > large);
+    }
+}

@@ -1,0 +1,35 @@
+//! Silicon efficiency (§IX-C): sustained GOp/s per mm² of die area.
+
+use crate::device::Device;
+
+/// Silicon efficiency in GOp/s per mm² for a device sustaining `gops`.
+pub fn silicon_efficiency(gops: f64, device: &Device) -> f64 {
+    if device.die_area_mm2 == 0.0 {
+        return 0.0;
+    }
+    gops / device.die_area_mm2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section9c_numbers() {
+        // Stratix 10 at 145 GOp/s (memory bound): 0.21 GOp/s/mm².
+        let s10 = Device::stratix10_gx2800();
+        assert!((silicon_efficiency(145.0, &s10) - 0.21).abs() < 0.01);
+        // Stratix 10 at 513 GOp/s (simulated infinite bandwidth): 0.73.
+        assert!((silicon_efficiency(513.0, &s10) - 0.73).abs() < 0.03);
+        // P100 at 210 GOp/s: 0.34; V100 at 849 GOp/s: 1.04.
+        assert!((silicon_efficiency(210.0, &Device::tesla_p100()) - 0.344).abs() < 0.01);
+        assert!((silicon_efficiency(849.0, &Device::tesla_v100()) - 1.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_area_is_handled() {
+        let mut device = Device::tesla_p100();
+        device.die_area_mm2 = 0.0;
+        assert_eq!(silicon_efficiency(100.0, &device), 0.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Boundary conditions for out-of-bounds stencil accesses.
+//!
+//! Paper §II: "Currently supported boundary conditions include: *constant*,
+//! where out of bounds accesses are replaced with a given constant value;
+//! *copy*, where out of bounds accesses are replaced by the value at offset 0
+//! in all dimensions (the 'center' value); and *shrink*, where all computed
+//! values that read out of bounds values are simply ignored in the output.
+//! The former two are specified per input, whereas shrink is specified on the
+//! output."
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How out-of-bounds accesses to one input field are handled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundaryCondition {
+    /// Replace out-of-bounds reads with a constant value.
+    Constant(f64),
+    /// Replace out-of-bounds reads with the value at the center offset.
+    Copy,
+}
+
+/// Wire representation of a boundary condition in the JSON program
+/// description: `{"type": "constant", "value": 1}` or `{"type": "copy"}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BoundaryConditionRepr {
+    #[serde(rename = "type")]
+    kind: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    value: Option<f64>,
+}
+
+impl Serialize for BoundaryCondition {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = match self {
+            BoundaryCondition::Constant(v) => BoundaryConditionRepr {
+                kind: "constant".to_string(),
+                value: Some(*v),
+            },
+            BoundaryCondition::Copy => BoundaryConditionRepr {
+                kind: "copy".to_string(),
+                value: None,
+            },
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for BoundaryCondition {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = BoundaryConditionRepr::deserialize(deserializer)?;
+        match repr.kind.as_str() {
+            "constant" => Ok(BoundaryCondition::Constant(repr.value.unwrap_or(0.0))),
+            "copy" => Ok(BoundaryCondition::Copy),
+            other => Err(serde::de::Error::custom(format!(
+                "unknown boundary condition type `{other}` (expected `constant` or `copy`)"
+            ))),
+        }
+    }
+}
+
+impl Default for BoundaryCondition {
+    fn default() -> Self {
+        // A zero constant is the least surprising default and matches the
+        // reference implementation's behaviour for unspecified inputs.
+        BoundaryCondition::Constant(0.0)
+    }
+}
+
+impl fmt::Display for BoundaryCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundaryCondition::Constant(v) => write!(f, "constant({v})"),
+            BoundaryCondition::Copy => write!(f, "copy"),
+        }
+    }
+}
+
+/// The complete boundary specification of one stencil node: per-input
+/// conditions plus the output-level `shrink` flag.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct BoundarySpec {
+    /// Per-input boundary conditions. Inputs without an entry use
+    /// [`BoundaryCondition::default`].
+    pub per_field: BTreeMap<String, BoundaryCondition>,
+    /// Whether output cells whose computation read out-of-bounds values are
+    /// dropped from the output ("shrink").
+    pub shrink: bool,
+}
+
+impl BoundarySpec {
+    /// A specification with no per-field entries and no shrink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A specification marking the output as shrunk.
+    pub fn shrink() -> Self {
+        BoundarySpec {
+            per_field: BTreeMap::new(),
+            shrink: true,
+        }
+    }
+
+    /// Set the condition for one input field (builder style).
+    pub fn with_field(mut self, field: &str, condition: BoundaryCondition) -> Self {
+        self.per_field.insert(field.to_string(), condition);
+        self
+    }
+
+    /// The condition applied to `field` (falling back to the default).
+    pub fn condition_for(&self, field: &str) -> BoundaryCondition {
+        self.per_field.get(field).copied().unwrap_or_default()
+    }
+
+    /// Whether two specifications describe the same boundary behaviour.
+    ///
+    /// This is the equality used by the stencil-fusion legality check
+    /// (§V-B: fused stencils must "have the same StencilFlow boundary
+    /// condition definitions").
+    pub fn behaviour_eq(&self, other: &BoundarySpec) -> bool {
+        self.shrink == other.shrink && self.per_field == other.per_field
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_constant() {
+        assert_eq!(BoundaryCondition::default(), BoundaryCondition::Constant(0.0));
+        let spec = BoundarySpec::new();
+        assert_eq!(spec.condition_for("whatever"), BoundaryCondition::Constant(0.0));
+        assert!(!spec.shrink);
+    }
+
+    #[test]
+    fn builder_and_lookup() {
+        let spec = BoundarySpec::new()
+            .with_field("a0", BoundaryCondition::Constant(1.0))
+            .with_field("a1", BoundaryCondition::Copy);
+        assert_eq!(spec.condition_for("a0"), BoundaryCondition::Constant(1.0));
+        assert_eq!(spec.condition_for("a1"), BoundaryCondition::Copy);
+    }
+
+    #[test]
+    fn shrink_constructor() {
+        let spec = BoundarySpec::shrink();
+        assert!(spec.shrink);
+        assert!(spec.per_field.is_empty());
+    }
+
+    #[test]
+    fn behaviour_equality() {
+        let a = BoundarySpec::new().with_field("x", BoundaryCondition::Copy);
+        let b = BoundarySpec::new().with_field("x", BoundaryCondition::Copy);
+        let c = BoundarySpec::new().with_field("x", BoundaryCondition::Constant(2.0));
+        assert!(a.behaviour_eq(&b));
+        assert!(!a.behaviour_eq(&c));
+        assert!(!a.behaviour_eq(&BoundarySpec::shrink()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let condition = BoundaryCondition::Constant(1.5);
+        let json = serde_json::to_string(&condition).unwrap();
+        assert!(json.contains("constant"));
+        let back: BoundaryCondition = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, condition);
+
+        let copy_json = r#"{"type": "copy"}"#;
+        let back: BoundaryCondition = serde_json::from_str(copy_json).unwrap();
+        assert_eq!(back, BoundaryCondition::Copy);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BoundaryCondition::Copy.to_string(), "copy");
+        assert_eq!(BoundaryCondition::Constant(1.0).to_string(), "constant(1)");
+    }
+}

@@ -1,0 +1,358 @@
+//! Field declarations and iteration-space geometry.
+
+use crate::error::{ProgramError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use stencilflow_expr::DataType;
+
+/// Declaration of one input field of a stencil program.
+///
+/// A field has a scalar data type and a list of the iteration-space
+/// dimensions it spans (in memory order, slowest to fastest). Fields may be
+/// lower-dimensional than the iteration space — e.g. a 2D field `["i", "k"]`
+/// inside a 3D `["i", "j", "k"]` program — or even zero-dimensional
+/// (scalars), in which case `dims` is empty.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDecl {
+    /// Element data type.
+    pub dtype: DataTypeRepr,
+    /// The iteration-space dimensions this field spans (may be a subset).
+    #[serde(default)]
+    pub dims: Vec<String>,
+}
+
+/// Serializable wrapper around [`DataType`] using the JSON names
+/// (`"float32"`, `"float64"`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataTypeRepr(pub DataType);
+
+impl Serialize for DataTypeRepr {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.0.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for DataTypeRepr {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse::<DataType>()
+            .map(DataTypeRepr)
+            .map_err(serde::de::Error::custom)
+    }
+}
+
+impl From<DataType> for DataTypeRepr {
+    fn from(value: DataType) -> Self {
+        DataTypeRepr(value)
+    }
+}
+
+impl FieldDecl {
+    /// Create a new field declaration.
+    pub fn new(dtype: DataType, dims: &[&str]) -> Self {
+        FieldDecl {
+            dtype: DataTypeRepr(dtype),
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+        }
+    }
+
+    /// The field's scalar data type.
+    pub fn data_type(&self) -> DataType {
+        self.dtype.0
+    }
+
+    /// Number of dimensions this field spans.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the field is a scalar ("0D") input.
+    pub fn is_scalar(&self) -> bool {
+        self.dims.is_empty()
+    }
+}
+
+/// The iteration space of a stencil program: named dimensions and their
+/// extents.
+///
+/// Memory order is row-major over the declared dimension order: the *last*
+/// dimension is contiguous ("fastest"). All buffer-size computations of §IV
+/// flatten offsets with the strides defined here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IterationSpace {
+    /// Dimension names in memory order (slowest first).
+    pub dims: Vec<String>,
+    /// Extent of each dimension.
+    pub shape: Vec<usize>,
+}
+
+impl IterationSpace {
+    /// Create an iteration space from dimension names and extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::InvalidShape`] if the lists are empty, have
+    /// mismatched lengths, exceed three dimensions, or contain a zero extent.
+    pub fn new(dims: &[&str], shape: &[usize]) -> Result<Self> {
+        if dims.is_empty() || shape.is_empty() {
+            return Err(ProgramError::InvalidShape {
+                message: "iteration space must have at least one dimension".into(),
+            });
+        }
+        if dims.len() != shape.len() {
+            return Err(ProgramError::InvalidShape {
+                message: format!(
+                    "{} dimension names but {} extents",
+                    dims.len(),
+                    shape.len()
+                ),
+            });
+        }
+        if dims.len() > 3 {
+            return Err(ProgramError::InvalidShape {
+                message: "stencil programs support at most 3 dimensions".into(),
+            });
+        }
+        if shape.iter().any(|&extent| extent == 0) {
+            return Err(ProgramError::InvalidShape {
+                message: "dimension extents must be non-zero".into(),
+            });
+        }
+        Ok(IterationSpace {
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Default 3D iteration space with dimensions `i, j, k` (k fastest).
+    pub fn default_3d(shape: &[usize; 3]) -> Self {
+        IterationSpace::new(&["i", "j", "k"], shape).expect("static shape is valid")
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of cells (product of all extents).
+    pub fn num_cells(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Extent of the innermost (fastest, contiguous) dimension.
+    pub fn inner_extent(&self) -> usize {
+        *self.shape.last().expect("iteration space is never empty")
+    }
+
+    /// Position of a named dimension, if it exists.
+    pub fn dim_index(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d == name)
+    }
+
+    /// Row-major strides (elements) of each dimension, fastest dimension
+    /// having stride 1.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.shape.len()];
+        for d in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * self.shape[d + 1];
+        }
+        strides
+    }
+
+    /// Strides restricted to a subset of dimensions (for lower-dimensional
+    /// fields): the stride of each listed dimension within a dense array
+    /// spanning only those dimensions.
+    pub fn strides_for_dims(&self, dims: &[String]) -> Vec<usize> {
+        let extents: Vec<usize> = dims
+            .iter()
+            .map(|d| self.dim_index(d).map(|ix| self.shape[ix]).unwrap_or(1))
+            .collect();
+        let mut strides = vec![1usize; extents.len()];
+        for d in (0..extents.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * extents[d + 1];
+        }
+        strides
+    }
+
+    /// Flatten a full-rank offset vector into a signed memory-order distance
+    /// (elements), i.e. the distance between a cell and the cell at the given
+    /// offsets in a row-major layout of the full iteration space.
+    ///
+    /// This is the quantity the internal-buffer analysis (§IV-A) is built on:
+    /// the buffer for a field must span the distance between the lowest and
+    /// highest flattened access offset.
+    pub fn linearize_offset(&self, offsets: &[i64]) -> i64 {
+        let strides = self.strides();
+        offsets
+            .iter()
+            .zip(strides.iter())
+            .map(|(&off, &stride)| off * stride as i64)
+            .sum()
+    }
+
+    /// Convert a multi-dimensional index into a flat row-major index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or is out of bounds; callers
+    /// (reference executor, simulator) always iterate within the shape.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.strides();
+        index
+            .iter()
+            .zip(strides.iter())
+            .zip(self.shape.iter())
+            .map(|((&ix, &stride), &extent)| {
+                assert!(ix < extent, "index {ix} out of bounds for extent {extent}");
+                ix * stride
+            })
+            .sum()
+    }
+
+    /// Iterate over all multi-dimensional indices of the space in row-major
+    /// order.
+    pub fn indices(&self) -> IndexIter {
+        IndexIter {
+            shape: self.shape.clone(),
+            next: Some(vec![0; self.shape.len()]),
+        }
+    }
+
+    /// Bytes occupied by one full-domain field of the given data type.
+    pub fn field_bytes(&self, dtype: DataType) -> usize {
+        self.num_cells() * dtype.size_bytes()
+    }
+}
+
+impl fmt::Display for IterationSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .dims
+            .iter()
+            .zip(self.shape.iter())
+            .map(|(d, s)| format!("{d}={s}"))
+            .collect();
+        write!(f, "[{}]", parts.join(", "))
+    }
+}
+
+/// Row-major iterator over all indices of an [`IterationSpace`].
+#[derive(Debug, Clone)]
+pub struct IndexIter {
+    shape: Vec<usize>,
+    next: Option<Vec<usize>>,
+}
+
+impl Iterator for IndexIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        let current = self.next.clone()?;
+        // Advance (row-major: last dimension fastest).
+        let mut next = current.clone();
+        let mut dim = self.shape.len();
+        loop {
+            if dim == 0 {
+                self.next = None;
+                break;
+            }
+            dim -= 1;
+            next[dim] += 1;
+            if next[dim] < self.shape[dim] {
+                self.next = Some(next);
+                break;
+            }
+            next[dim] = 0;
+        }
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(IterationSpace::new(&[], &[]).is_err());
+        assert!(IterationSpace::new(&["i"], &[1, 2]).is_err());
+        assert!(IterationSpace::new(&["i", "j", "k", "l"], &[1, 1, 1, 1]).is_err());
+        assert!(IterationSpace::new(&["i"], &[0]).is_err());
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let space = IterationSpace::new(&["k", "j", "i"], &[4, 8, 16]).unwrap();
+        assert_eq!(space.strides(), vec![128, 16, 1]);
+        assert_eq!(space.inner_extent(), 16);
+        assert_eq!(space.num_cells(), 512);
+    }
+
+    #[test]
+    fn linearize_matches_paper_examples() {
+        // Paper §IV-A: in a 3D iteration space of shape {K, J, I}, accesses
+        // a[0,1,0] and a[0,-1,0] are two rows apart (2I elements), while
+        // b[0,0,0] and b[1,0,0] are two slices apart (2IJ elements).
+        let (k, j, i) = (32, 16, 8);
+        let space = IterationSpace::new(&["k", "j", "i"], &[k, j, i]).unwrap();
+        let d_rows = space.linearize_offset(&[0, 1, 0]) - space.linearize_offset(&[0, -1, 0]);
+        assert_eq!(d_rows, 2 * i as i64);
+        let d_slices = space.linearize_offset(&[1, 0, 0]) - space.linearize_offset(&[0, 0, 0]);
+        assert_eq!(d_slices, (i * j) as i64);
+    }
+
+    #[test]
+    fn flat_index_round_trips_with_indices_iterator() {
+        let space = IterationSpace::new(&["i", "j"], &[3, 4]).unwrap();
+        let all: Vec<Vec<usize>> = space.indices().collect();
+        assert_eq!(all.len(), 12);
+        for (flat, index) in all.iter().enumerate() {
+            assert_eq!(space.flat_index(index), flat);
+        }
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[11], vec![2, 3]);
+    }
+
+    #[test]
+    fn strides_for_subset_dims() {
+        let space = IterationSpace::new(&["i", "j", "k"], &[10, 20, 30]).unwrap();
+        // A 2D field over (i, k) is dense over those dims only.
+        assert_eq!(space.strides_for_dims(&["i".into(), "k".into()]), vec![30, 1]);
+        assert_eq!(space.strides_for_dims(&["j".into()]), vec![1]);
+    }
+
+    #[test]
+    fn field_decl_basics() {
+        let f = FieldDecl::new(DataType::Float32, &["i", "j", "k"]);
+        assert_eq!(f.rank(), 3);
+        assert!(!f.is_scalar());
+        assert_eq!(f.data_type(), DataType::Float32);
+        let s = FieldDecl::new(DataType::Float64, &[]);
+        assert!(s.is_scalar());
+    }
+
+    #[test]
+    fn field_decl_serde() {
+        let f = FieldDecl::new(DataType::Float32, &["i", "j"]);
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.contains("float32"));
+        let back: FieldDecl = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn field_bytes() {
+        let space = IterationSpace::default_3d(&[128, 128, 80]);
+        assert_eq!(space.field_bytes(DataType::Float32), 128 * 128 * 80 * 4);
+    }
+
+    #[test]
+    fn display_shows_dims() {
+        let space = IterationSpace::default_3d(&[2, 3, 4]);
+        assert_eq!(space.to_string(), "[i=2, j=3, k=4]");
+    }
+}

@@ -1,0 +1,447 @@
+//! The stencil dependency DAG.
+//!
+//! Nodes are input memories, stencil operations, and output memories; edges
+//! are data dependencies (a stencil consuming a field produced by an input
+//! memory or another stencil). This is the graph of Fig. 2 in the paper, and
+//! the structure all buffering and mapping analyses operate on.
+
+use crate::error::{ProgramError, Result};
+use crate::program::StencilProgram;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// The role of a DAG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Off-chip input memory (one per input field).
+    Input,
+    /// A stencil operation.
+    Stencil,
+    /// Off-chip output memory (one per program output).
+    Output,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Input => f.write_str("input"),
+            NodeKind::Stencil => f.write_str("stencil"),
+            NodeKind::Output => f.write_str("output"),
+        }
+    }
+}
+
+/// A node of the stencil DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagNode {
+    /// Node name. Inputs and stencils use their program names; output
+    /// memories are named `<stencil>__out`.
+    pub name: String,
+    /// Node role.
+    pub kind: NodeKind,
+}
+
+/// A directed edge of the stencil DAG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagEdge {
+    /// Producer node name.
+    pub from: String,
+    /// Consumer node name.
+    pub to: String,
+    /// The field carried by this edge (the producer's output field).
+    pub field: String,
+}
+
+/// The stencil dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StencilDag {
+    nodes: BTreeMap<String, NodeKind>,
+    edges: Vec<DagEdge>,
+    successors: BTreeMap<String, Vec<usize>>,
+    predecessors: BTreeMap<String, Vec<usize>>,
+}
+
+impl StencilDag {
+    /// Name used for the output-memory node of a program output.
+    pub fn output_node_name(stencil: &str) -> String {
+        format!("{stencil}__out")
+    }
+
+    /// Build the DAG of a validated stencil program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnknownField`] if a stencil reads a symbol
+    /// that is neither an input nor a stencil.
+    pub fn from_program(program: &StencilProgram) -> Result<Self> {
+        let mut dag = StencilDag::default();
+        for (name, _) in program.inputs() {
+            dag.add_node(name, NodeKind::Input);
+        }
+        for stencil in program.stencils() {
+            dag.add_node(&stencil.name, NodeKind::Stencil);
+        }
+        for stencil in program.stencils() {
+            for (field, _) in stencil.accesses.iter() {
+                if program.is_input(field) || program.is_stencil(field) {
+                    dag.add_edge(field, &stencil.name, field);
+                } else {
+                    return Err(ProgramError::UnknownField {
+                        stencil: stencil.name.clone(),
+                        field: field.to_string(),
+                    });
+                }
+            }
+        }
+        for output in program.outputs() {
+            let sink = Self::output_node_name(output);
+            dag.add_node(&sink, NodeKind::Output);
+            dag.add_edge(output, &sink, output);
+        }
+        Ok(dag)
+    }
+
+    /// Create an empty DAG (used by tests and synthetic-graph tooling).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node; re-adding an existing node keeps its original kind.
+    pub fn add_node(&mut self, name: &str, kind: NodeKind) {
+        self.nodes.entry(name.to_string()).or_insert(kind);
+        self.successors.entry(name.to_string()).or_default();
+        self.predecessors.entry(name.to_string()).or_default();
+    }
+
+    /// Add a directed edge carrying `field` from `from` to `to`. Both nodes
+    /// must already exist (or are created as stencil nodes).
+    pub fn add_edge(&mut self, from: &str, to: &str, field: &str) {
+        self.add_node(from, NodeKind::Stencil);
+        self.add_node(to, NodeKind::Stencil);
+        let index = self.edges.len();
+        self.edges.push(DagEdge {
+            from: from.to_string(),
+            to: to.to_string(),
+            field: field.to_string(),
+        });
+        self.successors.get_mut(from).expect("node added above").push(index);
+        self.predecessors.get_mut(to).expect("node added above").push(index);
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = DagNode> + '_ {
+        self.nodes.iter().map(|(name, kind)| DagNode {
+            name: name.clone(),
+            kind: *kind,
+        })
+    }
+
+    /// The kind of a node, if it exists.
+    pub fn node_kind(&self, name: &str) -> Option<NodeKind> {
+        self.nodes.get(name).copied()
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = &DagEdge> {
+        self.edges.iter()
+    }
+
+    /// Whether an edge from `from` to `to` exists.
+    pub fn has_edge(&self, from: &str, to: &str) -> bool {
+        self.successors
+            .get(from)
+            .map(|edges| edges.iter().any(|&e| self.edges[e].to == to))
+            .unwrap_or(false)
+    }
+
+    /// Edges leaving `node`.
+    pub fn out_edges(&self, node: &str) -> Vec<&DagEdge> {
+        self.successors
+            .get(node)
+            .map(|edges| edges.iter().map(|&e| &self.edges[e]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Edges entering `node`.
+    pub fn in_edges(&self, node: &str) -> Vec<&DagEdge> {
+        self.predecessors
+            .get(node)
+            .map(|edges| edges.iter().map(|&e| &self.edges[e]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Names of the direct successors of `node`.
+    pub fn successors(&self, node: &str) -> Vec<String> {
+        self.out_edges(node).iter().map(|e| e.to.clone()).collect()
+    }
+
+    /// Names of the direct predecessors of `node`.
+    pub fn predecessors(&self, node: &str) -> Vec<String> {
+        self.in_edges(node).iter().map(|e| e.from.clone()).collect()
+    }
+
+    /// In-degree of a node.
+    pub fn in_degree(&self, node: &str) -> usize {
+        self.predecessors.get(node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Out-degree of a node.
+    pub fn out_degree(&self, node: &str) -> usize {
+        self.successors.get(node).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Total degree (in + out) of a node.
+    pub fn degree(&self, node: &str) -> usize {
+        self.in_degree(node) + self.out_degree(node)
+    }
+
+    /// Source nodes (no predecessors).
+    pub fn sources(&self) -> Vec<String> {
+        self.nodes
+            .keys()
+            .filter(|n| self.in_degree(n) == 0)
+            .cloned()
+            .collect()
+    }
+
+    /// Sink nodes (no successors).
+    pub fn sinks(&self) -> Vec<String> {
+        self.nodes
+            .keys()
+            .filter(|n| self.out_degree(n) == 0)
+            .cloned()
+            .collect()
+    }
+
+    /// Topological order of all nodes (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Cycle`] if the graph contains a cycle.
+    pub fn topological_order(&self) -> Result<Vec<String>> {
+        let mut in_degree: BTreeMap<&str, usize> = self
+            .nodes
+            .keys()
+            .map(|n| (n.as_str(), self.in_degree(n)))
+            .collect();
+        let mut queue: VecDeque<&str> = in_degree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(node) = queue.pop_front() {
+            order.push(node.to_string());
+            for edge in self.out_edges(node) {
+                let entry = in_degree.get_mut(edge.to.as_str()).expect("node exists");
+                *entry -= 1;
+                if *entry == 0 {
+                    queue.push_back(edge.to.as_str());
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            let stuck = self
+                .nodes
+                .keys()
+                .find(|n| !order.contains(n))
+                .cloned()
+                .unwrap_or_default();
+            return Err(ProgramError::Cycle { node: stuck });
+        }
+        Ok(order)
+    }
+
+    /// All nodes reachable from `start` (excluding `start` itself unless it
+    /// lies on a cycle).
+    pub fn reachable_from(&self, start: &str) -> BTreeSet<String> {
+        let mut visited = BTreeSet::new();
+        let mut stack: Vec<String> = self.successors(start);
+        while let Some(node) = stack.pop() {
+            if visited.insert(node.clone()) {
+                stack.extend(self.successors(&node));
+            }
+        }
+        visited
+    }
+
+    /// Whether there is more than one distinct directed path from `from` to
+    /// `to`.
+    ///
+    /// Reconvergent paths are exactly the situation in which insufficient
+    /// channel capacities can deadlock the design (Fig. 4): data flowing
+    /// along the short path must be buffered until the long path catches up.
+    pub fn has_reconvergent_paths(&self, from: &str, to: &str) -> bool {
+        self.count_paths(from, to, &mut BTreeMap::new()) > 1
+    }
+
+    /// Whether any pair of nodes in the graph has reconvergent paths, i.e.
+    /// the DAG is *not* a multi-tree and therefore requires delay buffers for
+    /// deadlock freedom (§III-A).
+    pub fn requires_delay_buffers(&self) -> bool {
+        let nodes: Vec<String> = self.nodes.keys().cloned().collect();
+        for from in &nodes {
+            for to in &nodes {
+                // The memo caches path counts towards a fixed `to`, so it
+                // cannot be shared between different targets.
+                let mut memo = BTreeMap::new();
+                if from != to && self.count_paths(from, to, &mut memo) > 1 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn count_paths(&self, from: &str, to: &str, memo: &mut BTreeMap<String, u64>) -> u64 {
+        if from == to {
+            return 1;
+        }
+        if let Some(&cached) = memo.get(from) {
+            return cached;
+        }
+        let total: u64 = self
+            .successors(from)
+            .iter()
+            .map(|next| self.count_paths(next, to, memo).min(1_000_000))
+            .sum();
+        memo.insert(from.to_string(), total);
+        total
+    }
+
+    /// Length (in edges) of the longest path ending at `node`.
+    pub fn depth_of(&self, node: &str) -> usize {
+        let mut memo: BTreeMap<&str, usize> = BTreeMap::new();
+        self.depth_rec(node, &mut memo)
+    }
+
+    fn depth_rec<'a>(&'a self, node: &'a str, memo: &mut BTreeMap<&'a str, usize>) -> usize {
+        if let Some(&d) = memo.get(node) {
+            return d;
+        }
+        let depth = self
+            .in_edges(node)
+            .iter()
+            .map(|e| {
+                let from: &str = self
+                    .nodes
+                    .keys()
+                    .find(|k| k.as_str() == e.from)
+                    .map(String::as_str)
+                    .unwrap_or("");
+                1 + self.depth_rec(from, memo)
+            })
+            .max()
+            .unwrap_or(0);
+        memo.insert(node, depth);
+        depth
+    }
+
+    /// The maximum depth over all nodes (the depth of the DAG, which
+    /// adversely affects the performance upper bound per §VIII-A).
+    pub fn max_depth(&self) -> usize {
+        self.nodes.keys().map(|n| self.depth_of(n)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fig. 4 of the paper: A feeds both B and C, B feeds C.
+    fn fork_join() -> StencilDag {
+        let mut dag = StencilDag::new();
+        dag.add_node("in", NodeKind::Input);
+        dag.add_node("A", NodeKind::Stencil);
+        dag.add_node("B", NodeKind::Stencil);
+        dag.add_node("C", NodeKind::Stencil);
+        dag.add_edge("in", "A", "in");
+        dag.add_edge("A", "B", "A");
+        dag.add_edge("A", "C", "A");
+        dag.add_edge("B", "C", "B");
+        dag
+    }
+
+    #[test]
+    fn degrees_and_queries() {
+        let dag = fork_join();
+        assert_eq!(dag.node_count(), 4);
+        assert_eq!(dag.edge_count(), 4);
+        assert_eq!(dag.in_degree("C"), 2);
+        assert_eq!(dag.out_degree("A"), 2);
+        assert_eq!(dag.degree("A"), 3);
+        assert_eq!(dag.sources(), vec!["in".to_string()]);
+        assert_eq!(dag.sinks(), vec!["C".to_string()]);
+        assert!(dag.has_edge("A", "B"));
+        assert!(!dag.has_edge("B", "A"));
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let dag = fork_join();
+        let order = dag.topological_order().unwrap();
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("in") < pos("A"));
+        assert!(pos("A") < pos("B"));
+        assert!(pos("B") < pos("C"));
+        assert!(pos("A") < pos("C"));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut dag = StencilDag::new();
+        dag.add_edge("a", "b", "a");
+        dag.add_edge("b", "c", "b");
+        dag.add_edge("c", "a", "c");
+        assert!(matches!(
+            dag.topological_order(),
+            Err(ProgramError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn reconvergent_paths_detected() {
+        let dag = fork_join();
+        // A -> C directly and A -> B -> C: two paths.
+        assert!(dag.has_reconvergent_paths("A", "C"));
+        assert!(!dag.has_reconvergent_paths("B", "C"));
+        assert!(dag.requires_delay_buffers());
+    }
+
+    #[test]
+    fn linear_chain_needs_no_delay_buffers() {
+        let mut dag = StencilDag::new();
+        dag.add_edge("a", "b", "a");
+        dag.add_edge("b", "c", "b");
+        dag.add_edge("c", "d", "c");
+        assert!(!dag.requires_delay_buffers());
+    }
+
+    #[test]
+    fn depth_and_reachability() {
+        let dag = fork_join();
+        assert_eq!(dag.depth_of("in"), 0);
+        assert_eq!(dag.depth_of("A"), 1);
+        assert_eq!(dag.depth_of("C"), 3);
+        assert_eq!(dag.max_depth(), 3);
+        let reach = dag.reachable_from("A");
+        assert!(reach.contains("B"));
+        assert!(reach.contains("C"));
+        assert!(!reach.contains("in"));
+    }
+
+    #[test]
+    fn output_node_naming() {
+        assert_eq!(StencilDag::output_node_name("b4"), "b4__out");
+    }
+}

@@ -1,0 +1,333 @@
+//! The JSON-based program description format (paper Lst. 1).
+//!
+//! ```json
+//! {
+//!   "inputs": {
+//!     "a0": { "dtype": "float32", "dims": ["i", "j", "k"] },
+//!     "a2": { "dtype": "float32", "dims": ["i", "k"] }
+//!   },
+//!   "outputs": ["b4"],
+//!   "shape": [32, 32, 32],
+//!   "vectorization": 1,
+//!   "program": {
+//!     "b0": { "code": "a0[i,j,k] + a1[i,j,k]",
+//!             "boundary_condition": { "a0": {"type": "constant", "value": 1},
+//!                                      "a1": {"type": "copy"} } },
+//!     "b4": { "code": "b2[i,j,k] + b3[i,j,k]",
+//!             "boundary_condition": "shrink" }
+//!   }
+//! }
+//! ```
+//!
+//! Only the minimum amount of information necessary to instantiate the
+//! stencil DAG needs to be specified explicitly: boundary conditions,
+//! vectorization, and data types all have defaults.
+
+use crate::boundary::{BoundaryCondition, BoundarySpec};
+use crate::error::{ProgramError, Result};
+use crate::field::FieldDecl;
+use crate::program::{StencilProgram, StencilProgramBuilder};
+use serde::{Deserialize, Serialize};
+use serde_json::Value as Json;
+use std::collections::BTreeMap;
+use stencilflow_expr::DataType;
+
+/// Top-level wire format of a program description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ProgramDescription {
+    #[serde(default)]
+    name: Option<String>,
+    inputs: BTreeMap<String, FieldDecl>,
+    outputs: Vec<String>,
+    shape: Vec<usize>,
+    #[serde(default)]
+    dims: Option<Vec<String>>,
+    #[serde(default)]
+    vectorization: Option<usize>,
+    program: BTreeMap<String, StencilEntry>,
+}
+
+/// A stencil node in the wire format. The paper's format allows either a bare
+/// code string or an object with `code` and `boundary_condition`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(untagged)]
+enum StencilEntry {
+    /// Just the code segment; all boundary conditions default.
+    Code(String),
+    /// Full node description.
+    Full {
+        code: String,
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        boundary_condition: Option<Json>,
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        data_type: Option<String>,
+    },
+}
+
+/// Parse a stencil program from its JSON description.
+///
+/// # Errors
+///
+/// Returns [`ProgramError::Json`] for schema violations, and the usual
+/// validation errors (unknown fields, cycles, ...) for semantic problems.
+///
+/// # Example
+///
+/// ```
+/// let text = r#"{
+///   "inputs": { "a": {"dtype": "float32", "dims": ["i", "j"]} },
+///   "outputs": ["b"],
+///   "shape": [8, 8],
+///   "program": { "b": "a[i,j] * 2.0" }
+/// }"#;
+/// let program = stencilflow_program::from_json(text).unwrap();
+/// assert_eq!(program.stencil_count(), 1);
+/// ```
+pub fn from_json(text: &str) -> Result<StencilProgram> {
+    let description: ProgramDescription =
+        serde_json::from_str(text).map_err(|e| ProgramError::Json {
+            message: e.to_string(),
+        })?;
+    let name = description.name.unwrap_or_else(|| "stencil_program".to_string());
+    let mut builder = StencilProgramBuilder::new(&name, &description.shape);
+    if let Some(dims) = &description.dims {
+        let refs: Vec<&str> = dims.iter().map(String::as_str).collect();
+        builder = builder.dims(&refs);
+    }
+    if let Some(width) = description.vectorization {
+        builder = builder.vectorization(width);
+    }
+    for (field, decl) in &description.inputs {
+        let dims: Vec<&str> = decl.dims.iter().map(String::as_str).collect();
+        builder = builder.input(field, decl.data_type(), &dims);
+    }
+    for (stencil, entry) in &description.program {
+        let (code, boundary, data_type) = match entry {
+            StencilEntry::Code(code) => (code.clone(), None, None),
+            StencilEntry::Full {
+                code,
+                boundary_condition,
+                data_type,
+            } => (code.clone(), boundary_condition.clone(), data_type.clone()),
+        };
+        builder = builder.stencil(stencil, &code);
+        if let Some(boundary) = boundary {
+            let spec = parse_boundary(stencil, &boundary)?;
+            for (field, condition) in &spec.per_field {
+                builder = builder.boundary(stencil, field, *condition);
+            }
+            if spec.shrink {
+                builder = builder.shrink(stencil);
+            }
+        }
+        if let Some(dtype) = data_type {
+            let dtype: DataType = dtype.parse().map_err(|_| ProgramError::Json {
+                message: format!("unknown data type `{dtype}` for stencil `{stencil}`"),
+            })?;
+            builder = builder.output_type(stencil, dtype);
+        }
+    }
+    for output in &description.outputs {
+        builder = builder.output(output);
+    }
+    builder.build()
+}
+
+fn parse_boundary(stencil: &str, value: &Json) -> Result<BoundarySpec> {
+    match value {
+        Json::String(s) if s == "shrink" => Ok(BoundarySpec::shrink()),
+        Json::String(other) => Err(ProgramError::Json {
+            message: format!(
+                "boundary condition of `{stencil}` must be `\"shrink\"` or a per-field map, got `{other}`"
+            ),
+        }),
+        Json::Object(map) => {
+            let mut spec = BoundarySpec::new();
+            for (field, condition) in map {
+                if field == "shrink" {
+                    spec.shrink = condition.as_bool().unwrap_or(true);
+                    continue;
+                }
+                let condition: BoundaryCondition = serde_json::from_value(condition.clone())
+                    .map_err(|e| ProgramError::Json {
+                        message: format!(
+                            "invalid boundary condition for field `{field}` of `{stencil}`: {e}"
+                        ),
+                    })?;
+                spec.per_field.insert(field.clone(), condition);
+            }
+            Ok(spec)
+        }
+        other => Err(ProgramError::Json {
+            message: format!(
+                "boundary condition of `{stencil}` must be a string or object, got {other}"
+            ),
+        }),
+    }
+}
+
+/// Serialize a stencil program back to its JSON description.
+///
+/// The output parses back into an equivalent program with [`from_json`]
+/// (modulo key ordering).
+pub fn to_json(program: &StencilProgram) -> String {
+    let mut stencil_map = BTreeMap::new();
+    for stencil in program.stencils() {
+        let mut boundary = serde_json::Map::new();
+        for (field, condition) in &stencil.boundary.per_field {
+            boundary.insert(
+                field.clone(),
+                serde_json::to_value(condition).expect("boundary conditions serialize"),
+            );
+        }
+        if stencil.boundary.shrink {
+            boundary.insert("shrink".to_string(), Json::Bool(true));
+        }
+        let entry = if boundary.is_empty() {
+            StencilEntry::Full {
+                code: stencil.code.clone(),
+                boundary_condition: None,
+                data_type: Some(stencil.output_type.as_str().to_string()),
+            }
+        } else {
+            StencilEntry::Full {
+                code: stencil.code.clone(),
+                boundary_condition: Some(Json::Object(boundary)),
+                data_type: Some(stencil.output_type.as_str().to_string()),
+            }
+        };
+        stencil_map.insert(stencil.name.clone(), entry);
+    }
+    let description = ProgramDescription {
+        name: Some(program.name().to_string()),
+        inputs: program
+            .inputs()
+            .map(|(name, decl)| (name.to_string(), decl.clone()))
+            .collect(),
+        outputs: program.outputs().to_vec(),
+        shape: program.space().shape.clone(),
+        dims: Some(program.space().dims.clone()),
+        vectorization: Some(program.vectorization()),
+        program: stencil_map,
+    };
+    serde_json::to_string_pretty(&description).expect("program descriptions always serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Lst. 1, verbatim apart from fixing the typo in b3's code
+    /// (`b1[i+1,j k]` is missing a comma in the paper).
+    const LISTING1: &str = r#"{
+      "inputs": {
+        "a0": {"dtype": "float32", "dims": ["i","j","k"]},
+        "a1": {"dtype": "float32", "dims": ["i","j","k"]},
+        "a2": {"dtype": "float32", "dims": ["i","k"]}
+      },
+      "outputs": ["b4"],
+      "shape": [32, 32, 32],
+      "program": {
+        "b0": {"code": "a0[i,j,k] + a1[i,j,k]",
+               "boundary_condition": {
+                 "a0": {"type": "constant", "value": 1},
+                 "a1": {"type": "copy"} } },
+        "b1": {"code": "0.5*(b0[i,j,k] + a2[i,k])",
+               "boundary_condition": "shrink"},
+        "b2": {"code": "0.5*(b0[i,j,k] - a2[i,k])",
+               "boundary_condition": "shrink"},
+        "b3": {"code": "b1[i-1,j,k] + b1[i+1,j,k]",
+               "boundary_condition": "shrink"},
+        "b4": {"code": "b2[i,j,k] + b3[i,j,k]",
+               "boundary_condition": "shrink"}
+      }
+    }"#;
+
+    #[test]
+    fn parses_listing1() {
+        let program = from_json(LISTING1).unwrap();
+        assert_eq!(program.stencil_count(), 5);
+        assert_eq!(program.outputs(), &["b4".to_string()]);
+        assert_eq!(program.space().shape, vec![32, 32, 32]);
+        let b0 = program.stencil("b0").unwrap();
+        assert_eq!(
+            b0.boundary.condition_for("a0"),
+            BoundaryCondition::Constant(1.0)
+        );
+        assert_eq!(b0.boundary.condition_for("a1"), BoundaryCondition::Copy);
+        assert!(program.stencil("b1").unwrap().boundary.shrink);
+    }
+
+    #[test]
+    fn bare_code_strings_are_accepted() {
+        let text = r#"{
+          "inputs": { "a": {"dtype": "float32", "dims": ["i"]} },
+          "outputs": ["b"],
+          "shape": [16],
+          "program": { "b": "a[i] * 2.0" }
+        }"#;
+        let program = from_json(text).unwrap();
+        assert_eq!(program.stencil_count(), 1);
+    }
+
+    #[test]
+    fn vectorization_and_dims_are_honoured() {
+        let text = r#"{
+          "inputs": { "a": {"dtype": "float32", "dims": ["x", "y"]} },
+          "outputs": ["b"],
+          "shape": [8, 16],
+          "dims": ["x", "y"],
+          "vectorization": 4,
+          "program": { "b": "a[x,y] + 1.0" }
+        }"#;
+        let program = from_json(text).unwrap();
+        assert_eq!(program.vectorization(), 4);
+        assert_eq!(program.space().dims, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let program = from_json(LISTING1).unwrap();
+        let text = to_json(&program);
+        let reparsed = from_json(&text).unwrap();
+        assert_eq!(reparsed.stencil_count(), program.stencil_count());
+        assert_eq!(reparsed.outputs(), program.outputs());
+        assert_eq!(reparsed.space(), program.space());
+        for stencil in program.stencils() {
+            let other = reparsed.stencil(&stencil.name).unwrap();
+            assert_eq!(other.program, stencil.program);
+            assert!(other.boundary.behaviour_eq(&stencil.boundary));
+        }
+    }
+
+    #[test]
+    fn schema_errors_are_reported() {
+        assert!(matches!(from_json("{"), Err(ProgramError::Json { .. })));
+        assert!(matches!(
+            from_json(r#"{"inputs": {}, "outputs": [], "shape": []}"#),
+            Err(ProgramError::Json { .. })
+        ));
+        // Bad boundary condition type.
+        let text = r#"{
+          "inputs": { "a": {"dtype": "float32", "dims": ["i"]} },
+          "outputs": ["b"],
+          "shape": [16],
+          "program": { "b": {"code": "a[i]", "boundary_condition": "explode"} }
+        }"#;
+        assert!(matches!(from_json(text), Err(ProgramError::Json { .. })));
+    }
+
+    #[test]
+    fn semantic_errors_surface_through_json_parsing() {
+        let text = r#"{
+          "inputs": { "a": {"dtype": "float32", "dims": ["i"]} },
+          "outputs": ["b"],
+          "shape": [16],
+          "program": { "b": "zz[i] * 2.0" }
+        }"#;
+        assert!(matches!(
+            from_json(text),
+            Err(ProgramError::UnknownField { .. })
+        ));
+    }
+}

@@ -1,0 +1,662 @@
+//! The stencil program container and its builder.
+
+use crate::boundary::{BoundaryCondition, BoundarySpec};
+use crate::error::{ProgramError, Result};
+use crate::field::{FieldDecl, IterationSpace};
+use crate::graph::StencilDag;
+use crate::stencil::StencilNode;
+use std::collections::BTreeMap;
+use stencilflow_expr::{DataType, LatencyTable, OpCount};
+
+/// A complete stencil program: iteration space, input fields, stencil nodes,
+/// and designated outputs (§II of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilProgram {
+    name: String,
+    space: IterationSpace,
+    inputs: BTreeMap<String, FieldDecl>,
+    stencils: BTreeMap<String, StencilNode>,
+    outputs: Vec<String>,
+    vectorization: usize,
+}
+
+impl StencilProgram {
+    /// Program name (used for reporting and code generation).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The common iteration space all stencils iterate over.
+    pub fn space(&self) -> &IterationSpace {
+        &self.space
+    }
+
+    /// The vectorization width W (§IV-C); 1 if not vectorized.
+    pub fn vectorization(&self) -> usize {
+        self.vectorization
+    }
+
+    /// Iterate over `(name, declaration)` of all input fields.
+    pub fn inputs(&self) -> impl Iterator<Item = (&str, &FieldDecl)> {
+        self.inputs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Declaration of one input field.
+    pub fn input(&self, name: &str) -> Option<&FieldDecl> {
+        self.inputs.get(name)
+    }
+
+    /// Iterate over all stencil nodes (in name order; use
+    /// [`StencilProgram::topological_stencils`] for dependency order).
+    pub fn stencils(&self) -> impl Iterator<Item = &StencilNode> {
+        self.stencils.values()
+    }
+
+    /// Look up a stencil node by name.
+    pub fn stencil(&self, name: &str) -> Option<&StencilNode> {
+        self.stencils.get(name)
+    }
+
+    /// Number of stencil nodes.
+    pub fn stencil_count(&self) -> usize {
+        self.stencils.len()
+    }
+
+    /// Names of the program outputs (stencil results written to memory).
+    pub fn outputs(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Whether `name` refers to an input field.
+    pub fn is_input(&self, name: &str) -> bool {
+        self.inputs.contains_key(name)
+    }
+
+    /// Whether `name` refers to a stencil node.
+    pub fn is_stencil(&self, name: &str) -> bool {
+        self.stencils.contains_key(name)
+    }
+
+    /// The dimensions spanned by a field: an input's declared dims, or the
+    /// full iteration space for a stencil output.
+    pub fn field_dims(&self, name: &str) -> Option<Vec<String>> {
+        if let Some(decl) = self.inputs.get(name) {
+            Some(decl.dims.clone())
+        } else if self.stencils.contains_key(name) {
+            Some(self.space.dims.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The element type of a field (input declaration or stencil output).
+    pub fn field_type(&self, name: &str) -> Option<DataType> {
+        if let Some(decl) = self.inputs.get(name) {
+            Some(decl.data_type())
+        } else {
+            self.stencils.get(name).map(|s| s.output_type)
+        }
+    }
+
+    /// Build the dependency DAG over memories and stencils.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Cycle`] if the stencil dependencies are
+    /// cyclic (validation normally catches this earlier).
+    pub fn dag(&self) -> Result<StencilDag> {
+        StencilDag::from_program(self)
+    }
+
+    /// Stencil names in topological (dependency) order.
+    pub fn topological_stencils(&self) -> Result<Vec<String>> {
+        let dag = self.dag()?;
+        Ok(dag
+            .topological_order()?
+            .into_iter()
+            .filter(|n| self.is_stencil(n))
+            .collect())
+    }
+
+    /// Total operation count per iteration-space cell, summed over all
+    /// stencils (the "Op/cycle" figure of the paper's scaling plots).
+    pub fn ops_per_cell(&self) -> OpCount {
+        self.stencils.values().map(|s| s.op_count()).sum()
+    }
+
+    /// Total floating-point operations to evaluate the whole program once.
+    pub fn total_flops(&self) -> u64 {
+        self.ops_per_cell().flops() * self.space.num_cells() as u64
+    }
+
+    /// Sum of compute critical-path latencies along the deepest chain of
+    /// stencils (a loose upper bound used in reporting; the precise
+    /// initialization latency is computed by `stencilflow-core`).
+    pub fn max_compute_latency(&self, table: &LatencyTable) -> u64 {
+        self.stencils
+            .values()
+            .map(|s| s.compute_latency(table))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bytes read from off-chip memory if every input is read exactly once
+    /// (the "perfect reuse" assumption of the paper).
+    pub fn input_bytes(&self) -> usize {
+        self.inputs
+            .iter()
+            .map(|(_, decl)| {
+                let elems: usize = decl
+                    .dims
+                    .iter()
+                    .map(|d| {
+                        self.space
+                            .dim_index(d)
+                            .map(|ix| self.space.shape[ix])
+                            .unwrap_or(1)
+                    })
+                    .product();
+                elems.max(1) * decl.data_type().size_bytes()
+            })
+            .sum()
+    }
+
+    /// Bytes written to off-chip memory for all program outputs.
+    pub fn output_bytes(&self) -> usize {
+        self.outputs
+            .iter()
+            .map(|name| {
+                let dtype = self.field_type(name).unwrap_or(DataType::Float32);
+                self.space.field_bytes(dtype)
+            })
+            .sum()
+    }
+
+    /// Total off-chip traffic (reads + writes) under perfect reuse, in bytes.
+    /// This is the denominator of the arithmetic-intensity analysis (Eq. 2).
+    pub fn total_memory_bytes(&self) -> usize {
+        self.input_bytes() + self.output_bytes()
+    }
+
+    /// Arithmetic intensity in operations per byte (Eq. 2 of the paper).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.total_flops() as f64 / self.total_memory_bytes() as f64
+    }
+
+    /// Mutable access to a stencil node, used by program-level transforms
+    /// (fusion) in downstream crates.
+    pub fn stencil_mut(&mut self, name: &str) -> Option<&mut StencilNode> {
+        self.stencils.get_mut(name)
+    }
+
+    /// Remove a stencil node (used by fusion). The caller is responsible for
+    /// re-validating afterwards.
+    pub fn remove_stencil(&mut self, name: &str) -> Option<StencilNode> {
+        self.stencils.remove(name)
+    }
+
+    /// Insert or replace a stencil node (used by fusion and generators).
+    pub fn insert_stencil(&mut self, node: StencilNode) {
+        self.stencils.insert(node.name.clone(), node);
+    }
+
+    /// Replace the output list (used by program transforms).
+    pub fn set_outputs(&mut self, outputs: Vec<String>) {
+        self.outputs = outputs;
+    }
+
+    /// Set the vectorization width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::InvalidVectorization`] if the width does not
+    /// divide the innermost dimension extent.
+    pub fn set_vectorization(&mut self, width: usize) -> Result<()> {
+        let inner = self.space.inner_extent();
+        if width == 0 || inner % width != 0 {
+            return Err(ProgramError::InvalidVectorization {
+                width,
+                inner_extent: inner,
+            });
+        }
+        self.vectorization = width;
+        Ok(())
+    }
+
+    /// Validate the program: name uniqueness, resolvable accesses, access
+    /// ranks, boundary conditions referring to read fields, output
+    /// existence, vectorization, and acyclicity.
+    pub fn validate(&self) -> Result<()> {
+        // Unique names across inputs and stencils.
+        for name in self.stencils.keys() {
+            if self.inputs.contains_key(name) {
+                return Err(ProgramError::DuplicateName { name: name.clone() });
+            }
+        }
+        // Outputs must be stencils.
+        if self.outputs.is_empty() {
+            return Err(ProgramError::Invalid {
+                message: "program declares no outputs".into(),
+            });
+        }
+        for output in &self.outputs {
+            if !self.stencils.contains_key(output) {
+                return Err(ProgramError::UnknownOutput {
+                    name: output.clone(),
+                });
+            }
+        }
+        // Vectorization must divide the innermost extent.
+        let inner = self.space.inner_extent();
+        if self.vectorization == 0 || inner % self.vectorization != 0 {
+            return Err(ProgramError::InvalidVectorization {
+                width: self.vectorization,
+                inner_extent: inner,
+            });
+        }
+        // Accesses must resolve and have consistent ranks / dimension names.
+        for (name, stencil) in &self.stencils {
+            for (field, info) in stencil.accesses.iter() {
+                let dims = self.field_dims(field).ok_or_else(|| ProgramError::UnknownField {
+                    stencil: name.clone(),
+                    field: field.to_string(),
+                })?;
+                if info.is_scalar() {
+                    // Scalar reference: the field must be 0D.
+                    if !dims.is_empty() {
+                        return Err(ProgramError::InvalidAccess {
+                            stencil: name.clone(),
+                            field: field.to_string(),
+                            message: format!(
+                                "field has {} dimension(s) but is accessed without indices",
+                                dims.len()
+                            ),
+                        });
+                    }
+                } else {
+                    if info.index_vars.len() != dims.len() {
+                        return Err(ProgramError::InvalidAccess {
+                            stencil: name.clone(),
+                            field: field.to_string(),
+                            message: format!(
+                                "access uses {} indices but the field has {} dimension(s)",
+                                info.index_vars.len(),
+                                dims.len()
+                            ),
+                        });
+                    }
+                    for (var, dim) in info.index_vars.iter().zip(dims.iter()) {
+                        if var != dim {
+                            return Err(ProgramError::InvalidAccess {
+                                stencil: name.clone(),
+                                field: field.to_string(),
+                                message: format!(
+                                    "index variable `{var}` does not match field dimension `{dim}`"
+                                ),
+                            });
+                        }
+                        if self.space.dim_index(var).is_none() {
+                            return Err(ProgramError::InvalidAccess {
+                                stencil: name.clone(),
+                                field: field.to_string(),
+                                message: format!(
+                                    "`{var}` is not a dimension of the iteration space"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            // Boundary conditions must refer to fields the stencil reads.
+            for field in stencil.boundary.per_field.keys() {
+                if !stencil.accesses.contains(field) {
+                    return Err(ProgramError::InvalidBoundary {
+                        stencil: name.clone(),
+                        field: field.clone(),
+                    });
+                }
+            }
+        }
+        // Acyclicity.
+        let dag = self.dag()?;
+        dag.topological_order()?;
+        Ok(())
+    }
+}
+
+/// Builder for [`StencilProgram`].
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug, Clone)]
+pub struct StencilProgramBuilder {
+    name: String,
+    dims: Vec<String>,
+    shape: Vec<usize>,
+    inputs: BTreeMap<String, FieldDecl>,
+    stencil_order: Vec<String>,
+    codes: BTreeMap<String, String>,
+    boundaries: BTreeMap<String, BoundarySpec>,
+    output_types: BTreeMap<String, DataType>,
+    outputs: Vec<String>,
+    vectorization: usize,
+}
+
+impl StencilProgramBuilder {
+    /// Start building a program with the given name and iteration-space
+    /// shape. Dimension names default to `i`, `j`, `k` (up to the rank of
+    /// `shape`); use [`StencilProgramBuilder::dims`] to override.
+    pub fn new(name: &str, shape: &[usize]) -> Self {
+        let default_names = ["i", "j", "k"];
+        let dims = default_names
+            .iter()
+            .take(shape.len())
+            .map(|d| d.to_string())
+            .collect();
+        StencilProgramBuilder {
+            name: name.to_string(),
+            dims,
+            shape: shape.to_vec(),
+            inputs: BTreeMap::new(),
+            stencil_order: Vec::new(),
+            codes: BTreeMap::new(),
+            boundaries: BTreeMap::new(),
+            output_types: BTreeMap::new(),
+            outputs: Vec::new(),
+            vectorization: 1,
+        }
+    }
+
+    /// Override the iteration-space dimension names (memory order, slowest
+    /// first).
+    pub fn dims(mut self, dims: &[&str]) -> Self {
+        self.dims = dims.iter().map(|d| d.to_string()).collect();
+        self
+    }
+
+    /// Declare an input field spanning the listed dimensions.
+    pub fn input(mut self, name: &str, dtype: DataType, dims: &[&str]) -> Self {
+        self.inputs.insert(name.to_string(), FieldDecl::new(dtype, dims));
+        self
+    }
+
+    /// Declare a scalar (0D) input.
+    pub fn scalar(self, name: &str, dtype: DataType) -> Self {
+        self.input(name, dtype, &[])
+    }
+
+    /// Add a stencil node with the given code segment.
+    pub fn stencil(mut self, name: &str, code: &str) -> Self {
+        if !self.codes.contains_key(name) {
+            self.stencil_order.push(name.to_string());
+        }
+        self.codes.insert(name.to_string(), code.to_string());
+        self
+    }
+
+    /// Set the boundary condition of `field` within stencil `stencil`.
+    pub fn boundary(mut self, stencil: &str, field: &str, condition: BoundaryCondition) -> Self {
+        self.boundaries
+            .entry(stencil.to_string())
+            .or_default()
+            .per_field
+            .insert(field.to_string(), condition);
+        self
+    }
+
+    /// Mark the output of stencil `stencil` as shrunk.
+    pub fn shrink(mut self, stencil: &str) -> Self {
+        self.boundaries.entry(stencil.to_string()).or_default().shrink = true;
+        self
+    }
+
+    /// Set the output data type of a stencil (defaults to `float32`).
+    pub fn output_type(mut self, stencil: &str, dtype: DataType) -> Self {
+        self.output_types.insert(stencil.to_string(), dtype);
+        self
+    }
+
+    /// Declare a program output.
+    pub fn output(mut self, name: &str) -> Self {
+        self.outputs.push(name.to_string());
+        self
+    }
+
+    /// Set the vectorization width W.
+    pub fn vectorization(mut self, width: usize) -> Self {
+        self.vectorization = width;
+        self
+    }
+
+    /// Parse all code segments, assemble the program, and validate it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation error encountered (see
+    /// [`StencilProgram::validate`]).
+    pub fn build(self) -> Result<StencilProgram> {
+        let dim_refs: Vec<&str> = self.dims.iter().map(String::as_str).collect();
+        let space = IterationSpace::new(&dim_refs, &self.shape)?;
+        let mut stencils = BTreeMap::new();
+        for name in &self.stencil_order {
+            if self.inputs.contains_key(name) || stencils.contains_key(name) {
+                return Err(ProgramError::DuplicateName { name: name.clone() });
+            }
+            let code = &self.codes[name];
+            let mut node = StencilNode::parse(name, code)?;
+            if let Some(boundary) = self.boundaries.get(name) {
+                node.boundary = boundary.clone();
+            }
+            if let Some(dtype) = self.output_types.get(name) {
+                node.output_type = *dtype;
+            }
+            stencils.insert(name.clone(), node);
+        }
+        let program = StencilProgram {
+            name: self.name,
+            space,
+            inputs: self.inputs,
+            stencils,
+            outputs: self.outputs,
+            vectorization: self.vectorization,
+        };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> StencilProgramBuilder {
+        StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,j,k] * 2.0")
+            .output("b")
+    }
+
+    #[test]
+    fn builds_minimal_program() {
+        let program = simple().build().unwrap();
+        assert_eq!(program.name(), "p");
+        assert_eq!(program.stencil_count(), 1);
+        assert_eq!(program.vectorization(), 1);
+        assert!(program.is_input("a"));
+        assert!(program.is_stencil("b"));
+        assert_eq!(program.field_type("a"), Some(DataType::Float32));
+        assert_eq!(program.field_dims("b").unwrap(), vec!["i", "j", "k"]);
+    }
+
+    #[test]
+    fn rejects_unknown_field() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "zz[i,j,k] * 2.0")
+            .output("b")
+            .build();
+        assert!(matches!(result, Err(ProgramError::UnknownField { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_output() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,j,k]")
+            .output("c")
+            .build();
+        assert!(matches!(result, Err(ProgramError::UnknownOutput { .. })));
+    }
+
+    #[test]
+    fn rejects_missing_outputs() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,j,k]")
+            .build();
+        assert!(matches!(result, Err(ProgramError::Invalid { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("a", "a[i,j,k]")
+            .output("a")
+            .build();
+        assert!(matches!(result, Err(ProgramError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "k"])
+            .stencil("b", "a[i,j,k]")
+            .output("b")
+            .build();
+        assert!(matches!(result, Err(ProgramError::InvalidAccess { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_dimension_names() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,k,j]")
+            .output("b")
+            .build();
+        assert!(matches!(result, Err(ProgramError::InvalidAccess { .. })));
+    }
+
+    #[test]
+    fn rejects_cycles() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "c[i,j,k] + a[i,j,k]")
+            .stencil("c", "b[i,j,k]")
+            .output("c")
+            .build();
+        assert!(matches!(result, Err(ProgramError::Cycle { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_vectorization() {
+        let result = simple().vectorization(3).build();
+        assert!(matches!(
+            result,
+            Err(ProgramError::InvalidVectorization { .. })
+        ));
+        let program = simple().vectorization(4).build().unwrap();
+        assert_eq!(program.vectorization(), 4);
+    }
+
+    #[test]
+    fn rejects_boundary_on_unread_field() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .input("z", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,j,k]")
+            .boundary("b", "z", BoundaryCondition::Copy)
+            .output("b")
+            .build();
+        assert!(matches!(result, Err(ProgramError::InvalidBoundary { .. })));
+    }
+
+    #[test]
+    fn scalar_inputs_are_accessible_without_indices() {
+        let program = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .scalar("dt", DataType::Float32)
+            .stencil("b", "a[i,j,k] * dt")
+            .output("b")
+            .build()
+            .unwrap();
+        assert!(program.input("dt").unwrap().is_scalar());
+    }
+
+    #[test]
+    fn scalar_access_to_nonscalar_field_is_rejected() {
+        let result = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a * 2.0")
+            .output("b")
+            .build();
+        assert!(matches!(result, Err(ProgramError::InvalidAccess { .. })));
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let program = StencilProgramBuilder::new("p", &[8, 8, 8])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("c", "b[i,j,k] * 2.0")
+            .stencil("b", "a[i,j,k] + 1.0")
+            .output("c")
+            .build()
+            .unwrap();
+        let order = program.topological_stencils().unwrap();
+        let pos_b = order.iter().position(|n| n == "b").unwrap();
+        let pos_c = order.iter().position(|n| n == "c").unwrap();
+        assert!(pos_b < pos_c);
+    }
+
+    #[test]
+    fn arithmetic_intensity_and_memory_volume() {
+        let program = StencilProgramBuilder::new("p", &[4, 4, 4])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,j,k] * 2.0 + 1.0")
+            .output("b")
+            .build()
+            .unwrap();
+        // 64 cells, 2 flops per cell.
+        assert_eq!(program.total_flops(), 128);
+        // One input field + one output field of 64 cells * 4 bytes.
+        assert_eq!(program.total_memory_bytes(), 2 * 64 * 4);
+        let ai = program.arithmetic_intensity();
+        assert!((ai - 128.0 / 512.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_per_cell_sums_over_stencils() {
+        let program = StencilProgramBuilder::new("p", &[4, 4, 4])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .stencil("b", "a[i,j,k] + 1.0")
+            .stencil("c", "b[i,j,k] * 3.0")
+            .output("c")
+            .build()
+            .unwrap();
+        let ops = program.ops_per_cell();
+        assert_eq!(ops.additions, 1);
+        assert_eq!(ops.multiplications, 1);
+    }
+
+    #[test]
+    fn lower_dimensional_input_bytes() {
+        let program = StencilProgramBuilder::new("p", &[10, 20, 30])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .input("surf", DataType::Float32, &["i", "k"])
+            .stencil("b", "a[i,j,k] + surf[i,k]")
+            .output("b")
+            .build()
+            .unwrap();
+        // a: 10*20*30 elements, surf: 10*30 elements.
+        assert_eq!(program.input_bytes(), (6000 + 300) * 4);
+    }
+}

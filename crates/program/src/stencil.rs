@@ -1,0 +1,143 @@
+//! A single stencil node of a stencil program.
+
+use crate::boundary::BoundarySpec;
+use crate::error::{ProgramError, Result};
+use serde::{Deserialize, Serialize};
+use stencilflow_expr::{
+    count_ops, critical_path_latency, AccessExtractor, DataType, FieldAccesses, LatencyTable,
+    OpCount, Program,
+};
+
+/// One stencil operation in the program DAG.
+///
+/// A stencil node reads one or more input fields (each at one or more
+/// constant offsets), evaluates its code segment at every point of the
+/// iteration space, and produces exactly one output field named after the
+/// node itself (§II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilNode {
+    /// Name of the node; also the name of the field it produces.
+    pub name: String,
+    /// Original source text of the code segment.
+    pub code: String,
+    /// Parsed code segment.
+    pub program: Program,
+    /// Access pattern extracted from the code segment.
+    pub accesses: FieldAccesses,
+    /// Boundary conditions for this node.
+    pub boundary: BoundarySpec,
+    /// Output element type.
+    pub output_type: DataType,
+}
+
+impl StencilNode {
+    /// Parse a code segment and build a stencil node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Code`] if the code segment does not parse.
+    pub fn parse(name: &str, code: &str) -> Result<Self> {
+        let program =
+            stencilflow_expr::parse_program(code).map_err(|source| ProgramError::Code {
+                stencil: name.to_string(),
+                source,
+            })?;
+        let accesses = AccessExtractor::extract(&program);
+        Ok(StencilNode {
+            name: name.to_string(),
+            code: code.to_string(),
+            program,
+            accesses,
+            boundary: BoundarySpec::default(),
+            output_type: DataType::Float32,
+        })
+    }
+
+    /// Names of the fields this stencil reads (inputs or other stencils).
+    pub fn read_fields(&self) -> Vec<&str> {
+        self.accesses.fields().collect()
+    }
+
+    /// Whether this stencil reads the given field.
+    pub fn reads(&self, field: &str) -> bool {
+        self.accesses.contains(field)
+    }
+
+    /// Operation counts for one evaluation of this stencil.
+    pub fn op_count(&self) -> OpCount {
+        count_ops(&self.program)
+    }
+
+    /// Critical-path compute latency of this stencil in cycles.
+    pub fn compute_latency(&self, table: &LatencyTable) -> u64 {
+        critical_path_latency(&self.program, table)
+    }
+
+    /// Maximum absolute offset used by any access of this stencil, per
+    /// accessed dimension name. Used by validation and by the shrink
+    /// boundary handling.
+    pub fn max_abs_offset(&self) -> i64 {
+        self.accesses
+            .iter()
+            .flat_map(|(_, info)| info.offsets.iter())
+            .flat_map(|offsets| offsets.iter().map(|o| o.abs()))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Serializable description of one stencil node in the JSON input format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StencilNodeDescription {
+    /// The code segment.
+    pub code: String,
+    /// Boundary condition description: either the string `"shrink"` or a map
+    /// from field name to a per-field condition.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub boundary_condition: Option<serde_json::Value>,
+    /// Optional output data type (defaults to `float32`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub data_type: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::BoundaryCondition;
+
+    #[test]
+    fn parse_extracts_accesses() {
+        let node = StencilNode::parse("b3", "b1[i-1,j,k] + b1[i+1,j,k]").unwrap();
+        assert_eq!(node.read_fields(), vec!["b1"]);
+        assert!(node.reads("b1"));
+        assert!(!node.reads("b2"));
+        assert_eq!(node.max_abs_offset(), 1);
+        assert_eq!(node.op_count().additions, 1);
+    }
+
+    #[test]
+    fn parse_error_carries_stencil_name() {
+        let err = StencilNode::parse("broken", "a[i] +").unwrap_err();
+        match err {
+            ProgramError::Code { stencil, .. } => assert_eq!(stencil, "broken"),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boundary_defaults_and_assignment() {
+        let mut node = StencilNode::parse("b0", "a0[i,j,k] + a1[i,j,k]").unwrap();
+        assert_eq!(
+            node.boundary.condition_for("a0"),
+            BoundaryCondition::Constant(0.0)
+        );
+        node.boundary = BoundarySpec::new().with_field("a0", BoundaryCondition::Copy);
+        assert_eq!(node.boundary.condition_for("a0"), BoundaryCondition::Copy);
+    }
+
+    #[test]
+    fn compute_latency_is_positive_for_nontrivial_code() {
+        let node = StencilNode::parse("s", "0.25 * (a[i-1] + a[i+1] + a[i] + b[i])").unwrap();
+        assert!(node.compute_latency(&LatencyTable::stratix10_defaults()) > 0);
+    }
+}

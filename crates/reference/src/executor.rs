@@ -1,0 +1,379 @@
+//! Sequential topological-order execution of stencil programs.
+
+use crate::grid::Grid;
+use std::collections::BTreeMap;
+use stencilflow_expr::{AccessResolver, Evaluator, Value};
+use stencilflow_program::{
+    BoundaryCondition, ProgramError, Result, StencilNode, StencilProgram,
+};
+
+/// Result of running a stencil program on the reference executor.
+#[derive(Debug, Clone)]
+pub struct ExecutionResult {
+    fields: BTreeMap<String, Grid>,
+    valid_masks: BTreeMap<String, Vec<bool>>,
+    cells_evaluated: usize,
+}
+
+impl ExecutionResult {
+    /// The computed grid of a stencil (any stencil, not just program
+    /// outputs).
+    pub fn field(&self, name: &str) -> Option<&Grid> {
+        self.fields.get(name)
+    }
+
+    /// Iterate over all computed stencil fields.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &Grid)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Validity mask of a stencil output (row-major). Cells are invalid when
+    /// the stencil has the `shrink` boundary condition and their computation
+    /// read out-of-bounds values.
+    pub fn valid_mask(&self, name: &str) -> Option<&[bool]> {
+        self.valid_masks.get(name).map(Vec::as_slice)
+    }
+
+    /// Number of valid output cells of a stencil.
+    pub fn valid_count(&self, name: &str) -> usize {
+        self.valid_masks
+            .get(name)
+            .map(|m| m.iter().filter(|&&v| v).count())
+            .unwrap_or(0)
+    }
+
+    /// Total number of stencil-cell evaluations performed.
+    pub fn cells_evaluated(&self) -> usize {
+        self.cells_evaluated
+    }
+
+    /// Compare a field against another grid, only at valid cells, with the
+    /// given relative tolerance. Returns the maximum relative error seen.
+    pub fn compare_field(&self, name: &str, other: &Grid) -> Option<f64> {
+        let grid = self.fields.get(name)?;
+        let mask = self.valid_masks.get(name)?;
+        if grid.shape() != other.shape() {
+            return None;
+        }
+        let mut max_err: f64 = 0.0;
+        for (flat, index) in grid.indices().enumerate() {
+            if !mask[flat] {
+                continue;
+            }
+            let a = grid.get(&index);
+            let b = other.get(&index);
+            let scale = a.abs().max(b.abs()).max(1.0);
+            max_err = max_err.max((a - b).abs() / scale);
+        }
+        Some(max_err)
+    }
+}
+
+/// Sequential reference executor.
+///
+/// Stencils are evaluated one at a time in topological order over the full
+/// iteration space; no fusion, pipelining, or parallelism — exactly the
+/// "reference C++" path of the paper's workflow (Fig. 13), used to validate
+/// the spatial implementations.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceExecutor {
+    _private: (),
+}
+
+impl ReferenceExecutor {
+    /// Create a reference executor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Run `program` on the given input grids.
+    ///
+    /// Every input field of the program must be present in `inputs` with
+    /// matching dimensions. The result contains a grid for every stencil
+    /// node (intermediates included), plus validity masks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Invalid`] if an input grid is missing or has
+    /// the wrong shape, and propagates evaluation errors (which indicate a
+    /// bug in program validation) as [`ProgramError::Code`].
+    pub fn run(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<ExecutionResult> {
+        // Check inputs.
+        for (name, decl) in program.inputs() {
+            let grid = inputs.get(name).ok_or_else(|| ProgramError::Invalid {
+                message: format!("missing input grid `{name}`"),
+            })?;
+            let expected_shape: Vec<usize> = decl
+                .dims
+                .iter()
+                .map(|d| {
+                    program
+                        .space()
+                        .dim_index(d)
+                        .map(|ix| program.space().shape[ix])
+                        .unwrap_or(1)
+                })
+                .collect();
+            if grid.shape() != expected_shape.as_slice() {
+                return Err(ProgramError::Invalid {
+                    message: format!(
+                        "input `{name}` has shape {:?}, expected {:?}",
+                        grid.shape(),
+                        expected_shape
+                    ),
+                });
+            }
+        }
+
+        let space = program.space();
+        let mut computed: BTreeMap<String, Grid> = BTreeMap::new();
+        let mut masks: BTreeMap<String, Vec<bool>> = BTreeMap::new();
+        let mut cells_evaluated = 0usize;
+        let order = program.topological_stencils()?;
+        let dim_refs: Vec<&str> = space.dims.iter().map(String::as_str).collect();
+
+        for name in &order {
+            let stencil = program
+                .stencil(name)
+                .expect("topological order only lists stencils");
+            let mut output = Grid::zeros(&dim_refs, &space.shape, stencil.output_type);
+            let mut mask = vec![true; space.num_cells()];
+            for (flat, index) in space.indices().enumerate() {
+                let resolver = CellResolver {
+                    program,
+                    stencil,
+                    inputs,
+                    computed: &computed,
+                    index: &index,
+                };
+                let value = Evaluator::new(&resolver)
+                    .eval_program(&stencil.program)
+                    .map_err(|source| ProgramError::Code {
+                        stencil: name.clone(),
+                        source,
+                    })?;
+                output.set(&index, value.as_f64());
+                if stencil.boundary.shrink && resolver.read_out_of_bounds() {
+                    mask[flat] = false;
+                }
+                cells_evaluated += 1;
+            }
+            computed.insert(name.clone(), output);
+            masks.insert(name.clone(), mask);
+        }
+
+        Ok(ExecutionResult {
+            fields: computed,
+            valid_masks: masks,
+            cells_evaluated,
+        })
+    }
+}
+
+/// Resolves field accesses for one cell of one stencil.
+struct CellResolver<'a> {
+    program: &'a StencilProgram,
+    stencil: &'a StencilNode,
+    inputs: &'a BTreeMap<String, Grid>,
+    computed: &'a BTreeMap<String, Grid>,
+    index: &'a [usize],
+}
+
+impl CellResolver<'_> {
+    fn grid_for(&self, field: &str) -> Option<&Grid> {
+        self.inputs.get(field).or_else(|| self.computed.get(field))
+    }
+
+    /// Whether any access of this cell fell out of bounds. Tracked by
+    /// re-walking the accesses rather than interior mutability, keeping the
+    /// resolver `Fn`-shaped for the evaluator.
+    fn read_out_of_bounds(&self) -> bool {
+        let space = self.program.space();
+        for (field, info) in self.stencil.accesses.iter() {
+            let Some(dims) = self.program.field_dims(field) else {
+                continue;
+            };
+            for offsets in &info.offsets {
+                for ((var, &off), _) in info.index_vars.iter().zip(offsets.iter()).zip(dims.iter())
+                {
+                    if let Some(dim_ix) = space.dim_index(var) {
+                        let pos = self.index[dim_ix] as i64 + off;
+                        if pos < 0 || pos >= space.shape[dim_ix] as i64 {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl AccessResolver for CellResolver<'_> {
+    fn resolve(&self, field: &str, offsets: &[i64]) -> Option<Value> {
+        let grid = self.grid_for(field)?;
+        let space = self.program.space();
+        let info = self.stencil.accesses.get(field)?;
+        // Build the signed index into the field's own (possibly
+        // lower-dimensional) space.
+        let mut signed: Vec<i64> = Vec::with_capacity(info.index_vars.len());
+        let mut center: Vec<i64> = Vec::with_capacity(info.index_vars.len());
+        for (var, &off) in info.index_vars.iter().zip(offsets.iter()) {
+            let dim_ix = space.dim_index(var)?;
+            let pos = self.index[dim_ix] as i64 + off;
+            signed.push(pos);
+            center.push(self.index[dim_ix] as i64);
+        }
+        if offsets.is_empty() {
+            // Scalar access.
+            return Some(grid.get_value(&[]));
+        }
+        match grid.get_checked(&signed) {
+            Some(v) => Some(Value::from_f64(v, grid.data_type())),
+            None => {
+                // Out of bounds: apply the boundary condition.
+                match self.stencil.boundary.condition_for(field) {
+                    BoundaryCondition::Constant(c) => {
+                        Some(Value::from_f64(c, grid.data_type()))
+                    }
+                    BoundaryCondition::Copy => grid
+                        .get_checked(&center)
+                        .map(|v| Value::from_f64(v, grid.data_type())),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_data::generate_inputs;
+    use stencilflow_expr::DataType;
+    use stencilflow_program::StencilProgramBuilder;
+
+    fn laplace_program(shape: &[usize]) -> StencilProgram {
+        StencilProgramBuilder::new("laplace", shape)
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil(
+                "lap",
+                "-4.0*a[i,j] + a[i-1,j] + a[i+1,j] + a[i,j-1] + a[i,j+1]",
+            )
+            .shrink("lap")
+            .output("lap")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn laplace_matches_hand_computation() {
+        let program = laplace_program(&[4, 4]);
+        let a = Grid::from_fn(&["i", "j"], &[4, 4], DataType::Float32, |ix| {
+            (ix[0] * 4 + ix[1]) as f64
+        });
+        let mut inputs = BTreeMap::new();
+        inputs.insert("a".to_string(), a.clone());
+        let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let lap = result.field("lap").unwrap();
+        // Interior point (1,1): -4*5 + 1 + 9 + 4 + 6 = 0.
+        assert_eq!(lap.get(&[1, 1]), 0.0);
+        // Interior point (2,1): -4*9 + 5 + 13 + 8 + 10 = 0.
+        assert_eq!(lap.get(&[2, 1]), 0.0);
+    }
+
+    #[test]
+    fn shrink_mask_marks_boundary_cells_invalid() {
+        let program = laplace_program(&[4, 4]);
+        let inputs = generate_inputs(&program, 1);
+        let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let mask = result.valid_mask("lap").unwrap();
+        // Only the 2x2 interior is valid.
+        assert_eq!(result.valid_count("lap"), 4);
+        assert!(!mask[0]); // corner
+        let space = program.space();
+        assert!(mask[space.flat_index(&[1, 1])]);
+        assert!(mask[space.flat_index(&[2, 2])]);
+        assert!(!mask[space.flat_index(&[0, 2])]);
+    }
+
+    #[test]
+    fn missing_or_misshapen_inputs_are_rejected() {
+        let program = laplace_program(&[4, 4]);
+        let empty = BTreeMap::new();
+        assert!(ReferenceExecutor::new().run(&program, &empty).is_err());
+        let mut wrong = BTreeMap::new();
+        wrong.insert(
+            "a".to_string(),
+            Grid::zeros(&["i", "j"], &[3, 3], DataType::Float32),
+        );
+        assert!(ReferenceExecutor::new().run(&program, &wrong).is_err());
+    }
+
+    #[test]
+    fn lower_dimensional_and_scalar_inputs() {
+        let program = StencilProgramBuilder::new("p", &[2, 3, 4])
+            .input("a", DataType::Float32, &["i", "j", "k"])
+            .input("surf", DataType::Float32, &["i", "k"])
+            .scalar("dt", DataType::Float32)
+            .stencil("out", "a[i,j,k] + surf[i,k] * dt")
+            .output("out")
+            .build()
+            .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "a".to_string(),
+            Grid::from_fn(&["i", "j", "k"], &[2, 3, 4], DataType::Float32, |_| 1.0),
+        );
+        inputs.insert(
+            "surf".to_string(),
+            Grid::from_fn(&["i", "k"], &[2, 4], DataType::Float32, |ix| {
+                (ix[0] * 4 + ix[1]) as f64
+            }),
+        );
+        inputs.insert("dt".to_string(), Grid::scalar(0.5, DataType::Float32));
+        let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let out = result.field("out").unwrap();
+        // out[1, 2, 3] = 1 + surf[1,3] * 0.5 = 1 + 7*0.5 = 4.5.
+        assert_eq!(out.get(&[1, 2, 3]), 4.5);
+        // Independent of j.
+        assert_eq!(out.get(&[1, 0, 3]), 4.5);
+    }
+
+    #[test]
+    fn cells_evaluated_counts_all_stencils() {
+        let program = StencilProgramBuilder::new("p", &[2, 2])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("b", "a[i,j] + 1.0")
+            .stencil("c", "b[i,j] * 2.0")
+            .output("c")
+            .build()
+            .unwrap();
+        let inputs = generate_inputs(&program, 3);
+        let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        assert_eq!(result.cells_evaluated(), 2 * 4);
+        assert!(result.field("b").is_some());
+        assert!(result.field("c").is_some());
+    }
+
+    #[test]
+    fn data_dependent_branches() {
+        let program = StencilProgramBuilder::new("p", &[4])
+            .input("a", DataType::Float32, &["i"])
+            .stencil("relu", "a[i] > 0.0 ? a[i] : 0.0")
+            .output("relu")
+            .build()
+            .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "a".to_string(),
+            Grid::from_values(&["i"], &[4], &[-1.0, 2.0, -3.0, 4.0]),
+        );
+        let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let relu = result.field("relu").unwrap();
+        assert_eq!(relu.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+    }
+}

@@ -1,0 +1,283 @@
+//! Dense grids over (subsets of) the iteration space.
+
+use stencilflow_expr::{DataType, Value};
+
+/// A dense row-major array spanning a subset of the iteration-space
+/// dimensions.
+///
+/// Values are stored as `f64` and rounded through the grid's element type on
+/// every store, so an `f32` grid holds exactly the values an `f32` hardware
+/// pipeline would produce. Scalars are rank-0 grids with a single element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    dims: Vec<String>,
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    dtype: DataType,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// Create a zero-initialized grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` and `shape` have different lengths.
+    pub fn zeros(dims: &[&str], shape: &[usize], dtype: DataType) -> Self {
+        assert_eq!(dims.len(), shape.len(), "dims/shape rank mismatch");
+        let mut strides = vec![1usize; shape.len()];
+        for d in (0..shape.len().saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+        let len: usize = shape.iter().product::<usize>().max(1);
+        Grid {
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+            shape: shape.to_vec(),
+            strides,
+            dtype,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Create a rank-0 (scalar) grid holding one value.
+    pub fn scalar(value: f64, dtype: DataType) -> Self {
+        let mut grid = Grid::zeros(&[], &[], dtype);
+        grid.data[0] = Value::from_f64(value, dtype).as_f64();
+        grid
+    }
+
+    /// Create a grid from explicit values (row-major, `float32` element type
+    /// unless changed later).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the shape.
+    pub fn from_values(dims: &[&str], shape: &[usize], values: &[f64]) -> Self {
+        let mut grid = Grid::zeros(dims, shape, DataType::Float32);
+        assert_eq!(
+            values.len(),
+            grid.data.len(),
+            "value count does not match shape"
+        );
+        for (slot, &v) in grid.data.iter_mut().zip(values.iter()) {
+            *slot = Value::from_f64(v, DataType::Float32).as_f64();
+        }
+        grid
+    }
+
+    /// Create a grid by evaluating `f` at every index.
+    pub fn from_fn(
+        dims: &[&str],
+        shape: &[usize],
+        dtype: DataType,
+        mut f: impl FnMut(&[usize]) -> f64,
+    ) -> Self {
+        let mut grid = Grid::zeros(dims, shape, dtype);
+        let indices: Vec<Vec<usize>> = grid.indices().collect();
+        for index in indices {
+            let v = f(&index);
+            grid.set(&index, v);
+        }
+        grid
+    }
+
+    /// Dimension names of the grid.
+    pub fn dims(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// Shape of the grid.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Element data type.
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the grid has zero elements (never true: scalars have one).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Rank (number of dimensions).
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Raw data slice (row-major).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Flat row-major index of a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-bounds indices.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        index
+            .iter()
+            .zip(self.strides.iter())
+            .zip(self.shape.iter())
+            .map(|((&ix, &stride), &extent)| {
+                assert!(ix < extent, "index {ix} out of bounds for extent {extent}");
+                ix * stride
+            })
+            .sum()
+    }
+
+    /// Read the value at `index`.
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[self.flat_index(index)]
+    }
+
+    /// Read the value at `index` as a typed [`Value`].
+    pub fn get_value(&self, index: &[usize]) -> Value {
+        Value::from_f64(self.get(index), self.dtype)
+    }
+
+    /// Write the value at `index`, rounding through the element type.
+    pub fn set(&mut self, index: &[usize], value: f64) {
+        let flat = self.flat_index(index);
+        self.data[flat] = Value::from_f64(value, self.dtype).as_f64();
+    }
+
+    /// Read at a signed index; returns `None` when any coordinate falls
+    /// outside the grid (the caller applies the boundary condition).
+    pub fn get_checked(&self, index: &[i64]) -> Option<f64> {
+        if index.len() != self.rank() {
+            return None;
+        }
+        let mut flat = 0usize;
+        for ((&ix, &stride), &extent) in index
+            .iter()
+            .zip(self.strides.iter())
+            .zip(self.shape.iter())
+        {
+            if ix < 0 || ix as usize >= extent {
+                return None;
+            }
+            flat += ix as usize * stride;
+        }
+        Some(self.data[flat])
+    }
+
+    /// Iterate over all indices of the grid in row-major order. Rank-0 grids
+    /// yield a single empty index.
+    pub fn indices(&self) -> Box<dyn Iterator<Item = Vec<usize>>> {
+        if self.rank() == 0 {
+            return Box::new(std::iter::once(Vec::new()));
+        }
+        let shape = self.shape.clone();
+        let total: usize = shape.iter().product();
+        Box::new((0..total).map(move |mut flat| {
+            let mut index = vec![0usize; shape.len()];
+            for d in (0..shape.len()).rev() {
+                index[d] = flat % shape[d];
+                flat /= shape[d];
+            }
+            index
+        }))
+    }
+
+    /// Maximum absolute difference to another grid of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Grid) -> f64 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every element is within `tol` of the corresponding element of
+    /// `other`, relative to the larger magnitude (and absolutely for small
+    /// values).
+    pub fn approx_eq(&self, other: &Grid, tol: f64) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        self.data.iter().zip(other.data.iter()).all(|(a, b)| {
+            let scale = a.abs().max(b.abs()).max(1.0);
+            (a - b).abs() <= tol * scale
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut g = Grid::zeros(&["i", "j"], &[2, 3], DataType::Float32);
+        assert_eq!(g.len(), 6);
+        assert_eq!(g.rank(), 2);
+        g.set(&[1, 2], 5.5);
+        assert_eq!(g.get(&[1, 2]), 5.5);
+        assert_eq!(g.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn f32_rounding_on_store() {
+        let mut g = Grid::zeros(&["i"], &[1], DataType::Float32);
+        g.set(&[0], 1.0 + 1e-12);
+        assert_eq!(g.get(&[0]), 1.0);
+        let mut g64 = Grid::zeros(&["i"], &[1], DataType::Float64);
+        g64.set(&[0], 1.0 + 1e-12);
+        assert!(g64.get(&[0]) > 1.0);
+    }
+
+    #[test]
+    fn scalar_grid() {
+        let g = Grid::scalar(3.25, DataType::Float32);
+        assert_eq!(g.rank(), 0);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.get(&[]), 3.25);
+        let all: Vec<Vec<usize>> = g.indices().collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn checked_access_detects_out_of_bounds() {
+        let g = Grid::from_values(&["i"], &[3], &[1.0, 2.0, 3.0]);
+        assert_eq!(g.get_checked(&[0]), Some(1.0));
+        assert_eq!(g.get_checked(&[2]), Some(3.0));
+        assert_eq!(g.get_checked(&[-1]), None);
+        assert_eq!(g.get_checked(&[3]), None);
+    }
+
+    #[test]
+    fn indices_are_row_major() {
+        let g = Grid::zeros(&["i", "j"], &[2, 2], DataType::Float32);
+        let all: Vec<Vec<usize>> = g.indices().collect();
+        assert_eq!(all, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        for index in &all {
+            let flat = g.flat_index(index);
+            assert!(flat < 4);
+        }
+    }
+
+    #[test]
+    fn from_fn_and_comparisons() {
+        let a = Grid::from_fn(&["i"], &[4], DataType::Float64, |ix| ix[0] as f64);
+        let mut b = a.clone();
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        assert!(a.approx_eq(&b, 1e-12));
+        b.set(&[2], 2.5);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(!a.approx_eq(&b, 1e-3));
+    }
+}

@@ -1,0 +1,196 @@
+//! Bounded FIFO channels connecting simulated units.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO carrying scalar elements between two units.
+///
+/// Channels model the Intel OpenCL `channel` / hardware FIFO used by the
+/// generated designs: a producer can push only while the FIFO has space, a
+/// consumer can pop only while it is non-empty. An optional fixed latency
+/// models network links (SMI remote streams), and an optional bandwidth
+/// budget throttles how many words may enter the channel per cycle.
+#[derive(Debug, Clone)]
+pub struct Fifo {
+    name: String,
+    capacity: usize,
+    latency: u64,
+    words_per_cycle: f64,
+    queue: VecDeque<(u64, f64)>,
+    credits: f64,
+    pushed_total: u64,
+    popped_total: u64,
+    high_watermark: usize,
+}
+
+impl Fifo {
+    /// Create a FIFO with the given capacity (in words).
+    pub fn new(name: &str, capacity: usize) -> Self {
+        Fifo {
+            name: name.to_string(),
+            capacity: capacity.max(1),
+            latency: 0,
+            words_per_cycle: f64::INFINITY,
+            queue: VecDeque::with_capacity(capacity.min(4096).max(1)),
+            credits: 0.0,
+            pushed_total: 0,
+            popped_total: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Add a fixed latency (cycles) before pushed words become visible —
+    /// used for inter-device network channels.
+    pub fn with_latency(mut self, latency: u64) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Limit how many words can enter the channel per cycle (may be
+    /// fractional; credits accumulate) — used for bandwidth-limited links.
+    pub fn with_bandwidth(mut self, words_per_cycle: f64) -> Self {
+        self.words_per_cycle = words_per_cycle;
+        self
+    }
+
+    /// Channel name (for diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of words currently buffered (visible or not).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the channel currently holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a push would currently succeed.
+    pub fn can_push(&self) -> bool {
+        self.queue.len() < self.capacity && self.credits >= 1.0
+    }
+
+    /// Whether a pop at the given cycle would succeed (a word is present and
+    /// its latency has elapsed).
+    pub fn can_pop(&self, now: u64) -> bool {
+        self.queue
+            .front()
+            .map(|&(ready, _)| ready <= now)
+            .unwrap_or(false)
+    }
+
+    /// Grant this cycle's bandwidth credits; called once per simulation
+    /// cycle.
+    pub fn begin_cycle(&mut self) {
+        if self.words_per_cycle.is_finite() {
+            self.credits = (self.credits + self.words_per_cycle).min(self.words_per_cycle.max(1.0));
+        } else {
+            self.credits = f64::INFINITY;
+        }
+    }
+
+    /// Push a word at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is full or out of bandwidth credits; callers
+    /// must check [`Fifo::can_push`] first (the simulator always does).
+    pub fn push(&mut self, now: u64, value: f64) {
+        assert!(self.can_push(), "push into full channel `{}`", self.name);
+        self.queue.push_back((now + self.latency, value));
+        self.credits -= 1.0;
+        self.pushed_total += 1;
+        self.high_watermark = self.high_watermark.max(self.queue.len());
+    }
+
+    /// Pop the oldest visible word at cycle `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no word is available; callers must check [`Fifo::can_pop`].
+    pub fn pop(&mut self, now: u64) -> f64 {
+        assert!(self.can_pop(now), "pop from empty channel `{}`", self.name);
+        self.popped_total += 1;
+        self.queue.pop_front().expect("checked above").1
+    }
+
+    /// Total words pushed over the run.
+    pub fn pushed_total(&self) -> u64 {
+        self.pushed_total
+    }
+
+    /// Total words popped over the run.
+    pub fn popped_total(&self) -> u64 {
+        self.popped_total
+    }
+
+    /// Highest occupancy observed (words).
+    pub fn high_watermark(&self) -> usize {
+        self.high_watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut fifo = Fifo::new("c", 4);
+        fifo.begin_cycle();
+        fifo.push(0, 1.0);
+        fifo.push(0, 2.0);
+        assert_eq!(fifo.len(), 2);
+        assert_eq!(fifo.pop(0), 1.0);
+        assert_eq!(fifo.pop(0), 2.0);
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.pushed_total(), 2);
+        assert_eq!(fifo.popped_total(), 2);
+    }
+
+    #[test]
+    fn capacity_limits_pushes() {
+        let mut fifo = Fifo::new("c", 2);
+        fifo.begin_cycle();
+        fifo.push(0, 1.0);
+        fifo.push(0, 2.0);
+        assert!(!fifo.can_push());
+        assert_eq!(fifo.high_watermark(), 2);
+    }
+
+    #[test]
+    fn latency_delays_visibility() {
+        let mut fifo = Fifo::new("net", 8).with_latency(5);
+        fifo.begin_cycle();
+        fifo.push(0, 1.0);
+        assert!(!fifo.can_pop(0));
+        assert!(!fifo.can_pop(4));
+        assert!(fifo.can_pop(5));
+        assert_eq!(fifo.pop(5), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_credits_throttle_pushes() {
+        let mut fifo = Fifo::new("link", 64).with_bandwidth(0.5);
+        fifo.begin_cycle(); // credits = 0.5
+        assert!(!fifo.can_push());
+        fifo.begin_cycle(); // credits = 1.0
+        assert!(fifo.can_push());
+        fifo.push(1, 3.0);
+        assert!(!fifo.can_push());
+    }
+
+    #[test]
+    #[should_panic(expected = "pop from empty channel")]
+    fn popping_empty_channel_panics() {
+        let mut fifo = Fifo::new("c", 2);
+        let _ = fifo.pop(0);
+    }
+}

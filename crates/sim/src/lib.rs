@@ -1,0 +1,148 @@
+//! Cycle-level spatial dataflow simulator for StencilFlow designs.
+//!
+//! The paper evaluates StencilFlow on a Stratix 10 FPGA testbed; no FPGA (or
+//! HLS toolchain) is available in this reproduction, so this crate stands in
+//! for the hardware: it simulates, cycle by cycle, exactly the architecture
+//! the paper's code generator emits (§VI, Fig. 12):
+//!
+//! * one **stencil unit** per DAG node, holding shift-register internal
+//!   buffers with tap points, predicated boundary handling, and
+//!   initialization / streaming / draining phases;
+//! * bounded **FIFO channels** between units, with the depths computed by the
+//!   delay-buffer analysis (`stencilflow-core`);
+//! * dedicated **memory readers / writers** at source and sink nodes, subject
+//!   to an optional off-chip bandwidth budget;
+//! * optional **network channels** (SMI substitute) with added latency and
+//!   bandwidth limits for designs spanning multiple devices.
+//!
+//! Because the units evaluate the real stencil expressions on real data, the
+//! simulator doubles as a functional backend: its outputs are compared
+//! against the sequential reference executor in the test suite, and its cycle
+//! counts against the analytical model `C = L + I·N` (Eq. 1). Crucially, it
+//! also reproduces the paper's deadlock scenario (Fig. 4): running a
+//! reconvergent DAG with insufficient channel depths stalls permanently,
+//! while the analysis-computed depths stream to completion.
+
+pub mod channel;
+pub mod config;
+pub mod memory;
+pub mod report;
+pub mod simulator;
+pub mod unit;
+
+pub use channel::Fifo;
+pub use config::{NetworkParams, SimConfig};
+pub use memory::MemoryModel;
+pub use report::{SimOutcome, SimReport};
+pub use simulator::Simulator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use stencilflow_core::AnalysisConfig;
+    use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+    use stencilflow_workloads::listing1::listing1_with_shape;
+
+    #[test]
+    fn listing1_streams_to_completion_and_matches_reference() {
+        let program = listing1_with_shape(&[6, 6, 6]);
+        let inputs = generate_inputs(&program, 11);
+        let reference = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+
+        let sim = Simulator::build(&program, &AnalysisConfig::paper_defaults(), &SimConfig::default())
+            .unwrap();
+        let report = sim.run(&inputs).unwrap();
+        assert_eq!(report.outcome, SimOutcome::Completed);
+        let out = report.output("b4").unwrap();
+        let max_err = reference.compare_field("b4", out).unwrap();
+        assert!(max_err < 1e-5, "simulator diverges from reference: {max_err}");
+        // Eq. 1: cycles are close to N + L (never less than N).
+        let n = program.space().num_cells() as u64;
+        assert!(report.cycles >= n);
+        assert!(report.cycles < 3 * n, "cycles = {} for N = {n}", report.cycles);
+    }
+
+    #[test]
+    fn insufficient_channel_depths_deadlock() {
+        // Fig. 4: the fork/join of listing1 (b0 feeds b1/b2, reconverging at
+        // b4 through paths of different latency) deadlocks when all channels
+        // are forced to depth 1.
+        let program = listing1_with_shape(&[6, 6, 6]);
+        let inputs = generate_inputs(&program, 11);
+        let config = SimConfig {
+            channel_depth_override: Some(1),
+            ..SimConfig::default()
+        };
+        let sim = Simulator::build(&program, &AnalysisConfig::paper_defaults(), &config).unwrap();
+        let report = sim.run(&inputs).unwrap();
+        assert_eq!(report.outcome, SimOutcome::Deadlocked);
+    }
+
+    #[test]
+    fn memory_bandwidth_limit_slows_the_design_down() {
+        let program = listing1_with_shape(&[6, 6, 6]);
+        let inputs = generate_inputs(&program, 3);
+        let unlimited = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default(),
+        )
+        .unwrap()
+        .run(&inputs)
+        .unwrap();
+        let limited_config = SimConfig {
+            memory_words_per_cycle: Some(1.0),
+            ..SimConfig::default()
+        };
+        let limited = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &limited_config,
+        )
+        .unwrap()
+        .run(&inputs)
+        .unwrap();
+        assert_eq!(limited.outcome, SimOutcome::Completed);
+        assert!(limited.cycles > unlimited.cycles);
+        // Results stay correct, only slower.
+        let a = unlimited.output("b4").unwrap();
+        let b = limited.output("b4").unwrap();
+        assert!(a.approx_eq(b, 1e-6));
+    }
+
+    #[test]
+    fn horizontal_diffusion_small_matches_reference() {
+        use stencilflow_workloads::{horizontal_diffusion, HorizontalDiffusionSpec};
+        let program = horizontal_diffusion(&HorizontalDiffusionSpec::small());
+        let inputs = generate_inputs(&program, 5);
+        let reference = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+        let sim = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let report = sim.run(&inputs).unwrap();
+        assert_eq!(report.outcome, SimOutcome::Completed);
+        for output in ["u_out", "v_out", "w_out", "pp_out"] {
+            let max_err = reference
+                .compare_field(output, report.output(output).unwrap())
+                .unwrap();
+            assert!(max_err < 1e-4, "{output} diverges: {max_err}");
+        }
+    }
+
+    #[test]
+    fn missing_inputs_are_reported() {
+        let program = listing1_with_shape(&[4, 4, 4]);
+        let sim = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let empty: BTreeMap<String, stencilflow_reference::Grid> = BTreeMap::new();
+        assert!(sim.run(&empty).is_err());
+    }
+}

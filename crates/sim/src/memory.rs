@@ -1,0 +1,271 @@
+//! Off-chip memory model and the reader / writer units attached to it.
+
+use crate::channel::Fifo;
+use stencilflow_program::IterationSpace;
+use stencilflow_reference::Grid;
+
+/// Shared off-chip bandwidth budget.
+///
+/// All full-domain readers and all writers draw words from the same per-cycle
+/// budget; when the budget is exhausted, the remaining memory units stall for
+/// the rest of the cycle. Lower-dimensional parameter fields are served from
+/// on-chip copies after an initial load and do not draw from the budget,
+/// matching how the analysis counts "operands per cycle" (§VIII-D, §IX-A).
+#[derive(Debug, Clone)]
+pub struct MemoryModel {
+    words_per_cycle: Option<f64>,
+    credits: f64,
+    total_words: u64,
+    stalled_requests: u64,
+}
+
+impl MemoryModel {
+    /// Create a memory model; `None` means unlimited bandwidth.
+    pub fn new(words_per_cycle: Option<f64>) -> Self {
+        MemoryModel {
+            words_per_cycle,
+            credits: 0.0,
+            total_words: 0,
+            stalled_requests: 0,
+        }
+    }
+
+    /// Grant this cycle's budget.
+    pub fn begin_cycle(&mut self) {
+        match self.words_per_cycle {
+            Some(budget) => {
+                // Credits do not accumulate beyond one cycle's worth plus one
+                // word: DRAM bandwidth not used in a cycle is lost.
+                self.credits = (self.credits + budget).min(budget.max(1.0));
+            }
+            None => self.credits = f64::INFINITY,
+        }
+    }
+
+    /// Try to reserve one word of bandwidth.
+    pub fn request_word(&mut self) -> bool {
+        if self.credits >= 1.0 {
+            self.credits -= 1.0;
+            self.total_words += 1;
+            true
+        } else {
+            self.stalled_requests += 1;
+            false
+        }
+    }
+
+    /// Total words transferred.
+    pub fn total_words(&self) -> u64 {
+        self.total_words
+    }
+
+    /// Number of requests that had to wait for bandwidth.
+    pub fn stalled_requests(&self) -> u64 {
+        self.stalled_requests
+    }
+}
+
+/// A dedicated prefetcher reading one input field from off-chip memory and
+/// broadcasting it, one element per output cell, to all consumers.
+#[derive(Debug)]
+pub struct ReaderUnit {
+    /// Field name.
+    pub field: String,
+    /// Values streamed per cell (pre-projected from the input grid).
+    values: Vec<f64>,
+    /// Indices of the outgoing channels in the simulator's channel table.
+    pub out_channels: Vec<usize>,
+    /// Whether this reader draws from the off-chip bandwidth budget
+    /// (full-domain fields only).
+    pub uses_bandwidth: bool,
+    /// Elements pushed so far.
+    pub produced: usize,
+    /// Cycles spent unable to push.
+    pub stall_cycles: u64,
+}
+
+impl ReaderUnit {
+    /// Build a reader by projecting `grid` onto the full iteration space:
+    /// element `c` of the stream is the grid value the stencils expect at
+    /// cell `c` (lower-dimensional fields repeat values).
+    pub fn new(
+        field: &str,
+        grid: &Grid,
+        space: &IterationSpace,
+        out_channels: Vec<usize>,
+        uses_bandwidth: bool,
+    ) -> Self {
+        let mut values = Vec::with_capacity(space.num_cells());
+        for index in space.indices() {
+            let projected: Vec<usize> = grid
+                .dims()
+                .iter()
+                .map(|d| space.dim_index(d).map(|ix| index[ix]).unwrap_or(0))
+                .collect();
+            values.push(grid.get(&projected));
+        }
+        ReaderUnit {
+            field: field.to_string(),
+            values,
+            out_channels,
+            uses_bandwidth,
+            produced: 0,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Whether the reader has streamed its whole field.
+    pub fn done(&self) -> bool {
+        self.produced >= self.values.len()
+    }
+
+    /// Attempt one cycle of work; returns `true` if progress was made.
+    pub fn step(&mut self, now: u64, channels: &mut [Fifo], memory: &mut MemoryModel) -> bool {
+        if self.done() {
+            return false;
+        }
+        if !self.out_channels.iter().all(|&c| channels[c].can_push()) {
+            self.stall_cycles += 1;
+            return false;
+        }
+        if self.uses_bandwidth && !memory.request_word() {
+            self.stall_cycles += 1;
+            return false;
+        }
+        let value = self.values[self.produced];
+        for &c in &self.out_channels {
+            channels[c].push(now, value);
+        }
+        self.produced += 1;
+        true
+    }
+}
+
+/// A dedicated writer draining one program output to off-chip memory.
+#[derive(Debug)]
+pub struct WriterUnit {
+    /// Output field name.
+    pub field: String,
+    /// Index of the incoming channel.
+    pub in_channel: usize,
+    /// Collected output values (row-major over the iteration space).
+    pub values: Vec<f64>,
+    /// Total number of cells expected.
+    pub expected: usize,
+    /// Cycles spent waiting for data or bandwidth.
+    pub stall_cycles: u64,
+}
+
+impl WriterUnit {
+    /// Create a writer expecting `expected` elements.
+    pub fn new(field: &str, in_channel: usize, expected: usize) -> Self {
+        WriterUnit {
+            field: field.to_string(),
+            in_channel,
+            values: Vec::with_capacity(expected),
+            expected,
+            stall_cycles: 0,
+        }
+    }
+
+    /// Whether all output cells have been received.
+    pub fn done(&self) -> bool {
+        self.values.len() >= self.expected
+    }
+
+    /// Attempt one cycle of work; returns `true` if progress was made.
+    pub fn step(&mut self, now: u64, channels: &mut [Fifo], memory: &mut MemoryModel) -> bool {
+        if self.done() {
+            return false;
+        }
+        if !channels[self.in_channel].can_pop(now) {
+            self.stall_cycles += 1;
+            return false;
+        }
+        if !memory.request_word() {
+            self.stall_cycles += 1;
+            return false;
+        }
+        let value = channels[self.in_channel].pop(now);
+        self.values.push(value);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_expr::DataType;
+
+    #[test]
+    fn memory_model_enforces_budget() {
+        let mut memory = MemoryModel::new(Some(2.0));
+        memory.begin_cycle();
+        assert!(memory.request_word());
+        assert!(memory.request_word());
+        assert!(!memory.request_word());
+        assert_eq!(memory.total_words(), 2);
+        assert_eq!(memory.stalled_requests(), 1);
+        memory.begin_cycle();
+        assert!(memory.request_word());
+    }
+
+    #[test]
+    fn unlimited_memory_never_stalls() {
+        let mut memory = MemoryModel::new(None);
+        memory.begin_cycle();
+        for _ in 0..1000 {
+            assert!(memory.request_word());
+        }
+        assert_eq!(memory.stalled_requests(), 0);
+    }
+
+    #[test]
+    fn reader_projects_lower_dimensional_fields() {
+        let space = IterationSpace::new(&["i", "j"], &[2, 3]).unwrap();
+        let grid = Grid::from_values(&["j"], &[3], &[10.0, 20.0, 30.0]);
+        let mut channels = vec![Fifo::new("c", 16)];
+        let mut memory = MemoryModel::new(None);
+        let mut reader = ReaderUnit::new("row", &grid, &space, vec![0], false);
+        memory.begin_cycle();
+        channels[0].begin_cycle();
+        for _ in 0..6 {
+            assert!(reader.step(0, &mut channels, &mut memory));
+        }
+        assert!(reader.done());
+        let streamed: Vec<f64> = (0..6).map(|_| channels[0].pop(0)).collect();
+        assert_eq!(streamed, vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn writer_collects_in_order() {
+        let mut channels = vec![Fifo::new("c", 16)];
+        channels[0].begin_cycle();
+        let mut memory = MemoryModel::new(None);
+        memory.begin_cycle();
+        channels[0].push(0, 1.5);
+        channels[0].push(0, 2.5);
+        let mut writer = WriterUnit::new("out", 0, 2);
+        assert!(writer.step(0, &mut channels, &mut memory));
+        assert!(writer.step(0, &mut channels, &mut memory));
+        assert!(writer.done());
+        assert_eq!(writer.values, vec![1.5, 2.5]);
+        // Further steps make no progress.
+        assert!(!writer.step(0, &mut channels, &mut memory));
+    }
+
+    #[test]
+    fn reader_stalls_on_full_channel_and_scalar_grid_broadcasts() {
+        let space = IterationSpace::new(&["i"], &[4]).unwrap();
+        let grid = Grid::scalar(7.0, DataType::Float32);
+        let mut channels = vec![Fifo::new("c", 1)];
+        let mut memory = MemoryModel::new(None);
+        memory.begin_cycle();
+        channels[0].begin_cycle();
+        let mut reader = ReaderUnit::new("dt", &grid, &space, vec![0], false);
+        assert!(reader.step(0, &mut channels, &mut memory));
+        assert!(!reader.step(0, &mut channels, &mut memory)); // channel full
+        assert_eq!(reader.stall_cycles, 1);
+        assert_eq!(channels[0].pop(0), 7.0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simulation results and statistics.
+
+use std::collections::BTreeMap;
+use stencilflow_reference::Grid;
+
+/// How a simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// All program outputs were fully written.
+    Completed,
+    /// No unit made progress for the configured deadlock window: the design
+    /// is deadlocked (Fig. 4 without sufficient buffering).
+    Deadlocked,
+    /// The configured cycle limit was reached before completion.
+    MaxCyclesExceeded,
+}
+
+/// Per-unit statistics collected during a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Unit name (stencil, reader `read:<field>`, or writer `write:<field>`).
+    pub name: String,
+    /// Output cells or elements produced.
+    pub produced: usize,
+    /// Cycles stalled waiting for inputs.
+    pub input_stalls: u64,
+    /// Cycles stalled waiting for output space or bandwidth.
+    pub output_stalls: u64,
+}
+
+/// Per-channel statistics collected during a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelStats {
+    /// Channel name (`producer->consumer`).
+    pub name: String,
+    /// Configured capacity in words.
+    pub capacity: usize,
+    /// Highest occupancy observed.
+    pub high_watermark: usize,
+    /// Total words transferred.
+    pub words: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// How the run ended.
+    pub outcome: SimOutcome,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Collected program outputs (one grid per program output), valid only
+    /// when the run completed.
+    pub outputs: BTreeMap<String, Grid>,
+    /// Per-unit statistics.
+    pub unit_stats: Vec<UnitStats>,
+    /// Per-channel statistics.
+    pub channel_stats: Vec<ChannelStats>,
+    /// Total off-chip words transferred.
+    pub memory_words: u64,
+    /// Memory requests that had to wait for bandwidth.
+    pub memory_stalls: u64,
+}
+
+impl SimReport {
+    /// The collected grid of one program output.
+    pub fn output(&self, name: &str) -> Option<&Grid> {
+        self.outputs.get(name)
+    }
+
+    /// Whether the run completed successfully.
+    pub fn completed(&self) -> bool {
+        self.outcome == SimOutcome::Completed
+    }
+
+    /// Effective throughput in output cells per cycle (counting one output
+    /// field; 1.0 means perfect pipelining).
+    pub fn cells_per_cycle(&self, total_cells: usize) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        total_cells as f64 / self.cycles as f64
+    }
+
+    /// Statistics of one unit, if present.
+    pub fn unit(&self, name: &str) -> Option<&UnitStats> {
+        self.unit_stats.iter().find(|u| u.name == name)
+    }
+
+    /// The largest observed occupancy across all channels, as a fraction of
+    /// capacity — useful to confirm that the computed delay buffers are
+    /// actually exercised.
+    pub fn peak_channel_utilization(&self) -> f64 {
+        self.channel_stats
+            .iter()
+            .map(|c| c.high_watermark as f64 / c.capacity.max(1) as f64)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let report = SimReport {
+            outcome: SimOutcome::Completed,
+            cycles: 100,
+            outputs: BTreeMap::new(),
+            unit_stats: vec![UnitStats {
+                name: "s".into(),
+                produced: 50,
+                input_stalls: 3,
+                output_stalls: 1,
+            }],
+            channel_stats: vec![ChannelStats {
+                name: "a->s".into(),
+                capacity: 16,
+                high_watermark: 8,
+                words: 50,
+            }],
+            memory_words: 100,
+            memory_stalls: 0,
+        };
+        assert!(report.completed());
+        assert_eq!(report.cells_per_cycle(50), 0.5);
+        assert_eq!(report.unit("s").unwrap().produced, 50);
+        assert!(report.unit("missing").is_none());
+        assert_eq!(report.peak_channel_utilization(), 0.5);
+        assert!(report.output("x").is_none());
+    }
+
+    #[test]
+    fn outcome_equality() {
+        assert_ne!(SimOutcome::Completed, SimOutcome::Deadlocked);
+        assert_ne!(SimOutcome::Deadlocked, SimOutcome::MaxCyclesExceeded);
+    }
+}

@@ -1,0 +1,368 @@
+//! Simulated stencil processing units.
+//!
+//! Each unit mirrors the expanded `Stencil` library node of Fig. 12: per
+//! input field it keeps a sliding window (the shift-register internal buffer)
+//! fed from the field's FIFO channel; every streaming iteration it shifts the
+//! windows, reads all tap points, evaluates the stencil expression with
+//! boundary predication, and conditionally writes the result to its output
+//! channels. The unit passes through three phases: *initialization* (filling
+//! the windows before any output can be produced), *streaming* (one consume
+//! and one produce per cycle), and *draining* (producing the trailing cells
+//! from buffered data while inputs are exhausted).
+
+use crate::channel::Fifo;
+use std::collections::{BTreeMap, VecDeque};
+use stencilflow_expr::{AccessResolver, Evaluator, Value};
+use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, StencilProgram};
+
+/// The per-field input port of a stencil unit: a channel plus the sliding
+/// window that implements the internal buffer.
+#[derive(Debug)]
+struct FieldPort {
+    field: String,
+    channel: usize,
+    /// Smallest linearized access offset.
+    min_lin: i64,
+    /// How many elements ahead of the current output cell this port consumes
+    /// (the internal-buffer fill distance, mirroring the shift-register
+    /// implementation and the per-edge delay used by the analysis).
+    consume_ahead: usize,
+    /// Sliding window of recently consumed elements.
+    window: VecDeque<f64>,
+    /// Linear cell index corresponding to the front of the window.
+    window_base: i64,
+    /// Elements consumed from the channel so far.
+    consumed: usize,
+}
+
+impl FieldPort {
+    fn required_consumed(&self, cell: usize, total: usize) -> usize {
+        let needed = cell as i64 + self.consume_ahead as i64;
+        needed.clamp(0, total as i64) as usize
+    }
+
+    fn value_at(&self, linear: i64) -> Option<f64> {
+        let offset = linear - self.window_base;
+        if offset < 0 {
+            return None;
+        }
+        self.window.get(offset as usize).copied()
+    }
+
+    fn prune(&mut self, cell: usize) {
+        // Keep everything that can still be accessed by this or later cells.
+        let keep_from = cell as i64 + self.min_lin;
+        while self.window_base < keep_from && self.window.len() > 1 {
+            self.window.pop_front();
+            self.window_base += 1;
+        }
+    }
+}
+
+/// A simulated stencil unit.
+#[derive(Debug)]
+pub struct StencilUnitSim {
+    /// Stencil name.
+    pub name: String,
+    stencil: StencilNode,
+    space: IterationSpace,
+    ports: Vec<FieldPort>,
+    /// Outgoing channel indices.
+    pub out_channels: Vec<usize>,
+    /// Cells produced so far.
+    pub produced: usize,
+    total_cells: usize,
+    /// Cycles stalled waiting for input data.
+    pub input_stalls: u64,
+    /// Cycles stalled waiting for output space.
+    pub output_stalls: u64,
+}
+
+impl StencilUnitSim {
+    /// Create a unit for `stencil`, wiring each consumed field to the given
+    /// channel index and the output to `out_channels`.
+    pub fn new(
+        program: &StencilProgram,
+        stencil: &StencilNode,
+        input_channels: &BTreeMap<String, usize>,
+        out_channels: Vec<usize>,
+    ) -> Self {
+        let space = program.space().clone();
+        let mut ports = Vec::new();
+        for (field, info) in stencil.accesses.iter() {
+            let mut lins: Vec<i64> = info
+                .offsets
+                .iter()
+                .map(|offsets| {
+                    let mut full = vec![0i64; space.rank()];
+                    for (var, &off) in info.index_vars.iter().zip(offsets.iter()) {
+                        if let Some(dim) = space.dim_index(var) {
+                            full[dim] = off;
+                        }
+                    }
+                    space.linearize_offset(&full)
+                })
+                .collect();
+            if lins.is_empty() {
+                lins.push(0);
+            }
+            let channel = *input_channels
+                .get(field)
+                .unwrap_or_else(|| panic!("no channel wired for field `{field}`"));
+            let max_lin = *lins.iter().max().expect("non-empty");
+            let min_lin = *lins.iter().min().expect("non-empty");
+            // Buffer-fill distance: the full shift-register span when the
+            // field is accessed more than once, otherwise just far enough to
+            // have the (possibly forward-offset) single access available.
+            let span = if lins.len() >= 2 { max_lin - min_lin + 1 } else { 0 };
+            let consume_ahead = span.max(max_lin + 1).max(1) as usize;
+            ports.push(FieldPort {
+                field: field.to_string(),
+                channel,
+                min_lin,
+                consume_ahead,
+                window: VecDeque::new(),
+                window_base: 0,
+                consumed: 0,
+            });
+        }
+        StencilUnitSim {
+            name: stencil.name.clone(),
+            stencil: stencil.clone(),
+            space: space.clone(),
+            ports,
+            out_channels,
+            produced: 0,
+            total_cells: space.num_cells(),
+            input_stalls: 0,
+            output_stalls: 0,
+        }
+    }
+
+    /// Whether the unit has produced its full output domain and drained all
+    /// of its inputs.
+    pub fn done(&self) -> bool {
+        self.produced >= self.total_cells
+            && self.ports.iter().all(|p| p.consumed >= self.total_cells)
+    }
+
+    /// Attempt one cycle of work; returns `true` if any progress was made.
+    pub fn step(&mut self, now: u64, channels: &mut [Fifo]) -> bool {
+        let mut progress = false;
+        let cell = self.produced;
+
+        // Consume phase: pull at most one element per field per cycle, as
+        // long as this cell (or the drain of the stream) still needs it.
+        let mut missing_input = false;
+        for port in &mut self.ports {
+            if port.consumed >= self.total_cells {
+                continue;
+            }
+            let required = if cell < self.total_cells {
+                port.required_consumed(cell, self.total_cells)
+            } else {
+                // Drain phase: pull whatever is left of the input stream.
+                self.total_cells
+            };
+            if port.consumed < required {
+                if channels[port.channel].can_pop(now) {
+                    let value = channels[port.channel].pop(now);
+                    if port.window.is_empty() {
+                        port.window_base = port.consumed as i64;
+                    }
+                    port.window.push_back(value);
+                    port.consumed += 1;
+                    progress = true;
+                } else {
+                    missing_input = true;
+                }
+            }
+        }
+
+        if cell >= self.total_cells {
+            return progress;
+        }
+
+        // Are all inputs for this cell available?
+        let ready = self
+            .ports
+            .iter()
+            .all(|p| p.consumed >= p.required_consumed(cell, self.total_cells));
+        if !ready {
+            if missing_input {
+                self.input_stalls += 1;
+            }
+            return progress;
+        }
+
+        // Output channels must all have space (the conditional write of the
+        // compute phase).
+        if !self.out_channels.iter().all(|&c| channels[c].can_push()) {
+            self.output_stalls += 1;
+            return progress;
+        }
+
+        // Compute the cell.
+        let index = self.decompose(cell);
+        let value = {
+            let resolver = UnitCellResolver {
+                unit: self,
+                index: &index,
+            };
+            Evaluator::new(&resolver)
+                .eval_program(&self.stencil.program)
+                .expect("validated programs evaluate; unresolved symbols indicate a wiring bug")
+        };
+        let value = Value::from_f64(value.as_f64(), self.stencil.output_type).as_f64();
+        for &c in &self.out_channels {
+            channels[c].push(now, value);
+        }
+        self.produced += 1;
+        // Prune windows to their steady-state size.
+        let next = self.produced;
+        for port in &mut self.ports {
+            port.prune(next);
+        }
+        true
+    }
+
+    fn decompose(&self, mut flat: usize) -> Vec<usize> {
+        let shape = &self.space.shape;
+        let mut index = vec![0usize; shape.len()];
+        for d in (0..shape.len()).rev() {
+            index[d] = flat % shape[d];
+            flat /= shape[d];
+        }
+        index
+    }
+
+    fn port(&self, field: &str) -> Option<&FieldPort> {
+        self.ports.iter().find(|p| p.field == field)
+    }
+}
+
+/// Resolves accesses of one cell against the unit's sliding windows, with
+/// boundary predication.
+struct UnitCellResolver<'a> {
+    unit: &'a StencilUnitSim,
+    index: &'a [usize],
+}
+
+impl AccessResolver for UnitCellResolver<'_> {
+    fn resolve(&self, field: &str, offsets: &[i64]) -> Option<Value> {
+        let unit = self.unit;
+        let port = unit.port(field)?;
+        let info = unit.stencil.accesses.get(field)?;
+        let space = &unit.space;
+        let dtype = unit.stencil.output_type;
+
+        // Bounds check per dimension (predication).
+        let mut full_offset = vec![0i64; space.rank()];
+        let mut out_of_bounds = false;
+        for (var, &off) in info.index_vars.iter().zip(offsets.iter()) {
+            if let Some(dim) = space.dim_index(var) {
+                full_offset[dim] = off;
+                let pos = self.index[dim] as i64 + off;
+                if pos < 0 || pos >= space.shape[dim] as i64 {
+                    out_of_bounds = true;
+                }
+            }
+        }
+        let cell = space.flat_index(self.index) as i64;
+        if out_of_bounds {
+            return match unit.stencil.boundary.condition_for(field) {
+                BoundaryCondition::Constant(c) => Some(Value::from_f64(c, dtype)),
+                BoundaryCondition::Copy => port
+                    .value_at(cell)
+                    .map(|v| Value::from_f64(v, dtype)),
+            };
+        }
+        let linear = cell + space.linearize_offset(&full_offset);
+        port.value_at(linear).map(|v| Value::from_f64(v, dtype))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_expr::DataType;
+    use stencilflow_program::StencilProgramBuilder;
+
+    fn simple_program() -> StencilProgram {
+        StencilProgramBuilder::new("p", &[8])
+            .input("a", DataType::Float32, &["i"])
+            .stencil("s", "a[i-1] + a[i+1]")
+            .boundary("s", "a", BoundaryCondition::Constant(0.0))
+            .output("s")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn unit_streams_a_three_point_stencil() {
+        let program = simple_program();
+        let stencil = program.stencil("s").unwrap();
+        let mut channels = vec![Fifo::new("a->s", 64), Fifo::new("s->out", 64)];
+        let inputs: BTreeMap<String, usize> = [("a".to_string(), 0)].into_iter().collect();
+        let mut unit = StencilUnitSim::new(&program, stencil, &inputs, vec![1]);
+
+        // Feed the input stream 0..8 and run until done.
+        let data: Vec<f64> = (0..8).map(|v| v as f64).collect();
+        let mut fed = 0usize;
+        for cycle in 0..200u64 {
+            for c in channels.iter_mut() {
+                c.begin_cycle();
+            }
+            if fed < data.len() && channels[0].can_push() {
+                channels[0].push(cycle, data[fed]);
+                fed += 1;
+            }
+            unit.step(cycle, &mut channels);
+            if unit.done() {
+                break;
+            }
+        }
+        assert!(unit.done());
+        let outputs: Vec<f64> = (0..8).map(|_| channels[1].pop(1000)).collect();
+        // s[i] = a[i-1] + a[i+1] with constant-0 boundaries.
+        assert_eq!(outputs, vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 6.0]);
+    }
+
+    #[test]
+    fn unit_stalls_without_input_and_counts_it() {
+        let program = simple_program();
+        let stencil = program.stencil("s").unwrap();
+        let mut channels = vec![Fifo::new("a->s", 4), Fifo::new("s->out", 4)];
+        let inputs: BTreeMap<String, usize> = [("a".to_string(), 0)].into_iter().collect();
+        let mut unit = StencilUnitSim::new(&program, stencil, &inputs, vec![1]);
+        for c in channels.iter_mut() {
+            c.begin_cycle();
+        }
+        // No input available: no progress, and the stall is recorded.
+        assert!(!unit.step(0, &mut channels));
+        assert!(unit.input_stalls > 0);
+    }
+
+    #[test]
+    fn unit_blocks_on_full_output_channel() {
+        let program = simple_program();
+        let stencil = program.stencil("s").unwrap();
+        // Output channel of capacity 1.
+        let mut channels = vec![Fifo::new("a->s", 64), Fifo::new("s->out", 1)];
+        let inputs: BTreeMap<String, usize> = [("a".to_string(), 0)].into_iter().collect();
+        let mut unit = StencilUnitSim::new(&program, stencil, &inputs, vec![1]);
+        for cycle in 0..20u64 {
+            for c in channels.iter_mut() {
+                c.begin_cycle();
+            }
+            if channels[0].can_push() {
+                channels[0].push(cycle, cycle as f64);
+            }
+            unit.step(cycle, &mut channels);
+        }
+        // Only one output fits; the unit must have stalled on output.
+        assert_eq!(channels[1].len(), 1);
+        assert!(unit.output_stalls > 0);
+        assert!(unit.produced <= 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! StencilFlow: mapping large stencil programs to distributed spatial
+//! computing systems — Rust reproduction.
+//!
+//! This umbrella crate re-exports the whole stack and provides the
+//! [`Pipeline`] convenience API that mirrors the paper's end-to-end workflow
+//! (Fig. 13): *program description → dependency & buffering analysis →
+//! domain-specific optimization (stencil fusion) → hardware mapping →
+//! code generation / simulated execution → validation against the reference
+//! executor*.
+//!
+//! ```
+//! use stencilflow::Pipeline;
+//!
+//! let json = r#"{
+//!   "inputs": { "a": {"dtype": "float32", "dims": ["i", "j"]} },
+//!   "outputs": ["b"],
+//!   "shape": [16, 16],
+//!   "program": { "b": "0.25 * (a[i-1,j] + a[i+1,j] + a[i,j-1] + a[i,j+1])" }
+//! }"#;
+//! let pipeline = Pipeline::from_json(json).unwrap();
+//! let result = pipeline.execute(42).unwrap();
+//! assert!(result.simulation.completed());
+//! assert!(result.max_error_vs_reference < 1e-5);
+//! ```
+
+pub use stencilflow_codegen as codegen;
+pub use stencilflow_core as core;
+pub use stencilflow_dataflow as dataflow;
+pub use stencilflow_expr as expr;
+pub use stencilflow_hwmodel as hwmodel;
+pub use stencilflow_program as program;
+pub use stencilflow_reference as reference;
+pub use stencilflow_sim as sim;
+pub use stencilflow_workloads as workloads;
+
+pub use stencilflow_core::{analyze, AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig, ProgramAnalysis};
+pub use stencilflow_program::{from_json, StencilProgram, StencilProgramBuilder};
+pub use stencilflow_sim::{SimConfig, SimOutcome, SimReport, Simulator};
+
+use std::collections::BTreeMap;
+use stencilflow_reference::{Grid, InputGenerator, ReferenceExecutor};
+
+/// Errors produced by the end-to-end pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Program construction or validation failed.
+    Program(stencilflow_program::ProgramError),
+    /// Analysis, mapping, or simulation failed.
+    Core(stencilflow_core::CoreError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Program(e) => write!(f, "program error: {e}"),
+            PipelineError::Core(e) => write!(f, "mapping error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<stencilflow_program::ProgramError> for PipelineError {
+    fn from(e: stencilflow_program::ProgramError) -> Self {
+        PipelineError::Program(e)
+    }
+}
+
+impl From<stencilflow_core::CoreError> for PipelineError {
+    fn from(e: stencilflow_core::CoreError) -> Self {
+        PipelineError::Core(e)
+    }
+}
+
+/// Result of running the full pipeline on one program.
+#[derive(Debug)]
+pub struct PipelineResult {
+    /// The (possibly fused) program that was mapped.
+    pub program: StencilProgram,
+    /// The buffering analysis.
+    pub analysis: ProgramAnalysis,
+    /// The single-device hardware mapping.
+    pub mapping: HardwareMapping,
+    /// Generated OpenCL-style kernel code.
+    pub kernel_code: String,
+    /// Simulation report (cycle count, outputs, stall statistics).
+    pub simulation: SimReport,
+    /// Maximum relative error of the simulated outputs against the reference
+    /// executor, over all program outputs and valid cells.
+    pub max_error_vs_reference: f64,
+}
+
+/// The end-to-end StencilFlow pipeline.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    program: StencilProgram,
+    analysis_config: AnalysisConfig,
+    sim_config: SimConfig,
+    fuse: bool,
+}
+
+impl Pipeline {
+    /// Build a pipeline from a JSON program description (the paper's Lst. 1
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the description does not parse or validate.
+    pub fn from_json(text: &str) -> Result<Self, PipelineError> {
+        Ok(Self::new(stencilflow_program::from_json(text)?))
+    }
+
+    /// Build a pipeline from an already-constructed program.
+    pub fn new(program: StencilProgram) -> Self {
+        Pipeline {
+            program,
+            analysis_config: AnalysisConfig::paper_defaults(),
+            sim_config: SimConfig::default(),
+            fuse: true,
+        }
+    }
+
+    /// Disable the aggressive stencil-fusion pass (enabled by default, as in
+    /// the paper's experiments).
+    pub fn without_fusion(mut self) -> Self {
+        self.fuse = false;
+        self
+    }
+
+    /// Override the analysis configuration.
+    pub fn with_analysis_config(mut self, config: AnalysisConfig) -> Self {
+        self.analysis_config = config;
+        self
+    }
+
+    /// Override the simulation configuration.
+    pub fn with_sim_config(mut self, config: SimConfig) -> Self {
+        self.sim_config = config;
+        self
+    }
+
+    /// The program this pipeline will map (before fusion).
+    pub fn program(&self) -> &StencilProgram {
+        &self.program
+    }
+
+    /// Run the complete flow: fuse, analyze, map, generate code, simulate on
+    /// pseudo-random inputs (seeded by `seed`), and validate against the
+    /// sequential reference executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stage fails.
+    pub fn execute(&self, seed: u64) -> Result<PipelineResult, PipelineError> {
+        let inputs = InputGenerator::new(seed).generate(&self.program);
+        self.execute_with_inputs(&inputs)
+    }
+
+    /// Run the complete flow on caller-provided input grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stage fails.
+    pub fn execute_with_inputs(
+        &self,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<PipelineResult, PipelineError> {
+        let program = if self.fuse {
+            stencilflow_dataflow::fuse_all(&self.program)?
+        } else {
+            self.program.clone()
+        };
+        let analysis = stencilflow_core::analyze(&program, &self.analysis_config)?;
+        let mapping = HardwareMapping::build(&program, &self.analysis_config)?;
+        let kernel_code = stencilflow_codegen::generate_kernels(&program, &mapping);
+        let simulator = Simulator::build(&program, &self.analysis_config, &self.sim_config)?;
+        let simulation = simulator.run(inputs)?;
+
+        // Validate against the reference executor (on the original,
+        // unfused program — fusion must not change results).
+        let mut max_error: f64 = 0.0;
+        if simulation.completed() {
+            let reference = ReferenceExecutor::new().run(&self.program, inputs)?;
+            for output in self.program.outputs() {
+                if let Some(grid) = simulation.output(output) {
+                    if let Some(err) = reference.compare_field(output, grid) {
+                        max_error = max_error.max(err);
+                    }
+                }
+            }
+        } else {
+            max_error = f64::INFINITY;
+        }
+
+        Ok(PipelineResult {
+            program,
+            analysis,
+            mapping,
+            kernel_code,
+            simulation,
+            max_error_vs_reference: max_error,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_workloads::{listing1, ChainSpec};
+
+    #[test]
+    fn pipeline_runs_listing1_end_to_end() {
+        let program = stencilflow_workloads::listing1::listing1_with_shape(&[6, 6, 6]);
+        let result = Pipeline::new(program).execute(7).unwrap();
+        assert!(result.simulation.completed());
+        assert!(result.max_error_vs_reference < 1e-5);
+        assert!(result.kernel_code.contains("channel float"));
+        assert!(result.analysis.total_buffer_elements() > 0);
+    }
+
+    #[test]
+    fn fusion_reduces_stencil_count_without_changing_results() {
+        let spec = ChainSpec::new(4, 8).with_shape(&[32, 8, 8]);
+        let program = stencilflow_workloads::chain_program(&spec);
+        // Chains of center-only padded stages are not fusable (offset
+        // accesses), so use a fusable program instead: listing1 has none
+        // either; build a simple chain of pointwise stages.
+        let pointwise = StencilProgramBuilder::new("pointwise", &[16, 16])
+            .input("a", stencilflow_expr::DataType::Float32, &["i", "j"])
+            .stencil("s1", "a[i,j] * 2.0")
+            .stencil("s2", "s1[i,j] + 1.0")
+            .stencil("s3", "s2[i,j] * 0.5")
+            .output("s3")
+            .build()
+            .unwrap();
+        let fused = Pipeline::new(pointwise.clone()).execute(3).unwrap();
+        let unfused = Pipeline::new(pointwise).without_fusion().execute(3).unwrap();
+        assert!(fused.program.stencil_count() < unfused.program.stencil_count());
+        assert!(fused.max_error_vs_reference < 1e-5);
+        assert!(unfused.max_error_vs_reference < 1e-5);
+        let _ = program;
+        let _ = listing1();
+    }
+}

@@ -1,0 +1,93 @@
+//! Jacobi 2D / 3D iterative stencil chains (Tab. I workloads).
+
+use stencilflow_expr::DataType;
+use stencilflow_program::{StencilProgram, StencilProgramBuilder};
+
+/// A chain of `timesteps` 5-point Jacobi relaxation steps on a 2D domain,
+/// analogous to unrolling the time dimension of an iterative solver.
+pub fn jacobi2d(timesteps: usize, shape: &[usize; 2], vectorization: usize) -> StencilProgram {
+    assert!(timesteps > 0, "at least one timestep is required");
+    let mut builder = StencilProgramBuilder::new("jacobi2d", shape)
+        .vectorization(vectorization)
+        .input("f0", DataType::Float32, &["i", "j"]);
+    for t in 1..=timesteps {
+        let prev = format!("f{}", t - 1);
+        let name = format!("f{t}");
+        builder = builder
+            .stencil(
+                &name,
+                &format!(
+                    "0.25 * ({prev}[i-1,j] + {prev}[i+1,j] + {prev}[i,j-1] + {prev}[i,j+1])"
+                ),
+            )
+            .shrink(&name);
+    }
+    builder
+        .output(&format!("f{timesteps}"))
+        .build()
+        .expect("generated Jacobi 2D programs are valid")
+}
+
+/// A chain of `timesteps` 7-point Jacobi relaxation steps on a 3D domain.
+pub fn jacobi3d(timesteps: usize, shape: &[usize; 3], vectorization: usize) -> StencilProgram {
+    assert!(timesteps > 0, "at least one timestep is required");
+    let mut builder = StencilProgramBuilder::new("jacobi3d", shape)
+        .vectorization(vectorization)
+        .input("f0", DataType::Float32, &["i", "j", "k"]);
+    for t in 1..=timesteps {
+        let prev = format!("f{}", t - 1);
+        let name = format!("f{t}");
+        builder = builder
+            .stencil(
+                &name,
+                &format!(
+                    "0.125 * ({prev}[i,j,k] + {prev}[i-1,j,k] + {prev}[i+1,j,k] \
+                     + {prev}[i,j-1,k] + {prev}[i,j+1,k] + {prev}[i,j,k-1] + {prev}[i,j,k+1])"
+                ),
+            )
+            .shrink(&name);
+    }
+    builder
+        .output(&format!("f{timesteps}"))
+        .build()
+        .expect("generated Jacobi 3D programs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi2d_ops_per_stencil() {
+        let program = jacobi2d(3, &[32, 32], 1);
+        assert_eq!(program.stencil_count(), 3);
+        // 3 adds + 1 mul per stencil.
+        assert_eq!(program.ops_per_cell().flops(), 3 * 4);
+    }
+
+    #[test]
+    fn jacobi3d_ops_per_stencil() {
+        let program = jacobi3d(2, &[8, 8, 8], 1);
+        // 6 adds + 1 mul per stencil = 7, close to the 8 Op/stencil the
+        // paper quotes for its Jacobi-style chain stage.
+        assert_eq!(program.ops_per_cell().flops(), 2 * 7);
+    }
+
+    #[test]
+    fn buffering_requires_one_slice_per_stage() {
+        // The j-offset accesses force a two-row buffer in 2D and a
+        // two-slice buffer in 3D; verified through the core analysis in the
+        // integration tests, here we just check the access extents.
+        let program = jacobi3d(1, &[8, 8, 8], 1);
+        let stencil = program.stencil("f1").unwrap();
+        let info = stencil.accesses.get("f0").unwrap();
+        assert_eq!(info.access_count(), 7);
+        assert_eq!(info.extent(), vec![(-1, 1), (-1, 1), (-1, 1)]);
+    }
+
+    #[test]
+    fn vectorized_variants_build() {
+        jacobi2d(2, &[64, 64], 8).validate().unwrap();
+        jacobi3d(2, &[16, 16, 16], 4).validate().unwrap();
+    }
+}

@@ -1,0 +1,51 @@
+//! Workload generators for the StencilFlow reproduction.
+//!
+//! Every benchmark of the paper's evaluation (§VIII–IX) is driven by one of
+//! the stencil programs generated here:
+//!
+//! * [`listing1`] — the running example of §II (Lst. 1 / Fig. 2).
+//! * [`chain`] — linear chains of identical stencils ("analogous to
+//!   time-tiled iterative stencils"), the workload of the Fig. 14/15 scaling
+//!   experiments.
+//! * [`jacobi`] / [`diffusion`] — the Jacobi 2D/3D and Diffusion 2D/3D
+//!   kernels of Tab. I.
+//! * [`membench`] — bandwidth microbenchmarks with a configurable number of
+//!   parallel off-chip access points (Fig. 16).
+//! * [`horizontal_diffusion`] — the COSMO horizontal-diffusion stencil
+//!   program with Smagorinsky diffusion (§IX), the full-complexity
+//!   application study.
+
+pub mod chain;
+pub mod diffusion;
+pub mod horizontal_diffusion;
+pub mod jacobi;
+pub mod listing1;
+pub mod membench;
+
+pub use chain::{chain_program, ChainSpec};
+pub use diffusion::{diffusion2d, diffusion3d};
+pub use horizontal_diffusion::{horizontal_diffusion, HorizontalDiffusionSpec};
+pub use jacobi::{jacobi2d, jacobi3d};
+pub use listing1::listing1;
+pub use membench::{membench_program, MembenchSpec};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_generators_produce_valid_programs() {
+        // Validation happens inside the builders; just exercise every
+        // generator once with small parameters.
+        listing1().validate().unwrap();
+        jacobi2d(4, &[16, 16], 1).validate().unwrap();
+        jacobi3d(4, &[8, 8, 8], 1).validate().unwrap();
+        diffusion2d(4, &[16, 16], 1).validate().unwrap();
+        diffusion3d(4, &[8, 8, 8], 1).validate().unwrap();
+        chain_program(&ChainSpec::new(8, 8)).validate().unwrap();
+        membench_program(&MembenchSpec::new(8, 1)).validate().unwrap();
+        horizontal_diffusion(&HorizontalDiffusionSpec::default())
+            .validate()
+            .unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Umbrella package for the StencilFlow reproduction workspace.
+//!
+//! This crate only hosts the repository-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`); the actual functionality lives
+//! in the `stencilflow-*` crates under `crates/`.
+pub use stencilflow as api;
