@@ -14,4 +14,8 @@ fn main() {
     let (deadlocked, completed) = stencilflow_bench::deadlock_demo();
     println!("== Figure 4: deadlock demonstration ==");
     println!("unit-depth channels deadlock: {deadlocked}; analysis-computed depths stream: {completed}");
+    print!(
+        "{}",
+        stencilflow_bench::format_throughput(&stencilflow_bench::eval_throughput(false))
+    );
 }

@@ -91,15 +91,10 @@ pub fn try_fuse(
         };
         statements.push(Stmt { name, value });
     }
-    for (idx, stmt) in cons.program.statements.iter().enumerate() {
+    for stmt in cons.program.statements.iter() {
         let replaced = replace_center_access(&stmt.value, producer, &bound_name);
-        let name = if idx + 1 == cons.program.statements.len() {
-            stmt.name.clone()
-        } else {
-            stmt.name.clone()
-        };
         statements.push(Stmt {
-            name,
+            name: stmt.name.clone(),
             value: replaced,
         });
     }

@@ -155,10 +155,8 @@ impl AccessExtractor {
                 let offsets: Vec<i64> = indices.iter().map(|ix| ix.offset).collect();
                 accesses.record(field, &vars, offsets);
             }
-            Expr::Var(name) => {
-                if !locals.contains(name.as_str()) {
-                    accesses.record_scalar(name);
-                }
+            Expr::Var(name) if !locals.contains(name.as_str()) => {
+                accesses.record_scalar(name);
             }
             _ => {}
         });

@@ -1,0 +1,585 @@
+//! Compilation of stencil code segments to slot-resolved bytecode.
+//!
+//! The tree-walking [`crate::eval::Evaluator`] is the semantic reference for
+//! the expression language, but it is far too slow for the hot path of the
+//! stack: the reference executor and the functional mode of the spatial
+//! simulator evaluate a code segment **once per cell of the iteration
+//! space**, and the evaluator heap-allocates an offset vector and performs a
+//! string-keyed resolver lookup for every field access of every cell, plus a
+//! `BTreeMap` of locals per evaluation.
+//!
+//! [`CompiledKernel`] removes all of that from the inner loop:
+//!
+//! * The statement list is lowered **once** into a flat, postorder
+//!   instruction array ([`Op`]) executed by a small stack machine over
+//!   [`Value`]s. Locals become register indices, math functions dispatch on
+//!   the [`MathFn`] enum, and constants are pre-folded with the bit-exact
+//!   variant of the [`crate::fold`] pass.
+//! * Every distinct field access `(field, offsets)` — and every scalar
+//!   symbol — becomes an [`AccessSlot`] with a dense index. Consumers
+//!   resolve each slot to their own storage **once per plan** (the reference
+//!   executor binds slots to grids and flat-offset deltas; the simulator
+//!   binds them to sliding-window taps) and then feed the kernel a plain
+//!   `&[Value]` per cell: no strings, no allocation, no hashing.
+//!
+//! Evaluation semantics are identical to the evaluator bit for bit —
+//! including type promotion, `f32` rounding, short-circuit logic, lazy
+//! ternary branches, and integer-division errors — which the golden
+//! equivalence suite checks exhaustively.
+
+use crate::ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
+use crate::error::{ExprError, Result};
+use crate::eval::{eval_math_fn, AccessResolver};
+use crate::fold::fold_program_exact;
+use crate::value::{CompareOp, Value};
+use std::collections::BTreeMap;
+
+/// One distinct access of a compiled kernel: a field (or scalar symbol) at a
+/// fixed constant-offset vector. Scalar symbols have empty `offsets`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessSlot {
+    /// Field or scalar symbol name.
+    pub field: String,
+    /// Constant offsets of the access (one per index used; empty for
+    /// scalars).
+    pub offsets: Vec<i64>,
+    /// Index variables of the access, parallel to `offsets`.
+    pub index_vars: Vec<String>,
+}
+
+impl AccessSlot {
+    /// Whether this slot is a scalar symbol reference.
+    pub fn is_scalar(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+/// One instruction of the compiled kernel's stack machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push a literal value.
+    Const(Value),
+    /// Push the pre-resolved value of an access slot.
+    Slot(u16),
+    /// Push the value of a local register.
+    Local(u16),
+    /// Pop into a local register.
+    Store(u16),
+    /// Pop and discard (anonymous non-final statements).
+    Pop,
+    /// Unary operation on the stack top.
+    Unary(UnOp),
+    /// Binary (non-logical) operation on the two topmost values.
+    Binary(BinOp),
+    /// Math function of one argument.
+    Call1(MathFn),
+    /// Math function of two arguments.
+    Call2(MathFn),
+    /// Unconditional jump to an instruction index.
+    Jump(u32),
+    /// Pop; jump when false (ternary conditions).
+    JumpIfFalse(u32),
+    /// Pop; on false push `Bool(false)` and jump (short-circuit `&&`).
+    AndShortCircuit(u32),
+    /// Pop; on true push `Bool(true)` and jump (short-circuit `||`).
+    OrShortCircuit(u32),
+    /// Pop and push the value coerced to `Bool` (logical-operator results).
+    ToBool,
+}
+
+/// Reusable evaluation scratch space; one per worker thread.
+///
+/// Holding the operand stack and local registers outside the kernel keeps
+/// [`CompiledKernel::eval_slots`] allocation-free after the first call and
+/// lets one immutable kernel be shared across threads.
+#[derive(Debug, Default, Clone)]
+pub struct EvalScratch {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+}
+
+/// A code segment lowered to slot-resolved bytecode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledKernel {
+    ops: Vec<Op>,
+    slots: Vec<AccessSlot>,
+    local_count: usize,
+    max_stack: usize,
+}
+
+impl CompiledKernel {
+    /// Lower a parsed code segment.
+    ///
+    /// The program is first constant-folded (bit-exactly); every remaining
+    /// distinct access becomes an [`AccessSlot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::EmptyProgram`] for empty programs. Unresolvable
+    /// symbols are *not* detected here — they surface when the consumer
+    /// binds slots (mirroring the evaluator, which fails on first use).
+    pub fn compile(program: &Program) -> Result<CompiledKernel> {
+        if program.statements.is_empty() {
+            return Err(ExprError::EmptyProgram);
+        }
+        let folded = fold_program_exact(program);
+        let mut compiler = Compiler::default();
+        let last = folded.statements.len() - 1;
+        for (idx, stmt) in folded.statements.iter().enumerate() {
+            compiler.lower_stmt(stmt, idx == last);
+        }
+        let max_stack = compiler.max_stack();
+        Ok(CompiledKernel {
+            ops: compiler.ops,
+            slots: compiler.slots,
+            local_count: compiler.locals.len(),
+            max_stack,
+        })
+    }
+
+    /// The distinct accesses of this kernel, indexed by slot number.
+    pub fn slots(&self) -> &[AccessSlot] {
+        &self.slots
+    }
+
+    /// The lowered instruction stream.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of local registers the kernel uses.
+    pub fn local_count(&self) -> usize {
+        self.local_count
+    }
+
+    /// Maximum operand-stack depth, statically determined.
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
+    /// Evaluate with pre-resolved slot values (the hot path).
+    ///
+    /// `slot_values[i]` must hold the value of `self.slots()[i]` for the
+    /// current cell. After `scratch` has warmed up (first call), this
+    /// performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic failures (integer division by zero), exactly
+    /// like the tree-walking evaluator.
+    pub fn eval_slots(&self, slot_values: &[Value], scratch: &mut EvalScratch) -> Result<Value> {
+        debug_assert_eq!(slot_values.len(), self.slots.len());
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.reserve(self.max_stack);
+        scratch.locals.resize(self.local_count, Value::F64(0.0));
+        let locals = &mut scratch.locals;
+
+        let ops = &self.ops;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match ops[pc] {
+                Op::Const(v) => stack.push(v),
+                Op::Slot(ix) => stack.push(slot_values[ix as usize]),
+                Op::Local(ix) => stack.push(locals[ix as usize]),
+                Op::Store(ix) => {
+                    locals[ix as usize] = stack.pop().expect("stack underflow: Store")
+                }
+                Op::Pop => {
+                    stack.pop().expect("stack underflow: Pop");
+                }
+                Op::Unary(op) => {
+                    let v = stack.pop().expect("stack underflow: Unary");
+                    stack.push(match op {
+                        UnOp::Neg => v.neg(),
+                        UnOp::Not => v.not(),
+                    });
+                }
+                Op::Binary(op) => {
+                    let r = stack.pop().expect("stack underflow: Binary rhs");
+                    let l = stack.pop().expect("stack underflow: Binary lhs");
+                    stack.push(match op {
+                        BinOp::Add => l.add(r),
+                        BinOp::Sub => l.sub(r),
+                        BinOp::Mul => l.mul(r),
+                        BinOp::Div => l.div(r)?,
+                        BinOp::Lt => l.compare(r, CompareOp::Lt),
+                        BinOp::Gt => l.compare(r, CompareOp::Gt),
+                        BinOp::Le => l.compare(r, CompareOp::Le),
+                        BinOp::Ge => l.compare(r, CompareOp::Ge),
+                        BinOp::Eq => l.compare(r, CompareOp::Eq),
+                        BinOp::Ne => l.compare(r, CompareOp::Ne),
+                        BinOp::And | BinOp::Or => {
+                            unreachable!("logical operators lower to jumps")
+                        }
+                    });
+                }
+                Op::Call1(func) => {
+                    let a = stack.pop().expect("stack underflow: Call1");
+                    stack.push(eval_math_fn(func, &[a]));
+                }
+                Op::Call2(func) => {
+                    let b = stack.pop().expect("stack underflow: Call2 arg 2");
+                    let a = stack.pop().expect("stack underflow: Call2 arg 1");
+                    stack.push(eval_math_fn(func, &[a, b]));
+                }
+                Op::Jump(target) => {
+                    pc = target as usize;
+                    continue;
+                }
+                Op::JumpIfFalse(target) => {
+                    let c = stack.pop().expect("stack underflow: JumpIfFalse");
+                    if !c.as_bool() {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::AndShortCircuit(target) => {
+                    let l = stack.pop().expect("stack underflow: AndShortCircuit");
+                    if !l.as_bool() {
+                        stack.push(Value::Bool(false));
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::OrShortCircuit(target) => {
+                    let l = stack.pop().expect("stack underflow: OrShortCircuit");
+                    if l.as_bool() {
+                        stack.push(Value::Bool(true));
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::ToBool => {
+                    let v = stack.pop().expect("stack underflow: ToBool");
+                    stack.push(Value::Bool(v.as_bool()));
+                }
+            }
+            pc += 1;
+        }
+        stack.pop().ok_or(ExprError::EmptyProgram)
+    }
+
+    /// Convenience evaluation through an [`AccessResolver`]: resolves every
+    /// slot, then runs the bytecode. Used by tests and one-off evaluations;
+    /// hot paths should pre-bind slots and call
+    /// [`CompiledKernel::eval_slots`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::UnresolvedSymbol`] if the resolver cannot supply
+    /// a slot, and propagates arithmetic failures.
+    pub fn eval<R: AccessResolver + ?Sized>(&self, resolver: &R) -> Result<Value> {
+        let mut values = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let value = resolver.resolve(&slot.field, &slot.offsets).ok_or_else(|| {
+                ExprError::UnresolvedSymbol {
+                    name: if slot.is_scalar() {
+                        slot.field.clone()
+                    } else {
+                        format!("{}{:?}", slot.field, slot.offsets)
+                    },
+                }
+            })?;
+            values.push(value);
+        }
+        self.eval_slots(&values, &mut EvalScratch::default())
+    }
+}
+
+/// Lowering state.
+#[derive(Default)]
+struct Compiler {
+    ops: Vec<Op>,
+    slots: Vec<AccessSlot>,
+    slot_index: BTreeMap<(String, Vec<i64>), u16>,
+    locals: BTreeMap<String, u16>,
+}
+
+impl Compiler {
+    fn lower_stmt(&mut self, stmt: &Stmt, is_last: bool) {
+        self.lower_expr(&stmt.value);
+        if is_last {
+            // The final statement's value is the kernel result: leave it on
+            // the stack (even when named — nothing can read the local).
+            return;
+        }
+        match &stmt.name {
+            Some(name) => {
+                let next = self.locals.len() as u16;
+                let register = *self.locals.entry(name.clone()).or_insert(next);
+                self.ops.push(Op::Store(register));
+            }
+            None => self.ops.push(Op::Pop),
+        }
+    }
+
+    fn slot_for(&mut self, field: &str, index_vars: Vec<String>, offsets: Vec<i64>) -> u16 {
+        let key = (field.to_string(), offsets.clone());
+        if let Some(&ix) = self.slot_index.get(&key) {
+            return ix;
+        }
+        let ix = u16::try_from(self.slots.len()).expect("more than 65535 distinct accesses");
+        self.slots.push(AccessSlot {
+            field: field.to_string(),
+            offsets,
+            index_vars,
+        });
+        self.slot_index.insert(key, ix);
+        ix
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) {
+        match expr {
+            Expr::IntLit(v) => self.ops.push(Op::Const(Value::I64(*v))),
+            Expr::FloatLit(v) => self.ops.push(Op::Const(Value::F64(*v))),
+            Expr::Var(name) => {
+                if let Some(&register) = self.locals.get(name) {
+                    self.ops.push(Op::Local(register));
+                } else {
+                    // Scalar symbol: resolved by the consumer at bind time.
+                    let slot = self.slot_for(name, Vec::new(), Vec::new());
+                    self.ops.push(Op::Slot(slot));
+                }
+            }
+            Expr::FieldAccess { field, indices } => {
+                let offsets: Vec<i64> = indices.iter().map(|ix| ix.offset).collect();
+                let vars: Vec<String> = indices.iter().map(|ix| ix.var.clone()).collect();
+                let slot = self.slot_for(field, vars, offsets);
+                self.ops.push(Op::Slot(slot));
+            }
+            Expr::Unary { op, operand } => {
+                self.lower_expr(operand);
+                self.ops.push(Op::Unary(*op));
+            }
+            Expr::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.lower_expr(lhs);
+                    let patch = self.ops.len();
+                    self.ops.push(Op::AndShortCircuit(0));
+                    self.lower_expr(rhs);
+                    self.ops.push(Op::ToBool);
+                    let end = self.ops.len() as u32;
+                    self.ops[patch] = Op::AndShortCircuit(end);
+                }
+                BinOp::Or => {
+                    self.lower_expr(lhs);
+                    let patch = self.ops.len();
+                    self.ops.push(Op::OrShortCircuit(0));
+                    self.lower_expr(rhs);
+                    self.ops.push(Op::ToBool);
+                    let end = self.ops.len() as u32;
+                    self.ops[patch] = Op::OrShortCircuit(end);
+                }
+                _ => {
+                    self.lower_expr(lhs);
+                    self.lower_expr(rhs);
+                    self.ops.push(Op::Binary(*op));
+                }
+            },
+            Expr::Ternary {
+                cond,
+                then,
+                otherwise,
+            } => {
+                self.lower_expr(cond);
+                let patch_else = self.ops.len();
+                self.ops.push(Op::JumpIfFalse(0));
+                self.lower_expr(then);
+                let patch_end = self.ops.len();
+                self.ops.push(Op::Jump(0));
+                let else_target = self.ops.len() as u32;
+                self.ops[patch_else] = Op::JumpIfFalse(else_target);
+                self.lower_expr(otherwise);
+                let end_target = self.ops.len() as u32;
+                self.ops[patch_end] = Op::Jump(end_target);
+            }
+            Expr::Call { func, args } => {
+                for arg in args {
+                    self.lower_expr(arg);
+                }
+                match args.len() {
+                    1 => self.ops.push(Op::Call1(*func)),
+                    2 => self.ops.push(Op::Call2(*func)),
+                    n => unreachable!("math functions have arity 1 or 2, got {n}"),
+                }
+            }
+        }
+    }
+
+    /// Statically determine the maximum operand-stack depth by abstract
+    /// execution over instruction effects (jumps only ever skip pushes, so a
+    /// linear scan upper-bounds the true depth).
+    fn max_stack(&self) -> usize {
+        let mut depth = 0i64;
+        let mut max = 0i64;
+        for op in &self.ops {
+            depth += match op {
+                Op::Const(_) | Op::Slot(_) | Op::Local(_) => 1,
+                Op::Store(_) | Op::Pop | Op::Binary(_) | Op::Call2(_) | Op::JumpIfFalse(_) => -1,
+                Op::Unary(_) | Op::Call1(_) | Op::Jump(_) | Op::ToBool => 0,
+                // Short-circuit ops pop the lhs and conditionally push the
+                // result; net effect on the fall-through path is -1, and the
+                // taken path pushes one back, so 0 is the safe upper bound.
+                Op::AndShortCircuit(_) | Op::OrShortCircuit(_) => 0,
+            };
+            max = max.max(depth);
+        }
+        max.max(1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Evaluator, MapResolver};
+    use crate::parser::parse_program;
+
+    fn compile(code: &str) -> CompiledKernel {
+        CompiledKernel::compile(&parse_program(code).unwrap()).unwrap()
+    }
+
+    fn check_matches_evaluator(code: &str, resolver: &MapResolver) {
+        let program = parse_program(code).unwrap();
+        let interpreted = Evaluator::new(resolver).eval_program(&program);
+        let compiled = CompiledKernel::compile(&program).unwrap().eval(resolver);
+        match (interpreted, compiled) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.data_type(), b.data_type(), "type mismatch for `{code}`");
+                assert!(
+                    a.as_f64().to_bits() == b.as_f64().to_bits()
+                        || (a.as_f64().is_nan() && b.as_f64().is_nan()),
+                    "value mismatch for `{code}`: {a:?} vs {b:?}"
+                );
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "error mismatch for `{code}`"),
+            (a, b) => panic!("outcome mismatch for `{code}`: {a:?} vs {b:?}"),
+        }
+    }
+
+    fn resolver_f32() -> MapResolver {
+        let mut r = MapResolver::new();
+        r.insert_access("a", &[0], Value::F32(3.5));
+        r.insert_access("a", &[-1], Value::F32(1.25));
+        r.insert_access("a", &[1], Value::F32(-2.0));
+        r.insert_access("b", &[0], Value::F32(0.0));
+        r.insert_scalar("dt", Value::F32(0.25));
+        r
+    }
+
+    #[test]
+    fn matches_evaluator_on_arithmetic_and_locals() {
+        let r = resolver_f32();
+        for code in [
+            "a[i] * 2.0 + 1.0",
+            "x = a[i-1] + a[i+1]; y = x * dt; y - a[i]",
+            "(a[i] + a[i-1]) / (a[i+1] - 2.0)",
+            "-a[i] + -(a[i-1] * dt)",
+            "sqrt(abs(a[i+1])) + min(a[i], max(a[i-1], dt))",
+            "pow(a[i], 2.0) + exp(b[i]) + log(a[i]) + floor(a[i]) + ceil(dt)",
+            "a[i] + 0.0",
+            "1.0 * a[i] - 0.0",
+        ] {
+            check_matches_evaluator(code, &r);
+        }
+    }
+
+    #[test]
+    fn matches_evaluator_on_branches_and_logic() {
+        let r = resolver_f32();
+        for code in [
+            "a[i] > 0.0 ? a[i] : -a[i]",
+            "a[i+1] > 0.0 ? a[i] : -a[i]",
+            "b[i] != 0.0 && 1 / 0 > 0 ? 1.0 : 2.0",
+            "a[i] > 0.0 || 1 / 0 > 0 ? 1.0 : 2.0",
+            "!(a[i] > 0.0) ? dt : a[i-1]",
+            "(a[i] > 0.0 && a[i-1] > 0.0) ? (a[i+1] > 0.0 ? 1.0 : 2.0) : 3.0",
+        ] {
+            check_matches_evaluator(code, &r);
+        }
+    }
+
+    #[test]
+    fn matches_evaluator_on_errors() {
+        let r = resolver_f32();
+        // Integer division by zero errors identically in both paths.
+        check_matches_evaluator("1 / 0", &r);
+        check_matches_evaluator("x = 1 / 0; a[i]", &r);
+        // Float division by zero is IEEE in both paths.
+        check_matches_evaluator("a[i] / b[i]", &r);
+    }
+
+    #[test]
+    fn slots_are_deduplicated() {
+        let kernel = compile("u[i,j] * u[i,j] + u[i-1,j] + dt * dt");
+        assert_eq!(kernel.slots().len(), 3);
+        assert!(kernel.slots().iter().any(|s| s.is_scalar() && s.field == "dt"));
+        let u_center = kernel
+            .slots()
+            .iter()
+            .find(|s| s.field == "u" && s.offsets == vec![0, 0])
+            .unwrap();
+        assert_eq!(u_center.index_vars, vec!["i", "j"]);
+    }
+
+    #[test]
+    fn constants_are_folded_at_compile_time() {
+        let kernel = compile("a[i] * (2.0 * 3.0 + 4.0)");
+        // 2*3+4 folds into a single constant: slot, const, mul.
+        assert_eq!(kernel.ops().len(), 3);
+        assert!(kernel.ops().contains(&Op::Const(Value::F64(10.0))));
+    }
+
+    #[test]
+    fn unresolved_slots_error_at_bind_time() {
+        let kernel = compile("missing[i] + 1.0");
+        let r = MapResolver::new();
+        assert!(matches!(
+            kernel.eval(&r),
+            Err(ExprError::UnresolvedSymbol { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_slots_reuses_scratch_without_allocation_growth() {
+        let kernel = compile("x = a[i-1] + a[i+1]; 0.5 * x + a[i]");
+        let values = [Value::F32(1.0), Value::F32(2.0), Value::F32(3.0)];
+        let mut scratch = EvalScratch::default();
+        let first = kernel.eval_slots(&values, &mut scratch).unwrap();
+        let stack_cap = scratch.stack.capacity();
+        let locals_cap = scratch.locals.capacity();
+        for _ in 0..100 {
+            let again = kernel.eval_slots(&values, &mut scratch).unwrap();
+            assert_eq!(again, first);
+        }
+        assert_eq!(scratch.stack.capacity(), stack_cap);
+        assert_eq!(scratch.locals.capacity(), locals_cap);
+    }
+
+    #[test]
+    fn max_stack_bounds_actual_depth() {
+        let kernel = compile("((a[i] + a[i-1]) * (a[i+1] + dt)) / (a[i] - dt)");
+        assert!(kernel.max_stack() >= 3);
+        assert!(kernel.max_stack() <= 8);
+        assert_eq!(kernel.local_count(), 0);
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let program = Program { statements: vec![] };
+        assert!(matches!(
+            CompiledKernel::compile(&program),
+            Err(ExprError::EmptyProgram)
+        ));
+    }
+
+    #[test]
+    fn locals_shadow_scalars() {
+        // `t` is a local after its assignment; before that it would be a
+        // scalar — the language only allows use after definition, and the
+        // compiled kernel mirrors the evaluator's scoping.
+        let mut r = MapResolver::new();
+        r.insert_access("a", &[0], Value::F32(2.0));
+        check_matches_evaluator("t = a[i] * 3.0; t + t", &r);
+    }
+}

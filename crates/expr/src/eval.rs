@@ -10,6 +10,7 @@
 use crate::ast::{BinOp, Expr, MathFn, Program, UnOp};
 use crate::error::{ExprError, Result};
 use crate::value::{CompareOp, Value};
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 
 /// Resolves field accesses and scalar symbols to runtime values.
@@ -31,9 +32,14 @@ pub trait AccessResolver {
 }
 
 /// Simple map-backed resolver, mainly useful in tests and small tools.
+///
+/// Entries are kept sorted by `(field, offsets)` and looked up by binary
+/// search with borrowed keys, so [`AccessResolver::resolve`] performs no
+/// allocation (the obvious `BTreeMap<(String, Vec<i64>), _>` representation
+/// would have to build an owned key for every lookup).
 #[derive(Debug, Clone, Default)]
 pub struct MapResolver {
-    entries: BTreeMap<(String, Vec<i64>), Value>,
+    entries: Vec<((String, Vec<i64>), Value)>,
 }
 
 impl MapResolver {
@@ -42,10 +48,24 @@ impl MapResolver {
         Self::default()
     }
 
+    fn position(&self, field: &str, offsets: &[i64]) -> std::result::Result<usize, usize> {
+        self.entries.binary_search_by(|((f, o), _)| {
+            match f.as_str().cmp(field) {
+                Ordering::Equal => o.as_slice().cmp(offsets),
+                other => other,
+            }
+        })
+    }
+
     /// Register the value returned for an access to `field` at `offsets`.
     pub fn insert_access(&mut self, field: &str, offsets: &[i64], value: Value) {
-        self.entries
-            .insert((field.to_string(), offsets.to_vec()), value);
+        match self.position(field, offsets) {
+            Ok(found) => self.entries[found].1 = value,
+            Err(insert_at) => self.entries.insert(
+                insert_at,
+                ((field.to_string(), offsets.to_vec()), value),
+            ),
+        }
     }
 
     /// Register a scalar symbol.
@@ -56,7 +76,9 @@ impl MapResolver {
 
 impl AccessResolver for MapResolver {
     fn resolve(&self, field: &str, offsets: &[i64]) -> Option<Value> {
-        self.entries.get(&(field.to_string(), offsets.to_vec())).copied()
+        self.position(field, offsets)
+            .ok()
+            .map(|found| self.entries[found].1)
     }
 }
 

@@ -16,13 +16,29 @@ use crate::value::{CompareOp, Value};
 /// IEEE behaviour for floats) and leaves anything involving a field access or
 /// local variable untouched except where both operands are literals.
 pub fn fold_program(program: &Program) -> Program {
+    fold_program_impl(program, false)
+}
+
+/// Bit-exact constant folding: like [`fold_program`] but without the
+/// identity simplifications (`x + 0`, `x * 1`, `x / 1`, ...).
+///
+/// Those rewrites are numerically exact but can change the *type* of an
+/// intermediate: `x_f32 + 0.0_f64` promotes to `f64` in the evaluator, while
+/// the simplified `x_f32` stays `f32` and is rounded on every subsequent
+/// operation. The compiled-kernel path ([`crate::compile`]) must agree with
+/// the tree-walking evaluator bit for bit, so it folds with this variant.
+pub fn fold_program_exact(program: &Program) -> Program {
+    fold_program_impl(program, true)
+}
+
+fn fold_program_impl(program: &Program, exact: bool) -> Program {
     Program {
         statements: program
             .statements
             .iter()
             .map(|stmt| Stmt {
                 name: stmt.name.clone(),
-                value: fold_expr(&stmt.value),
+                value: fold_expr_impl(&stmt.value, exact),
             })
             .collect(),
     }
@@ -30,15 +46,27 @@ pub fn fold_program(program: &Program) -> Program {
 
 /// Constant-fold a single expression.
 pub fn fold_expr(expr: &Expr) -> Expr {
+    fold_expr_impl(expr, false)
+}
+
+/// Bit-exact variant of [`fold_expr`]; see [`fold_program_exact`].
+pub fn fold_expr_exact(expr: &Expr) -> Expr {
+    fold_expr_impl(expr, true)
+}
+
+fn fold_expr_impl(expr: &Expr, exact: bool) -> Expr {
     match expr {
         Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) | Expr::FieldAccess { .. } => {
             expr.clone()
         }
         Expr::Unary { op, operand } => {
-            let operand = fold_expr(operand);
+            let operand = fold_expr_impl(operand, exact);
             match (&op, literal_value(&operand)) {
                 (UnOp::Neg, Some(v)) => value_to_literal(v.neg()),
-                (UnOp::Not, Some(v)) => value_to_literal(v.not()),
+                // `!literal` evaluates to a Bool, which literals cannot
+                // represent; folding it to 0/1 would change the result type,
+                // so exact mode leaves it to the runtime.
+                (UnOp::Not, Some(v)) if !exact => value_to_literal(v.not()),
                 _ => Expr::Unary {
                     op: *op,
                     operand: Box::new(operand),
@@ -46,29 +74,42 @@ pub fn fold_expr(expr: &Expr) -> Expr {
             }
         }
         Expr::Binary { op, lhs, rhs } => {
-            let lhs = fold_expr(lhs);
-            let rhs = fold_expr(rhs);
+            let lhs = fold_expr_impl(lhs, exact);
+            let rhs = fold_expr_impl(rhs, exact);
             if let (Some(l), Some(r)) = (literal_value(&lhs), literal_value(&rhs)) {
                 if let Some(v) = fold_binary(*op, l, r) {
-                    return value_to_literal(v);
+                    // Comparisons and logic produce Bool, which literals
+                    // cannot represent; exact mode must preserve the type.
+                    if !(exact && v.data_type() == crate::types::DataType::Bool) {
+                        return value_to_literal(v);
+                    }
                 }
             }
-            // Identity simplifications that are exact for floats:
-            // x + 0, 0 + x, x - 0, x * 1, 1 * x, x / 1.
-            match (op, literal_value(&lhs), literal_value(&rhs)) {
-                (BinOp::Add, Some(l), _) if l.as_f64() == 0.0 && !l.as_f64().is_sign_negative() => {
-                    return rhs
+            // Identity simplifications that are numerically exact for floats
+            // (x + 0, 0 + x, x - 0, x * 1, 1 * x, x / 1) but may change the
+            // promoted type of the intermediate; skipped in exact mode.
+            if !exact {
+                match (op, literal_value(&lhs), literal_value(&rhs)) {
+                    (BinOp::Add, Some(l), _)
+                        if l.as_f64() == 0.0 && !l.as_f64().is_sign_negative() =>
+                    {
+                        return rhs
+                    }
+                    (BinOp::Add, _, Some(r))
+                        if r.as_f64() == 0.0 && !r.as_f64().is_sign_negative() =>
+                    {
+                        return lhs
+                    }
+                    (BinOp::Sub, _, Some(r))
+                        if r.as_f64() == 0.0 && !r.as_f64().is_sign_negative() =>
+                    {
+                        return lhs
+                    }
+                    (BinOp::Mul, Some(l), _) if l.as_f64() == 1.0 => return rhs,
+                    (BinOp::Mul, _, Some(r)) if r.as_f64() == 1.0 => return lhs,
+                    (BinOp::Div, _, Some(r)) if r.as_f64() == 1.0 => return lhs,
+                    _ => {}
                 }
-                (BinOp::Add, _, Some(r)) if r.as_f64() == 0.0 && !r.as_f64().is_sign_negative() => {
-                    return lhs
-                }
-                (BinOp::Sub, _, Some(r)) if r.as_f64() == 0.0 && !r.as_f64().is_sign_negative() => {
-                    return lhs
-                }
-                (BinOp::Mul, Some(l), _) if l.as_f64() == 1.0 => return rhs,
-                (BinOp::Mul, _, Some(r)) if r.as_f64() == 1.0 => return lhs,
-                (BinOp::Div, _, Some(r)) if r.as_f64() == 1.0 => return lhs,
-                _ => {}
             }
             Expr::Binary {
                 op: *op,
@@ -81,9 +122,9 @@ pub fn fold_expr(expr: &Expr) -> Expr {
             then,
             otherwise,
         } => {
-            let cond = fold_expr(cond);
-            let then = fold_expr(then);
-            let otherwise = fold_expr(otherwise);
+            let cond = fold_expr_impl(cond, exact);
+            let then = fold_expr_impl(then, exact);
+            let otherwise = fold_expr_impl(otherwise, exact);
             if let Some(c) = literal_value(&cond) {
                 return if c.as_bool() { then } else { otherwise };
             }
@@ -94,7 +135,7 @@ pub fn fold_expr(expr: &Expr) -> Expr {
             }
         }
         Expr::Call { func, args } => {
-            let args: Vec<Expr> = args.iter().map(fold_expr).collect();
+            let args: Vec<Expr> = args.iter().map(|a| fold_expr_impl(a, exact)).collect();
             let literals: Option<Vec<Value>> = args.iter().map(literal_value).collect();
             if let Some(values) = literals {
                 // Only fold functions that are exact on the folded values to
@@ -207,6 +248,18 @@ mod tests {
         let v1 = Evaluator::new(&r).eval_program(&prog).unwrap();
         let v2 = Evaluator::new(&r).eval_program(&folded).unwrap();
         assert_eq!(v1.as_f64(), v2.as_f64());
+    }
+
+    #[test]
+    fn exact_mode_folds_constants_but_keeps_identities() {
+        // Constant subexpressions still fold...
+        let e = fold_expr_exact(&parse_expr("2.0 * 3.0 + 1.0").unwrap());
+        assert_eq!(e, Expr::FloatLit(7.0));
+        // ...but type-changing identity rewrites are kept verbatim.
+        let e = fold_expr_exact(&parse_expr("a[i] + 0.0").unwrap());
+        assert!(matches!(e, Expr::Binary { .. }));
+        let e = fold_expr_exact(&parse_expr("1.0 * a[i]").unwrap());
+        assert!(matches!(e, Expr::Binary { .. }));
     }
 
     #[test]

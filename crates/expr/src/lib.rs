@@ -44,6 +44,10 @@
 //!   intensity / roofline analysis of §IX-A.
 //! * [`fold`] — constant folding, the only expression-level optimization the
 //!   stack needs before handing code to the (simulated) HLS backend.
+//! * [`compile`] — lowering of code segments to slot-resolved bytecode
+//!   ([`CompiledKernel`]), the allocation-free fast path used by the
+//!   reference executor and the functional simulator (see
+//!   `docs/evaluation.md` for the two-tier evaluation architecture).
 //!
 //! # Example
 //!
@@ -60,6 +64,7 @@
 
 pub mod access;
 pub mod ast;
+pub mod compile;
 pub mod error;
 pub mod eval;
 pub mod fold;
@@ -72,9 +77,10 @@ pub mod value;
 
 pub use access::{AccessExtractor, FieldAccesses};
 pub use ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
+pub use compile::{AccessSlot, CompiledKernel, EvalScratch};
 pub use error::{ExprError, Result};
 pub use eval::{AccessResolver, Evaluator, MapResolver};
-pub use fold::fold_program;
+pub use fold::{fold_program, fold_program_exact};
 pub use latency::{critical_path_latency, LatencyTable};
 pub use lexer::{tokenize, Token};
 pub use opcount::{count_ops, OpCount};

@@ -1,5 +1,11 @@
 //! Runtime values for evaluating stencil code segments.
 
+// `add`/`sub`/`mul`/`div`/`neg`/`not` intentionally mirror the source-level
+// operator names of the stencil language rather than implementing the std
+// operator traits: `div` is fallible and the methods carry promotion
+// semantics documented per method.
+#![allow(clippy::should_implement_trait)]
+
 use crate::error::{ExprError, Result};
 use crate::types::DataType;
 use std::fmt;

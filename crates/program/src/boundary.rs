@@ -8,9 +8,9 @@
 //! The former two are specified per input, whereas shrink is specified on the
 //! output."
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use stencilflow_json::Json;
 
 /// How out-of-bounds accesses to one input field are handled.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,41 +21,37 @@ pub enum BoundaryCondition {
     Copy,
 }
 
-/// Wire representation of a boundary condition in the JSON program
-/// description: `{"type": "constant", "value": 1}` or `{"type": "copy"}`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BoundaryConditionRepr {
-    #[serde(rename = "type")]
-    kind: String,
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    value: Option<f64>,
-}
-
-impl Serialize for BoundaryCondition {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let repr = match self {
-            BoundaryCondition::Constant(v) => BoundaryConditionRepr {
-                kind: "constant".to_string(),
-                value: Some(*v),
-            },
-            BoundaryCondition::Copy => BoundaryConditionRepr {
-                kind: "copy".to_string(),
-                value: None,
-            },
-        };
-        repr.serialize(serializer)
+impl BoundaryCondition {
+    /// Wire representation in the JSON program description:
+    /// `{"type": "constant", "value": 1}` or `{"type": "copy"}`.
+    pub fn to_json(&self) -> Json {
+        match self {
+            BoundaryCondition::Constant(v) => Json::Object(vec![
+                ("type".to_string(), Json::String("constant".to_string())),
+                ("value".to_string(), Json::Number(*v)),
+            ]),
+            BoundaryCondition::Copy => Json::Object(vec![(
+                "type".to_string(),
+                Json::String("copy".to_string()),
+            )]),
+        }
     }
-}
 
-impl<'de> Deserialize<'de> for BoundaryCondition {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let repr = BoundaryConditionRepr::deserialize(deserializer)?;
-        match repr.kind.as_str() {
-            "constant" => Ok(BoundaryCondition::Constant(repr.value.unwrap_or(0.0))),
+    /// Parse the wire representation. Returns a human-readable message on
+    /// schema violations.
+    pub fn from_json(value: &Json) -> Result<Self, String> {
+        let kind = value
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "boundary condition must be an object with a `type` key".to_string())?;
+        match kind {
+            "constant" => Ok(BoundaryCondition::Constant(
+                value.get("value").and_then(Json::as_f64).unwrap_or(0.0),
+            )),
             "copy" => Ok(BoundaryCondition::Copy),
-            other => Err(serde::de::Error::custom(format!(
+            other => Err(format!(
                 "unknown boundary condition type `{other}` (expected `constant` or `copy`)"
-            ))),
+            )),
         }
     }
 }
@@ -79,7 +75,7 @@ impl fmt::Display for BoundaryCondition {
 
 /// The complete boundary specification of one stencil node: per-input
 /// conditions plus the output-level `shrink` flag.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BoundarySpec {
     /// Per-input boundary conditions. Inputs without an entry use
     /// [`BoundaryCondition::default`].
@@ -163,16 +159,21 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let condition = BoundaryCondition::Constant(1.5);
-        let json = serde_json::to_string(&condition).unwrap();
+        let json = condition.to_json().to_string_compact();
         assert!(json.contains("constant"));
-        let back: BoundaryCondition = serde_json::from_str(&json).unwrap();
+        let back = BoundaryCondition::from_json(&stencilflow_json::parse(&json).unwrap()).unwrap();
         assert_eq!(back, condition);
 
-        let copy_json = r#"{"type": "copy"}"#;
-        let back: BoundaryCondition = serde_json::from_str(copy_json).unwrap();
+        let copy_json = stencilflow_json::parse(r#"{"type": "copy"}"#).unwrap();
+        let back = BoundaryCondition::from_json(&copy_json).unwrap();
         assert_eq!(back, BoundaryCondition::Copy);
+
+        assert!(
+            BoundaryCondition::from_json(&stencilflow_json::parse(r#"{"type": "explode"}"#).unwrap())
+                .is_err()
+        );
     }
 
     #[test]

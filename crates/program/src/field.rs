@@ -1,7 +1,6 @@
 //! Field declarations and iteration-space geometry.
 
 use crate::error::{ProgramError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use stencilflow_expr::DataType;
 
@@ -12,36 +11,18 @@ use stencilflow_expr::DataType;
 /// lower-dimensional than the iteration space — e.g. a 2D field `["i", "k"]`
 /// inside a 3D `["i", "j", "k"]` program — or even zero-dimensional
 /// (scalars), in which case `dims` is empty.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldDecl {
     /// Element data type.
     pub dtype: DataTypeRepr,
     /// The iteration-space dimensions this field spans (may be a subset).
-    #[serde(default)]
     pub dims: Vec<String>,
 }
 
-/// Serializable wrapper around [`DataType`] using the JSON names
-/// (`"float32"`, `"float64"`, ...).
+/// Wrapper around [`DataType`] carrying the JSON wire names (`"float32"`,
+/// `"float64"`, ...); conversion to and from JSON lives in [`crate::json`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DataTypeRepr(pub DataType);
-
-impl Serialize for DataTypeRepr {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.0.as_str())
-    }
-}
-
-impl<'de> Deserialize<'de> for DataTypeRepr {
-    fn deserialize<D: serde::Deserializer<'de>>(
-        deserializer: D,
-    ) -> std::result::Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        s.parse::<DataType>()
-            .map(DataTypeRepr)
-            .map_err(serde::de::Error::custom)
-    }
-}
 
 impl From<DataType> for DataTypeRepr {
     fn from(value: DataType) -> Self {
@@ -80,7 +61,7 @@ impl FieldDecl {
 /// Memory order is row-major over the declared dimension order: the *last*
 /// dimension is contiguous ("fastest"). All buffer-size computations of §IV
 /// flatten offsets with the strides defined here.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IterationSpace {
     /// Dimension names in memory order (slowest first).
     pub dims: Vec<String>,
@@ -115,7 +96,7 @@ impl IterationSpace {
                 message: "stencil programs support at most 3 dimensions".into(),
             });
         }
-        if shape.iter().any(|&extent| extent == 0) {
+        if shape.contains(&0) {
             return Err(ProgramError::InvalidShape {
                 message: "dimension extents must be non-zero".into(),
             });
@@ -333,15 +314,6 @@ mod tests {
         assert_eq!(f.data_type(), DataType::Float32);
         let s = FieldDecl::new(DataType::Float64, &[]);
         assert!(s.is_scalar());
-    }
-
-    #[test]
-    fn field_decl_serde() {
-        let f = FieldDecl::new(DataType::Float32, &["i", "j"]);
-        let json = serde_json::to_string(&f).unwrap();
-        assert!(json.contains("float32"));
-        let back: FieldDecl = serde_json::from_str(&json).unwrap();
-        assert_eq!(back, f);
     }
 
     #[test]

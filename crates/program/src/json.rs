@@ -25,43 +25,20 @@
 
 use crate::boundary::{BoundaryCondition, BoundarySpec};
 use crate::error::{ProgramError, Result};
-use crate::field::FieldDecl;
 use crate::program::{StencilProgram, StencilProgramBuilder};
-use serde::{Deserialize, Serialize};
-use serde_json::Value as Json;
-use std::collections::BTreeMap;
 use stencilflow_expr::DataType;
+use stencilflow_json::Json;
 
-/// Top-level wire format of a program description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct ProgramDescription {
-    #[serde(default)]
-    name: Option<String>,
-    inputs: BTreeMap<String, FieldDecl>,
-    outputs: Vec<String>,
-    shape: Vec<usize>,
-    #[serde(default)]
-    dims: Option<Vec<String>>,
-    #[serde(default)]
-    vectorization: Option<usize>,
-    program: BTreeMap<String, StencilEntry>,
+fn schema_error(message: impl Into<String>) -> ProgramError {
+    ProgramError::Json {
+        message: message.into(),
+    }
 }
 
-/// A stencil node in the wire format. The paper's format allows either a bare
-/// code string or an object with `code` and `boundary_condition`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-#[serde(untagged)]
-enum StencilEntry {
-    /// Just the code segment; all boundary conditions default.
-    Code(String),
-    /// Full node description.
-    Full {
-        code: String,
-        #[serde(default, skip_serializing_if = "Option::is_none")]
-        boundary_condition: Option<Json>,
-        #[serde(default, skip_serializing_if = "Option::is_none")]
-        data_type: Option<String>,
-    },
+fn expect_str<'a>(value: &'a Json, context: &str) -> Result<&'a str> {
+    value
+        .as_str()
+        .ok_or_else(|| schema_error(format!("{context} must be a string, got {}", value.type_name())))
 }
 
 /// Parse a stencil program from its JSON description.
@@ -84,35 +61,96 @@ enum StencilEntry {
 /// assert_eq!(program.stencil_count(), 1);
 /// ```
 pub fn from_json(text: &str) -> Result<StencilProgram> {
-    let description: ProgramDescription =
-        serde_json::from_str(text).map_err(|e| ProgramError::Json {
-            message: e.to_string(),
-        })?;
-    let name = description.name.unwrap_or_else(|| "stencil_program".to_string());
-    let mut builder = StencilProgramBuilder::new(&name, &description.shape);
-    if let Some(dims) = &description.dims {
-        let refs: Vec<&str> = dims.iter().map(String::as_str).collect();
-        builder = builder.dims(&refs);
+    let root = stencilflow_json::parse(text).map_err(|e| schema_error(e.to_string()))?;
+    if root.as_object().is_none() {
+        return Err(schema_error("program description must be a JSON object"));
     }
-    if let Some(width) = description.vectorization {
+
+    let name = match root.get("name") {
+        Some(v) => expect_str(v, "`name`")?.to_string(),
+        None => "stencil_program".to_string(),
+    };
+    let shape: Vec<usize> = root
+        .get("shape")
+        .and_then(Json::as_array)
+        .ok_or_else(|| schema_error("missing or non-array `shape`"))?
+        .iter()
+        .map(|v| {
+            v.as_usize()
+                .ok_or_else(|| schema_error("`shape` entries must be non-negative integers"))
+        })
+        .collect::<Result<_>>()?;
+
+    let mut builder = StencilProgramBuilder::new(&name, &shape);
+    if let Some(dims_value) = root.get("dims") {
+        let dims: Vec<&str> = dims_value
+            .as_array()
+            .ok_or_else(|| schema_error("`dims` must be an array of strings"))?
+            .iter()
+            .map(|v| expect_str(v, "`dims` entry"))
+            .collect::<Result<_>>()?;
+        builder = builder.dims(&dims);
+    }
+    if let Some(width) = root.get("vectorization") {
+        let width = width
+            .as_usize()
+            .ok_or_else(|| schema_error("`vectorization` must be a non-negative integer"))?;
         builder = builder.vectorization(width);
     }
-    for (field, decl) in &description.inputs {
-        let dims: Vec<&str> = decl.dims.iter().map(String::as_str).collect();
-        builder = builder.input(field, decl.data_type(), &dims);
-    }
-    for (stencil, entry) in &description.program {
-        let (code, boundary, data_type) = match entry {
-            StencilEntry::Code(code) => (code.clone(), None, None),
-            StencilEntry::Full {
-                code,
-                boundary_condition,
-                data_type,
-            } => (code.clone(), boundary_condition.clone(), data_type.clone()),
+
+    let inputs = root
+        .get("inputs")
+        .and_then(Json::as_object)
+        .ok_or_else(|| schema_error("missing or non-object `inputs`"))?;
+    for (field, decl) in inputs {
+        let dtype_name = decl
+            .get("dtype")
+            .ok_or_else(|| schema_error(format!("input `{field}` is missing `dtype`")))
+            .and_then(|v| expect_str(v, "`dtype`"))?;
+        let dtype: DataType = dtype_name.parse().map_err(|_| {
+            schema_error(format!("unknown data type `{dtype_name}` for input `{field}`"))
+        })?;
+        let dims: Vec<&str> = match decl.get("dims") {
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| schema_error(format!("`dims` of input `{field}` must be an array")))?
+                .iter()
+                .map(|d| expect_str(d, "`dims` entry"))
+                .collect::<Result<_>>()?,
+            None => Vec::new(),
         };
-        builder = builder.stencil(stencil, &code);
+        builder = builder.input(field, dtype, &dims);
+    }
+
+    let stencils = root
+        .get("program")
+        .and_then(Json::as_object)
+        .ok_or_else(|| schema_error("missing or non-object `program`"))?;
+    for (stencil, entry) in stencils {
+        // The paper's format allows either a bare code string or an object
+        // with `code`, `boundary_condition`, and `data_type`.
+        let (code, boundary, data_type) = match entry {
+            Json::String(code) => (code.as_str(), None, None),
+            Json::Object(_) => {
+                let code = entry
+                    .get("code")
+                    .ok_or_else(|| schema_error(format!("stencil `{stencil}` is missing `code`")))?;
+                (
+                    expect_str(code, "`code`")?,
+                    entry.get("boundary_condition"),
+                    entry.get("data_type"),
+                )
+            }
+            other => {
+                return Err(schema_error(format!(
+                    "stencil `{stencil}` must be a string or object, got {}",
+                    other.type_name()
+                )))
+            }
+        };
+        builder = builder.stencil(stencil, code);
         if let Some(boundary) = boundary {
-            let spec = parse_boundary(stencil, &boundary)?;
+            let spec = parse_boundary(stencil, boundary)?;
             for (field, condition) in &spec.per_field {
                 builder = builder.boundary(stencil, field, *condition);
             }
@@ -121,14 +159,23 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
             }
         }
         if let Some(dtype) = data_type {
-            let dtype: DataType = dtype.parse().map_err(|_| ProgramError::Json {
-                message: format!("unknown data type `{dtype}` for stencil `{stencil}`"),
+            let dtype = expect_str(dtype, "`data_type`")?;
+            let dtype: DataType = dtype.parse().map_err(|_| {
+                schema_error(format!("unknown data type `{dtype}` for stencil `{stencil}`"))
             })?;
             builder = builder.output_type(stencil, dtype);
         }
     }
-    for output in &description.outputs {
-        builder = builder.output(output);
+
+    let outputs = root
+        .get("outputs")
+        .and_then(Json::as_array)
+        .ok_or_else(|| schema_error("missing or non-array `outputs`"))?;
+    if outputs.is_empty() {
+        return Err(schema_error("`outputs` must list at least one stencil"));
+    }
+    for output in outputs {
+        builder = builder.output(expect_str(output, "`outputs` entry")?);
     }
     builder.build()
 }
@@ -136,33 +183,29 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
 fn parse_boundary(stencil: &str, value: &Json) -> Result<BoundarySpec> {
     match value {
         Json::String(s) if s == "shrink" => Ok(BoundarySpec::shrink()),
-        Json::String(other) => Err(ProgramError::Json {
-            message: format!(
-                "boundary condition of `{stencil}` must be `\"shrink\"` or a per-field map, got `{other}`"
-            ),
-        }),
-        Json::Object(map) => {
+        Json::String(other) => Err(schema_error(format!(
+            "boundary condition of `{stencil}` must be `\"shrink\"` or a per-field map, got `{other}`"
+        ))),
+        Json::Object(members) => {
             let mut spec = BoundarySpec::new();
-            for (field, condition) in map {
+            for (field, condition) in members {
                 if field == "shrink" {
                     spec.shrink = condition.as_bool().unwrap_or(true);
                     continue;
                 }
-                let condition: BoundaryCondition = serde_json::from_value(condition.clone())
-                    .map_err(|e| ProgramError::Json {
-                        message: format!(
-                            "invalid boundary condition for field `{field}` of `{stencil}`: {e}"
-                        ),
-                    })?;
+                let condition = BoundaryCondition::from_json(condition).map_err(|e| {
+                    schema_error(format!(
+                        "invalid boundary condition for field `{field}` of `{stencil}`: {e}"
+                    ))
+                })?;
                 spec.per_field.insert(field.clone(), condition);
             }
             Ok(spec)
         }
-        other => Err(ProgramError::Json {
-            message: format!(
-                "boundary condition of `{stencil}` must be a string or object, got {other}"
-            ),
-        }),
+        other => Err(schema_error(format!(
+            "boundary condition of `{stencil}` must be a string or object, got {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -171,46 +214,98 @@ fn parse_boundary(stencil: &str, value: &Json) -> Result<BoundarySpec> {
 /// The output parses back into an equivalent program with [`from_json`]
 /// (modulo key ordering).
 pub fn to_json(program: &StencilProgram) -> String {
-    let mut stencil_map = BTreeMap::new();
-    for stencil in program.stencils() {
-        let mut boundary = serde_json::Map::new();
-        for (field, condition) in &stencil.boundary.per_field {
-            boundary.insert(
-                field.clone(),
-                serde_json::to_value(condition).expect("boundary conditions serialize"),
-            );
-        }
-        if stencil.boundary.shrink {
-            boundary.insert("shrink".to_string(), Json::Bool(true));
-        }
-        let entry = if boundary.is_empty() {
-            StencilEntry::Full {
-                code: stencil.code.clone(),
-                boundary_condition: None,
-                data_type: Some(stencil.output_type.as_str().to_string()),
-            }
-        } else {
-            StencilEntry::Full {
-                code: stencil.code.clone(),
-                boundary_condition: Some(Json::Object(boundary)),
-                data_type: Some(stencil.output_type.as_str().to_string()),
-            }
-        };
-        stencil_map.insert(stencil.name.clone(), entry);
-    }
-    let description = ProgramDescription {
-        name: Some(program.name().to_string()),
-        inputs: program
+    let inputs = Json::Object(
+        program
             .inputs()
-            .map(|(name, decl)| (name.to_string(), decl.clone()))
+            .map(|(name, decl)| {
+                (
+                    name.to_string(),
+                    Json::Object(vec![
+                        (
+                            "dtype".to_string(),
+                            Json::String(decl.data_type().as_str().to_string()),
+                        ),
+                        (
+                            "dims".to_string(),
+                            Json::Array(
+                                decl.dims.iter().map(|d| Json::String(d.clone())).collect(),
+                            ),
+                        ),
+                    ]),
+                )
+            })
             .collect(),
-        outputs: program.outputs().to_vec(),
-        shape: program.space().shape.clone(),
-        dims: Some(program.space().dims.clone()),
-        vectorization: Some(program.vectorization()),
-        program: stencil_map,
-    };
-    serde_json::to_string_pretty(&description).expect("program descriptions always serialize")
+    );
+    let stencils = Json::Object(
+        program
+            .stencils()
+            .map(|stencil| {
+                let mut entry = vec![("code".to_string(), Json::String(stencil.code.clone()))];
+                let mut boundary: Vec<(String, Json)> = stencil
+                    .boundary
+                    .per_field
+                    .iter()
+                    .map(|(field, condition)| (field.clone(), condition.to_json()))
+                    .collect();
+                if stencil.boundary.shrink {
+                    boundary.push(("shrink".to_string(), Json::Bool(true)));
+                }
+                if !boundary.is_empty() {
+                    entry.push(("boundary_condition".to_string(), Json::Object(boundary)));
+                }
+                entry.push((
+                    "data_type".to_string(),
+                    Json::String(stencil.output_type.as_str().to_string()),
+                ));
+                (stencil.name.clone(), Json::Object(entry))
+            })
+            .collect(),
+    );
+    let description = Json::Object(vec![
+        (
+            "name".to_string(),
+            Json::String(program.name().to_string()),
+        ),
+        ("inputs".to_string(), inputs),
+        (
+            "outputs".to_string(),
+            Json::Array(
+                program
+                    .outputs()
+                    .iter()
+                    .map(|o| Json::String(o.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "shape".to_string(),
+            Json::Array(
+                program
+                    .space()
+                    .shape
+                    .iter()
+                    .map(|&s| Json::Number(s as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "dims".to_string(),
+            Json::Array(
+                program
+                    .space()
+                    .dims
+                    .iter()
+                    .map(|d| Json::String(d.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "vectorization".to_string(),
+            Json::Number(program.vectorization() as f64),
+        ),
+        ("program".to_string(), stencils),
+    ]);
+    description.to_string_pretty()
 }
 
 #[cfg(test)]
@@ -313,6 +408,14 @@ mod tests {
           "outputs": ["b"],
           "shape": [16],
           "program": { "b": {"code": "a[i]", "boundary_condition": "explode"} }
+        }"#;
+        assert!(matches!(from_json(text), Err(ProgramError::Json { .. })));
+        // Missing `dtype` is a schema violation, not a silent default.
+        let text = r#"{
+          "inputs": { "a": {"dims": ["i"]} },
+          "outputs": ["b"],
+          "shape": [16],
+          "program": { "b": "a[i]" }
         }"#;
         assert!(matches!(from_json(text), Err(ProgramError::Json { .. })));
     }

@@ -144,8 +144,8 @@ impl StencilProgram {
     /// (the "perfect reuse" assumption of the paper).
     pub fn input_bytes(&self) -> usize {
         self.inputs
-            .iter()
-            .map(|(_, decl)| {
+            .values()
+            .map(|decl| {
                 let elems: usize = decl
                     .dims
                     .iter()
@@ -213,7 +213,7 @@ impl StencilProgram {
     /// divide the innermost dimension extent.
     pub fn set_vectorization(&mut self, width: usize) -> Result<()> {
         let inner = self.space.inner_extent();
-        if width == 0 || inner % width != 0 {
+        if width == 0 || !inner.is_multiple_of(width) {
             return Err(ProgramError::InvalidVectorization {
                 width,
                 inner_extent: inner,
@@ -248,7 +248,7 @@ impl StencilProgram {
         }
         // Vectorization must divide the innermost extent.
         let inner = self.space.inner_extent();
-        if self.vectorization == 0 || inner % self.vectorization != 0 {
+        if self.vectorization == 0 || !inner.is_multiple_of(self.vectorization) {
             return Err(ProgramError::InvalidVectorization {
                 width: self.vectorization,
                 inner_extent: inner,

@@ -2,7 +2,6 @@
 
 use crate::boundary::BoundarySpec;
 use crate::error::{ProgramError, Result};
-use serde::{Deserialize, Serialize};
 use stencilflow_expr::{
     count_ops, critical_path_latency, AccessExtractor, DataType, FieldAccesses, LatencyTable,
     OpCount, Program,
@@ -84,20 +83,6 @@ impl StencilNode {
             .max()
             .unwrap_or(0)
     }
-}
-
-/// Serializable description of one stencil node in the JSON input format.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct StencilNodeDescription {
-    /// The code segment.
-    pub code: String,
-    /// Boundary condition description: either the string `"shrink"` or a map
-    /// from field name to a per-field condition.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub boundary_condition: Option<serde_json::Value>,
-    /// Optional output data type (defaults to `float32`).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
-    pub data_type: Option<String>,
 }
 
 #[cfg(test)]

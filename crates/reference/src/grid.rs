@@ -116,6 +116,18 @@ impl Grid {
         &self.data
     }
 
+    /// Mutable raw data slice (row-major). Values written here bypass the
+    /// element-type rounding of [`Grid::set`]; callers (the compiled
+    /// execution plan) must round through [`Value::from_f64`] themselves.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row-major strides (elements) of each dimension.
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
     /// Flat row-major index of a multi-dimensional index.
     ///
     /// # Panics

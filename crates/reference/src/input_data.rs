@@ -1,10 +1,37 @@
 //! Deterministic input-data generation for tests and benchmarks.
 
 use crate::grid::Grid;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use stencilflow_program::StencilProgram;
+
+/// Small deterministic split-mix-64 generator. Input data only needs to be
+/// reproducible and well-spread, not cryptographic, so a local generator
+/// avoids an external dependency.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        // Pre-mix so that small consecutive seeds produce unrelated streams.
+        let mut rng = SplitMix64(seed ^ 0x9e3779b97f4a7c15);
+        rng.next_u64();
+        rng
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[low, high)`.
+    fn gen_range(&mut self, low: f64, high: f64) -> f64 {
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        low + unit * (high - low)
+    }
+}
 
 /// Generates reproducible pseudo-random input grids for a program.
 #[derive(Debug, Clone)]
@@ -35,7 +62,7 @@ impl InputGenerator {
 
     /// Generate one grid per program input, shaped per its declaration.
     pub fn generate(&self, program: &StencilProgram) -> BTreeMap<String, Grid> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = SplitMix64::new(self.seed);
         let space = program.space();
         let mut grids = BTreeMap::new();
         for (name, decl) in program.inputs() {
@@ -46,7 +73,7 @@ impl InputGenerator {
                 .map(|d| space.dim_index(d).map(|ix| space.shape[ix]).unwrap_or(1))
                 .collect();
             let grid = Grid::from_fn(&dims, &shape, decl.data_type(), |_| {
-                rng.gen_range(self.low..self.high)
+                rng.gen_range(self.low, self.high)
             });
             grids.insert(name.to_string(), grid);
         }

@@ -12,13 +12,19 @@
 //!   scalars are all grids of different rank).
 //! * [`ReferenceExecutor`] — evaluates every stencil over the full domain in
 //!   topological order, applying the per-field boundary conditions
-//!   (`constant`, `copy`) and computing the `shrink` validity mask.
+//!   (`constant`, `copy`) and computing the `shrink` validity mask. The
+//!   default [`ReferenceExecutor::run`] path sweeps compiled execution
+//!   plans ([`plan`]) — slot-resolved bytecode, interior/halo splitting,
+//!   row parallelism — while [`ReferenceExecutor::run_interpreted`] keeps
+//!   the tree-walking evaluator as the semantic baseline; both produce
+//!   bit-identical results (see `docs/evaluation.md`).
 //! * [`input_data`] — deterministic pseudo-random input generation shared by
 //!   tests and benchmarks.
 
 pub mod executor;
 pub mod grid;
 pub mod input_data;
+mod plan;
 
 pub use executor::{ExecutionResult, ReferenceExecutor};
 pub use grid::Grid;

@@ -1,0 +1,310 @@
+//! Compiled execution plans: one stencil bound to concrete grids.
+//!
+//! The reference executor used to walk the expression tree once per cell,
+//! resolving every access through a string-keyed lookup that allocated an
+//! offset vector per access. A [`StencilPlan`] does all of that resolution
+//! **once per stencil**:
+//!
+//! * the code segment is lowered to a [`CompiledKernel`] (slot-resolved
+//!   bytecode, see `stencilflow_expr::compile`);
+//! * every access slot is bound to its grid, a per-dimension stride
+//!   coefficient vector, a precomputed flat-offset delta, and its
+//!   boundary-condition action;
+//! * the iteration space is split into an **interior** — where every access
+//!   of the stencil is statically in bounds, so the inner loop is a pure
+//!   strided array walk with no bounds checks and no branches — and a
+//!   **halo**, where accesses are bounds-checked and boundary conditions
+//!   applied. Out-of-bounds tracking for `shrink` masks falls out of the
+//!   halo pass for free (interior cells are in bounds by construction).
+//!
+//! Rows (runs of the innermost dimension) are independent, so the sweep is
+//! parallelized across threads with disjoint output row chunks.
+
+use crate::grid::Grid;
+use std::collections::{BTreeMap, BTreeSet};
+use stencilflow_expr::{CompiledKernel, DataType, EvalScratch, ExprError, Value};
+use stencilflow_program::{BoundaryCondition, StencilNode, StencilProgram};
+
+/// How one access slot of the kernel reads its field.
+#[derive(Debug)]
+struct BoundSlot {
+    /// Index into the plan's grid table.
+    grid: usize,
+    /// Per-iteration-space-dimension stride coefficient into the field's own
+    /// dense storage (zero for dimensions the field does not span). The
+    /// center of a cell `index` lives at flat position `dot(index, coeffs)`.
+    coeffs: Vec<i64>,
+    /// Constant flat-offset delta of this access relative to the center.
+    delta: i64,
+    /// `(space dimension, offset)` pairs to bounds-check in the halo.
+    checks: Vec<(usize, i64)>,
+    /// Boundary condition applied when a check fails.
+    boundary: BoundaryCondition,
+    /// Element type of the source grid (values are typed as the grid is).
+    dtype: DataType,
+    /// Scalar (0-D) access: resolved once, never re-read per cell.
+    scalar: bool,
+}
+
+/// A stencil compiled and bound to its input/intermediate grids.
+pub(crate) struct StencilPlan<'g> {
+    kernel: CompiledKernel,
+    grid_data: Vec<&'g [f64]>,
+    slots: Vec<BoundSlot>,
+    /// Template slot-value vector with scalar slots prefilled.
+    slot_template: Vec<Value>,
+    /// All syntactic `(dimension, offset)` access checks of the stencil
+    /// (deduplicated) — drives the shrink mask, matching the tree-walking
+    /// executor which considers every access, including ones the kernel may
+    /// have folded away.
+    mask_checks: Vec<(usize, i64)>,
+    /// Interior bounds per dimension (`lo` inclusive, `hi` exclusive).
+    interior_lo: Vec<usize>,
+    interior_hi: Vec<usize>,
+    has_interior: bool,
+    shape: Vec<usize>,
+    out_dtype: DataType,
+    shrink: bool,
+}
+
+impl<'g> StencilPlan<'g> {
+    /// Compile `stencil` and bind its accesses against `inputs` and the
+    /// already-`computed` intermediate grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError::UnresolvedSymbol`] if an access refers to a
+    /// field with no grid (indicates a validation bug upstream), and
+    /// propagates kernel compilation failures.
+    pub fn build(
+        program: &StencilProgram,
+        stencil: &StencilNode,
+        inputs: &'g BTreeMap<String, Grid>,
+        computed: &'g BTreeMap<String, Grid>,
+    ) -> Result<StencilPlan<'g>, ExprError> {
+        let kernel = CompiledKernel::compile(&stencil.program)?;
+        let space = program.space();
+        let rank = space.rank();
+
+        let mut grid_data: Vec<&[f64]> = Vec::new();
+        let mut grid_table: BTreeMap<&str, (usize, &Grid)> = BTreeMap::new();
+        let mut slots = Vec::with_capacity(kernel.slots().len());
+        let mut slot_template = Vec::with_capacity(kernel.slots().len());
+
+        for slot in kernel.slots() {
+            let (grid_ix, grid) = match grid_table.get(slot.field.as_str()) {
+                Some(&entry) => entry,
+                None => {
+                    let grid = inputs
+                        .get(&slot.field)
+                        .or_else(|| computed.get(&slot.field))
+                        .ok_or_else(|| ExprError::UnresolvedSymbol {
+                            name: slot.field.clone(),
+                        })?;
+                    let ix = grid_data.len();
+                    grid_data.push(grid.as_slice());
+                    grid_table.insert(slot.field.as_str(), (ix, grid));
+                    (ix, grid)
+                }
+            };
+            let mut coeffs = vec![0i64; rank];
+            let mut delta = 0i64;
+            let mut checks = Vec::with_capacity(slot.index_vars.len());
+            for (axis, (var, &off)) in slot
+                .index_vars
+                .iter()
+                .zip(slot.offsets.iter())
+                .enumerate()
+            {
+                let dim = space
+                    .dim_index(var)
+                    .ok_or_else(|| ExprError::UnresolvedSymbol {
+                        name: format!("{}{:?}", slot.field, slot.offsets),
+                    })?;
+                let stride = grid.strides()[axis] as i64;
+                coeffs[dim] = stride;
+                delta += off * stride;
+                checks.push((dim, off));
+            }
+            let scalar = slot.is_scalar();
+            slot_template.push(if scalar {
+                grid.get_value(&[])
+            } else {
+                Value::zero(grid.data_type())
+            });
+            slots.push(BoundSlot {
+                grid: grid_ix,
+                coeffs,
+                delta,
+                checks,
+                boundary: stencil.boundary.condition_for(&slot.field),
+                dtype: grid.data_type(),
+                scalar,
+            });
+        }
+
+        // Interior bounds and the shrink-mask check set come from the full
+        // syntactic access pattern, exactly like the tree-walking executor's
+        // per-cell out-of-bounds re-walk.
+        let mut min_off = vec![0i64; rank];
+        let mut max_off = vec![0i64; rank];
+        let mut mask_checks: BTreeSet<(usize, i64)> = BTreeSet::new();
+        for (_, info) in stencil.accesses.iter() {
+            for offsets in &info.offsets {
+                for (var, &off) in info.index_vars.iter().zip(offsets.iter()) {
+                    if let Some(dim) = space.dim_index(var) {
+                        min_off[dim] = min_off[dim].min(off);
+                        max_off[dim] = max_off[dim].max(off);
+                        if off != 0 {
+                            mask_checks.insert((dim, off));
+                        }
+                    }
+                }
+            }
+        }
+        let mut interior_lo = Vec::with_capacity(rank);
+        let mut interior_hi = Vec::with_capacity(rank);
+        let mut has_interior = true;
+        for d in 0..rank {
+            let lo = (-min_off[d]).max(0) as usize;
+            let hi = space.shape[d] as i64 - max_off[d].max(0);
+            if hi <= lo as i64 {
+                has_interior = false;
+            }
+            interior_lo.push(lo);
+            interior_hi.push(hi.max(0) as usize);
+        }
+
+        Ok(StencilPlan {
+            kernel,
+            grid_data,
+            slots,
+            slot_template,
+            mask_checks: mask_checks.into_iter().collect(),
+            interior_lo,
+            interior_hi,
+            has_interior,
+            shape: space.shape.clone(),
+            out_dtype: stencil.output_type,
+            shrink: stencil.boundary.shrink,
+        })
+    }
+
+    /// Number of rows (runs of the innermost dimension) in the sweep.
+    pub fn row_count(&self) -> usize {
+        self.shape[..self.shape.len() - 1].iter().product::<usize>().max(1)
+    }
+
+    /// Length of one row (innermost extent).
+    pub fn row_len(&self) -> usize {
+        *self.shape.last().expect("iteration spaces are never empty")
+    }
+
+    /// Sweep rows `[row_start, row_end)`, writing results into `out` and the
+    /// validity mask into `mask` (both spanning exactly those rows).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (e.g. integer division by zero).
+    pub fn run_rows(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        out: &mut [f64],
+        mask: &mut [bool],
+    ) -> Result<(), ExprError> {
+        let rank = self.shape.len();
+        let row_len = self.row_len();
+        debug_assert_eq!(out.len(), (row_end - row_start) * row_len);
+
+        let mut scratch = EvalScratch::default();
+        let mut values = self.slot_template.clone();
+        let mut lead = vec![0usize; rank - 1];
+        let mut rowbase = vec![0i64; self.slots.len()];
+        let mut index = vec![0usize; rank];
+
+        let lo_k = self.interior_lo[rank - 1];
+        let hi_k = self.interior_hi[rank - 1];
+
+        for row in row_start..row_end {
+            // Decompose the row number into the leading index.
+            let mut rem = row;
+            for d in (0..rank - 1).rev() {
+                lead[d] = rem % self.shape[d];
+                rem /= self.shape[d];
+            }
+            index[..rank - 1].copy_from_slice(&lead);
+
+            // Per-slot row base: leading-dimension contribution plus the
+            // constant access delta.
+            for (s, slot) in self.slots.iter().enumerate() {
+                let mut base = slot.delta;
+                for (d, &ix) in lead.iter().enumerate() {
+                    base += ix as i64 * slot.coeffs[d];
+                }
+                rowbase[s] = base;
+            }
+
+            let row_interior = self.has_interior
+                && lead
+                    .iter()
+                    .enumerate()
+                    .all(|(d, &ix)| ix >= self.interior_lo[d] && ix < self.interior_hi[d]);
+
+            let out_row = &mut out[(row - row_start) * row_len..][..row_len];
+            let mask_row = &mut mask[(row - row_start) * row_len..][..row_len];
+
+            for (k, (out_cell, mask_cell)) in
+                out_row.iter_mut().zip(mask_row.iter_mut()).enumerate()
+            {
+                if row_interior && k >= lo_k && k < hi_k {
+                    // Interior fast path: every access is statically in
+                    // bounds; plain strided reads, no branches, mask stays
+                    // valid.
+                    for (s, slot) in self.slots.iter().enumerate() {
+                        if slot.scalar {
+                            continue;
+                        }
+                        let flat = (rowbase[s] + k as i64 * slot.coeffs[rank - 1]) as usize;
+                        values[s] = Value::from_f64(self.grid_data[slot.grid][flat], slot.dtype);
+                    }
+                } else {
+                    // Halo: bounds-check each access and apply the boundary
+                    // condition on misses.
+                    index[rank - 1] = k;
+                    for (s, slot) in self.slots.iter().enumerate() {
+                        if slot.scalar {
+                            continue;
+                        }
+                        let in_bounds = slot.checks.iter().all(|&(dim, off)| {
+                            let pos = index[dim] as i64 + off;
+                            pos >= 0 && pos < self.shape[dim] as i64
+                        });
+                        let center = rowbase[s] - slot.delta + k as i64 * slot.coeffs[rank - 1];
+                        values[s] = if in_bounds {
+                            let flat = (center + slot.delta) as usize;
+                            Value::from_f64(self.grid_data[slot.grid][flat], slot.dtype)
+                        } else {
+                            match slot.boundary {
+                                BoundaryCondition::Constant(c) => Value::from_f64(c, slot.dtype),
+                                BoundaryCondition::Copy => Value::from_f64(
+                                    self.grid_data[slot.grid][center as usize],
+                                    slot.dtype,
+                                ),
+                            }
+                        };
+                    }
+                    if self.shrink {
+                        *mask_cell = self.mask_checks.iter().all(|&(dim, off)| {
+                            let pos = index[dim] as i64 + off;
+                            pos >= 0 && pos < self.shape[dim] as i64
+                        });
+                    }
+                }
+                let result = self.kernel.eval_slots(&values, &mut scratch)?;
+                *out_cell = Value::from_f64(result.as_f64(), self.out_dtype).as_f64();
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,189 @@
+//! Golden equivalence: the compiled-plan executor must agree **bit for bit**
+//! with the tree-walking evaluator on every workload program and on randomly
+//! generated stencil DAGs with varied boundary conditions.
+
+use std::collections::BTreeMap;
+use stencilflow_expr::DataType;
+use stencilflow_program::{BoundaryCondition, StencilProgram, StencilProgramBuilder};
+use stencilflow_reference::{generate_inputs, Grid, ReferenceExecutor};
+use stencilflow_workloads::{
+    chain_program, diffusion2d, diffusion3d, horizontal_diffusion, jacobi2d, jacobi3d,
+    listing1::listing1_with_shape, ChainSpec, HorizontalDiffusionSpec,
+};
+
+/// Run both executor paths and require identical bits everywhere: every
+/// field (inputs included in the comparison domain via the program outputs),
+/// every validity mask, and the evaluation counters.
+fn assert_bit_identical(program: &StencilProgram, seed: u64) {
+    let inputs = generate_inputs(program, seed);
+    let executor = ReferenceExecutor::new();
+    let compiled = executor.run(program, &inputs).unwrap();
+    let interpreted = executor.run_interpreted(program, &inputs).unwrap();
+
+    assert_eq!(compiled.cells_evaluated(), interpreted.cells_evaluated());
+    let compiled_fields: Vec<&str> = compiled.fields().map(|(name, _)| name).collect();
+    let interpreted_fields: Vec<&str> = interpreted.fields().map(|(name, _)| name).collect();
+    assert_eq!(compiled_fields, interpreted_fields);
+
+    for (name, grid) in compiled.fields() {
+        let baseline = interpreted.field(name).unwrap();
+        assert_eq!(grid.shape(), baseline.shape(), "shape mismatch for `{name}`");
+        for (cell, (a, b)) in grid
+            .as_slice()
+            .iter()
+            .zip(baseline.as_slice().iter())
+            .enumerate()
+        {
+            assert!(
+                a.to_bits() == b.to_bits(),
+                "program `{}`, field `{name}`, cell {cell}: compiled {a:?} != interpreted {b:?}",
+                program.name()
+            );
+        }
+        assert_eq!(
+            compiled.valid_mask(name).unwrap(),
+            interpreted.valid_mask(name).unwrap(),
+            "mask mismatch for `{name}` in `{}`",
+            program.name()
+        );
+        assert_eq!(compiled.valid_count(name), interpreted.valid_count(name));
+    }
+}
+
+#[test]
+fn jacobi_workloads_match_bitwise() {
+    assert_bit_identical(&jacobi2d(2, &[13, 9], 1), 1);
+    assert_bit_identical(&jacobi3d(2, &[9, 7, 11], 1), 2);
+}
+
+#[test]
+fn diffusion_workloads_match_bitwise() {
+    assert_bit_identical(&diffusion2d(2, &[12, 10], 1), 3);
+    assert_bit_identical(&diffusion3d(2, &[7, 6, 9], 1), 4);
+}
+
+#[test]
+fn horizontal_diffusion_matches_bitwise() {
+    assert_bit_identical(&horizontal_diffusion(&HorizontalDiffusionSpec::small()), 5);
+}
+
+#[test]
+fn chain_and_listing1_match_bitwise() {
+    let chain = chain_program(&ChainSpec::new(6, 8).with_shape(&[6, 5, 7]));
+    assert_bit_identical(&chain, 6);
+    assert_bit_identical(&listing1_with_shape(&[6, 7, 5]), 7);
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    // Big enough to cross the parallel threshold (2^15 cells).
+    let program = jacobi3d(1, &[40, 32, 32], 1);
+    let inputs = generate_inputs(&program, 8);
+    let parallel = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+    let sequential = ReferenceExecutor::new()
+        .with_max_threads(1)
+        .run(&program, &inputs)
+        .unwrap();
+    assert_bit_identical(&program, 8);
+    for (name, grid) in parallel.fields() {
+        let baseline = sequential.field(name).unwrap();
+        for (a, b) in grid.as_slice().iter().zip(baseline.as_slice().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn boundary_condition_variety_matches_bitwise() {
+    // Exercise constant / copy boundaries, shrink masks, lower-dimensional
+    // and scalar inputs, ternaries, math functions, and f64 output types in
+    // one DAG — the halo paths of the plan must mirror the evaluator.
+    let program = StencilProgramBuilder::new("boundaries", &[9, 8, 7])
+        .input("u", DataType::Float32, &["i", "j", "k"])
+        .input("surf", DataType::Float32, &["i", "k"])
+        .scalar("dt", DataType::Float32)
+        .stencil(
+            "lap",
+            "-4.0*u[i,j,k] + u[i-1,j,k] + u[i+1,j,k] + u[i,j-1,k] + u[i,j+1,k]",
+        )
+        .boundary("lap", "u", BoundaryCondition::Constant(1.5))
+        .stencil("flux", "d = lap[i,j,k] - lap[i,j,k-1]; d * surf[i,k] + dt")
+        .boundary("flux", "lap", BoundaryCondition::Copy)
+        .shrink("flux")
+        .stencil(
+            "out",
+            "flux[i,j,k] > 0.0 ? sqrt(abs(flux[i,j,k])) : min(flux[i-2,j,k], 0.5)",
+        )
+        .shrink("out")
+        .output_type("out", DataType::Float64)
+        .output("out")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 9);
+}
+
+#[test]
+fn random_small_dags_match_bitwise() {
+    // Deterministic pseudo-random DAG sweep in the spirit of the
+    // cross-crate property tests: every stage reads earlier fields at small
+    // offsets with a mix of boundary conditions.
+    for seed in 0..24u64 {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = |bound: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % bound
+        };
+        let stages = 1 + next(5) as usize;
+        let mut builder = StencilProgramBuilder::new("random", &[9, 11])
+            .input("src", DataType::Float32, &["i", "j"]);
+        let mut produced = vec!["src".to_string()];
+        for stage in 0..stages {
+            let name = format!("s{stage}");
+            let a = produced[next(produced.len() as u64) as usize].clone();
+            let di = next(5) as i64 - 2;
+            let dj = next(3) as i64 - 1;
+            let fi = match di.cmp(&0) {
+                std::cmp::Ordering::Equal => "i".to_string(),
+                std::cmp::Ordering::Greater => format!("i+{di}"),
+                std::cmp::Ordering::Less => format!("i{di}"),
+            };
+            let fj = match dj.cmp(&0) {
+                std::cmp::Ordering::Equal => "j".to_string(),
+                std::cmp::Ordering::Greater => format!("j+{dj}"),
+                std::cmp::Ordering::Less => format!("j{dj}"),
+            };
+            let code = format!("0.5 * {a}[{fi},{fj}] + 0.25 * {a}[i,j] + 1.0");
+            builder = builder.stencil(&name, &code);
+            match next(3) {
+                0 => builder = builder.boundary(&name, &a, BoundaryCondition::Constant(2.5)),
+                1 => builder = builder.boundary(&name, &a, BoundaryCondition::Copy),
+                _ => builder = builder.shrink(&name),
+            }
+            produced.push(name);
+        }
+        let last = produced.last().unwrap().clone();
+        let program = builder.output(&last).build().unwrap();
+        assert_bit_identical(&program, seed);
+    }
+}
+
+#[test]
+fn compiled_path_handles_explicit_grids() {
+    // Hand-checked values through the compiled path (not just equivalence).
+    let program = StencilProgramBuilder::new("p", &[4])
+        .input("a", DataType::Float32, &["i"])
+        .stencil("s", "a[i-1] + a[i+1]")
+        .output("s")
+        .build()
+        .unwrap();
+    let mut inputs = BTreeMap::new();
+    inputs.insert(
+        "a".to_string(),
+        Grid::from_values(&["i"], &[4], &[1.0, 2.0, 3.0, 4.0]),
+    );
+    let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
+    // Zero-constant default boundaries: s = [2, 4, 6, 3].
+    assert_eq!(result.field("s").unwrap().as_slice(), &[2.0, 4.0, 6.0, 3.0]);
+}

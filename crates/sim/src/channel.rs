@@ -30,7 +30,7 @@ impl Fifo {
             capacity: capacity.max(1),
             latency: 0,
             words_per_cycle: f64::INFINITY,
-            queue: VecDeque::with_capacity(capacity.min(4096).max(1)),
+            queue: VecDeque::with_capacity(capacity.clamp(1, 4096)),
             credits: 0.0,
             pushed_total: 0,
             popped_total: 0,

@@ -12,7 +12,7 @@
 
 use crate::channel::Fifo;
 use std::collections::{BTreeMap, VecDeque};
-use stencilflow_expr::{AccessResolver, Evaluator, Value};
+use stencilflow_expr::{CompiledKernel, EvalScratch, Value};
 use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, StencilProgram};
 
 /// The per-field input port of a stencil unit: a channel plus the sliding
@@ -59,14 +59,36 @@ impl FieldPort {
     }
 }
 
+/// One pre-bound access of the unit's compiled kernel: which port it taps,
+/// at which linearized offset, and the per-dimension bounds checks for
+/// boundary predication.
+#[derive(Debug)]
+struct SlotTap {
+    /// Index into `StencilUnitSim::ports`.
+    port: usize,
+    /// Linearized (memory-order) offset of the access.
+    linear: i64,
+    /// `(dimension, offset)` pairs to bounds-check.
+    checks: Vec<(usize, i64)>,
+    /// Boundary condition applied when a check fails.
+    boundary: BoundaryCondition,
+}
+
 /// A simulated stencil unit.
 #[derive(Debug)]
 pub struct StencilUnitSim {
     /// Stencil name.
     pub name: String,
-    stencil: StencilNode,
     space: IterationSpace,
     ports: Vec<FieldPort>,
+    /// Compiled code segment; evaluated once per produced cell through
+    /// pre-bound window taps (`slots`) instead of the tree-walking
+    /// evaluator.
+    kernel: CompiledKernel,
+    slots: Vec<SlotTap>,
+    slot_values: Vec<Value>,
+    scratch: EvalScratch,
+    output_type: stencilflow_expr::DataType,
     /// Outgoing channel indices.
     pub out_channels: Vec<usize>,
     /// Cells produced so far.
@@ -126,11 +148,44 @@ impl StencilUnitSim {
                 consumed: 0,
             });
         }
+
+        // Compile the code segment and bind every access slot to its port
+        // tap: linearized offset plus the bounds checks used for boundary
+        // predication. This replaces the per-cell string-keyed resolver.
+        let kernel = CompiledKernel::compile(&stencil.program)
+            .expect("validated stencil programs compile");
+        let mut slots = Vec::with_capacity(kernel.slots().len());
+        for slot in kernel.slots() {
+            let port = ports
+                .iter()
+                .position(|p| p.field == slot.field)
+                .unwrap_or_else(|| panic!("no port wired for field `{}`", slot.field));
+            let mut full_offset = vec![0i64; space.rank()];
+            let mut checks = Vec::with_capacity(slot.index_vars.len());
+            for (var, &off) in slot.index_vars.iter().zip(slot.offsets.iter()) {
+                if let Some(dim) = space.dim_index(var) {
+                    full_offset[dim] = off;
+                    checks.push((dim, off));
+                }
+            }
+            slots.push(SlotTap {
+                port,
+                linear: space.linearize_offset(&full_offset),
+                checks,
+                boundary: stencil.boundary.condition_for(&slot.field),
+            });
+        }
+        let slot_values = vec![Value::F64(0.0); slots.len()];
+
         StencilUnitSim {
             name: stencil.name.clone(),
-            stencil: stencil.clone(),
             space: space.clone(),
             ports,
+            kernel,
+            slots,
+            slot_values,
+            scratch: EvalScratch::default(),
+            output_type: stencil.output_type,
             out_channels,
             produced: 0,
             total_cells: space.num_cells(),
@@ -202,18 +257,37 @@ impl StencilUnitSim {
             return progress;
         }
 
-        // Compute the cell.
+        // Compute the cell: resolve every pre-bound slot against the port
+        // windows (with boundary predication), then run the compiled kernel.
         let index = self.decompose(cell);
-        let value = {
-            let resolver = UnitCellResolver {
-                unit: self,
-                index: &index,
+        let dtype = self.output_type;
+        let mut values = std::mem::take(&mut self.slot_values);
+        for (tap, value) in self.slots.iter().zip(values.iter_mut()) {
+            let port = &self.ports[tap.port];
+            let out_of_bounds = tap.checks.iter().any(|&(dim, off)| {
+                let pos = index[dim] as i64 + off;
+                pos < 0 || pos >= self.space.shape[dim] as i64
+            });
+            let raw = if out_of_bounds {
+                match tap.boundary {
+                    BoundaryCondition::Constant(c) => Some(c),
+                    BoundaryCondition::Copy => port.value_at(cell as i64),
+                }
+            } else {
+                port.value_at(cell as i64 + tap.linear)
             };
-            Evaluator::new(&resolver)
-                .eval_program(&self.stencil.program)
-                .expect("validated programs evaluate; unresolved symbols indicate a wiring bug")
-        };
-        let value = Value::from_f64(value.as_f64(), self.stencil.output_type).as_f64();
+            let raw = raw
+                .expect("validated programs evaluate; missing window data indicates a wiring bug");
+            *value = Value::from_f64(raw, dtype);
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = self
+            .kernel
+            .eval_slots(&values, &mut scratch)
+            .expect("validated programs evaluate; unresolved symbols indicate a wiring bug");
+        self.slot_values = values;
+        self.scratch = scratch;
+        let value = Value::from_f64(result.as_f64(), dtype).as_f64();
         for &c in &self.out_channels {
             channels[c].push(now, value);
         }
@@ -236,50 +310,6 @@ impl StencilUnitSim {
         index
     }
 
-    fn port(&self, field: &str) -> Option<&FieldPort> {
-        self.ports.iter().find(|p| p.field == field)
-    }
-}
-
-/// Resolves accesses of one cell against the unit's sliding windows, with
-/// boundary predication.
-struct UnitCellResolver<'a> {
-    unit: &'a StencilUnitSim,
-    index: &'a [usize],
-}
-
-impl AccessResolver for UnitCellResolver<'_> {
-    fn resolve(&self, field: &str, offsets: &[i64]) -> Option<Value> {
-        let unit = self.unit;
-        let port = unit.port(field)?;
-        let info = unit.stencil.accesses.get(field)?;
-        let space = &unit.space;
-        let dtype = unit.stencil.output_type;
-
-        // Bounds check per dimension (predication).
-        let mut full_offset = vec![0i64; space.rank()];
-        let mut out_of_bounds = false;
-        for (var, &off) in info.index_vars.iter().zip(offsets.iter()) {
-            if let Some(dim) = space.dim_index(var) {
-                full_offset[dim] = off;
-                let pos = self.index[dim] as i64 + off;
-                if pos < 0 || pos >= space.shape[dim] as i64 {
-                    out_of_bounds = true;
-                }
-            }
-        }
-        let cell = space.flat_index(self.index) as i64;
-        if out_of_bounds {
-            return match unit.stencil.boundary.condition_for(field) {
-                BoundaryCondition::Constant(c) => Some(Value::from_f64(c, dtype)),
-                BoundaryCondition::Copy => port
-                    .value_at(cell)
-                    .map(|v| Value::from_f64(v, dtype)),
-            };
-        }
-        let linear = cell + space.linearize_offset(&full_offset);
-        port.value_at(linear).map(|v| Value::from_f64(v, dtype))
-    }
 }
 
 #[cfg(test)]

@@ -139,14 +139,14 @@ pub fn horizontal_diffusion(spec: &HorizontalDiffusionSpec) -> StencilProgram {
         // Flux-divergence update masked by hdmask, with an amplitude clamp.
         builder = builder
             .stencil(
-                &result,
+                result,
                 &format!(
                     "res = {field}[i,j,k] - hdmask[i,j,k] * \
                        ({flx}[i,j,k] - {flx}[i-1,j,k] + {fly}[i,j,k] - {fly}[i,j-1,k]); \
                      res > 100000.0 ? 100000.0 : res"
                 ),
             )
-            .shrink(&result);
+            .shrink(result);
     }
 
     // Smagorinsky diffusion branch: shear and tension of the diffused wind
