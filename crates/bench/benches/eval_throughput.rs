@@ -1,6 +1,7 @@
 //! Evaluation-throughput harness: prints the cells/second comparison of the
-//! tree-walking evaluator against the compiled execution plan (Jacobi 3D 64³
-//! and horizontal diffusion), then times both paths with Criterion.
+//! tree-walking evaluator against the compiled execution plan and the
+//! type-specialized kernels (Jacobi 3D 64³ f32/f64, horizontal diffusion,
+//! and a `run_steps` time loop), then times the paths with Criterion.
 
 use criterion::{criterion_group, Criterion};
 use stencilflow_bench::{eval_throughput, format_throughput};
@@ -15,11 +16,21 @@ fn bench_eval_throughput(c: &mut Criterion) {
     let jacobi = jacobi3d(2, &[64, 64, 64], 1);
     let jacobi_inputs = generate_inputs(&jacobi, 17);
     let executor = ReferenceExecutor::new();
+    let value_executor = ReferenceExecutor::new().with_typed_kernels(false);
     group.bench_function("jacobi3d_64_interpreted", |b| {
         b.iter(|| executor.run_interpreted(&jacobi, &jacobi_inputs).unwrap());
     });
     group.bench_function("jacobi3d_64_compiled", |b| {
+        b.iter(|| value_executor.run(&jacobi, &jacobi_inputs).unwrap());
+    });
+    group.bench_function("jacobi3d_64_typed", |b| {
         b.iter(|| executor.run(&jacobi, &jacobi_inputs).unwrap());
+    });
+
+    let step = jacobi3d(1, &[64, 64, 64], 1);
+    let step_inputs = generate_inputs(&step, 17);
+    group.bench_function("jacobi3d_64_run_steps_8", |b| {
+        b.iter(|| executor.run_steps(&step, &step_inputs, 8).unwrap());
     });
 
     let hdiff = horizontal_diffusion(&HorizontalDiffusionSpec::small());
@@ -28,6 +39,9 @@ fn bench_eval_throughput(c: &mut Criterion) {
         b.iter(|| executor.run_interpreted(&hdiff, &hdiff_inputs).unwrap());
     });
     group.bench_function("horizontal_diffusion_compiled", |b| {
+        b.iter(|| value_executor.run(&hdiff, &hdiff_inputs).unwrap());
+    });
+    group.bench_function("horizontal_diffusion_typed", |b| {
         b.iter(|| executor.run(&hdiff, &hdiff_inputs).unwrap());
     });
     group.finish();

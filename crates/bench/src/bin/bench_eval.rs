@@ -1,0 +1,37 @@
+//! Runs the evaluation-throughput harness and writes the JSON baseline
+//! tracked as `BENCH_eval.json`.
+//!
+//! Usage: `bench_eval [--quick] [OUTPUT.json]` — prints the throughput
+//! table, then writes the JSON document to `OUTPUT.json` (or stdout when no
+//! path is given). `--quick` shrinks the domains for CI smoke runs.
+
+fn main() {
+    let mut quick = false;
+    let mut out_path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`; usage: bench_eval [--quick] [OUTPUT.json]");
+                std::process::exit(2);
+            }
+            path => {
+                if let Some(previous) = &out_path {
+                    eprintln!("multiple output paths given (`{previous}`, `{path}`)");
+                    std::process::exit(2);
+                }
+                out_path = Some(path.to_string());
+            }
+        }
+    }
+    let rows = stencilflow_bench::eval_throughput(quick);
+    print!("{}", stencilflow_bench::format_throughput(&rows));
+    let json = stencilflow_bench::throughput_json(&rows, quick);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -1,12 +1,14 @@
 //! Prints every table and figure of the evaluation in one run, plus the
-//! Fig. 4 deadlock demonstration.
+//! Fig. 4 deadlock demonstration. Pass `--quick` for the shortened domains
+//! used by the CI smoke step.
 
 fn main() {
-    let fig14 = stencilflow_bench::scaling_series(1, 8, false);
+    let quick = std::env::args().skip(1).any(|arg| arg == "--quick");
+    let fig14 = stencilflow_bench::scaling_series(1, 8, quick);
     print!("{}", stencilflow_bench::format_scaling(&fig14, "Figure 14 (W=1)"));
-    let fig15 = stencilflow_bench::scaling_series(4, 24, false);
+    let fig15 = stencilflow_bench::scaling_series(4, 24, quick);
     print!("{}", stencilflow_bench::format_scaling(&fig15, "Figure 15 (W=4)"));
-    print!("{}", stencilflow_bench::format_table1(&stencilflow_bench::table1_rows(false)));
+    print!("{}", stencilflow_bench::format_table1(&stencilflow_bench::table1_rows(quick)));
     print!("{}", stencilflow_bench::format_bandwidth(&stencilflow_bench::bandwidth_series()));
     let (rows, analysis) = stencilflow_bench::table2_rows();
     print!("{analysis}");
@@ -16,6 +18,6 @@ fn main() {
     println!("unit-depth channels deadlock: {deadlocked}; analysis-computed depths stream: {completed}");
     print!(
         "{}",
-        stencilflow_bench::format_throughput(&stencilflow_bench::eval_throughput(false))
+        stencilflow_bench::format_throughput(&stencilflow_bench::eval_throughput(quick))
     );
 }

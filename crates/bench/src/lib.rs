@@ -480,8 +480,9 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
     out
 }
 
-/// One row of the evaluation-throughput comparison (interpreted vs.
-/// compiled reference execution).
+/// One row of the evaluation-throughput comparison: tree-walking
+/// interpreter vs. the dynamically typed compiled plan (`Value` bytecode)
+/// vs. the type-specialized kernels.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Workload name.
@@ -490,22 +491,34 @@ pub struct ThroughputRow {
     pub cells: usize,
     /// Tree-walking evaluator throughput in cells/second.
     pub interpreted_cells_per_s: f64,
-    /// Compiled-plan throughput in cells/second.
+    /// Compiled-plan (`Value` bytecode, typed kernels disabled) throughput
+    /// in cells/second.
     pub compiled_cells_per_s: f64,
+    /// Type-specialized kernel throughput in cells/second (the default
+    /// `ReferenceExecutor::run` path).
+    pub typed_cells_per_s: f64,
 }
 
 impl ThroughputRow {
-    /// Speedup of the compiled path over the interpreter.
+    /// Speedup of the compiled `Value` path over the interpreter.
     pub fn speedup(&self) -> f64 {
         self.compiled_cells_per_s / self.interpreted_cells_per_s
     }
+
+    /// Additional speedup of the type-specialized kernels over the compiled
+    /// `Value` path.
+    pub fn typed_speedup(&self) -> f64 {
+        self.typed_cells_per_s / self.compiled_cells_per_s
+    }
 }
 
-fn measure_cells_per_s(cells: usize, mut run: impl FnMut()) -> f64 {
-    use std::time::{Duration, Instant};
-    // One warm-up run, then repeat until at least ~0.2 s of measurement.
+/// Seconds per iteration of `run` — one warm-up call, then repetition until
+/// at least `budget` of wall clock has elapsed. The single measurement
+/// methodology behind both the reported throughput numbers and the
+/// acceptance-floor tests.
+fn secs_per_iter(budget: std::time::Duration, mut run: impl FnMut()) -> f64 {
+    use std::time::Instant;
     run();
-    let budget = Duration::from_millis(200);
     let mut iterations = 0u32;
     let start = Instant::now();
     loop {
@@ -515,37 +528,58 @@ fn measure_cells_per_s(cells: usize, mut run: impl FnMut()) -> f64 {
             break;
         }
     }
-    (cells as u64 * iterations as u64) as f64 / start.elapsed().as_secs_f64()
+    start.elapsed().as_secs_f64() / iterations as f64
 }
 
-/// Measure reference-execution throughput (cells/second) of the tree-walking
-/// evaluator against the compiled execution plan, on the Jacobi 3D 64³ and
-/// horizontal-diffusion workloads. `quick` shrinks the domains for CI runs.
+fn measure_cells_per_s(cells: usize, run: impl FnMut()) -> f64 {
+    cells as f64 / secs_per_iter(std::time::Duration::from_millis(200), run)
+}
+
+/// Measure reference-execution throughput (cells/second) of the
+/// tree-walking evaluator against the compiled execution plan (both the
+/// dynamically typed `Value` bytecode and the type-specialized kernels), on
+/// the Jacobi 3D 64³ workload (all-f32 and all-f64), horizontal diffusion,
+/// and an iterative Jacobi time loop driven by
+/// `ReferenceExecutor::run_steps` (one compilation for all steps). `quick`
+/// shrinks the domains for CI runs.
 pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
+    use stencilflow_expr::DataType;
     use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+    use stencilflow_workloads::jacobi3d_typed;
     let jacobi_shape: [usize; 3] = if quick { [32, 32, 32] } else { [64, 64, 64] };
     let workloads: Vec<(String, StencilProgram)> = vec![
         (
-            format!("jacobi3d {0}^3", jacobi_shape[0]),
+            format!("jacobi3d {0}^3 f32", jacobi_shape[0]),
             jacobi3d(2, &jacobi_shape, 1),
+        ),
+        (
+            format!("jacobi3d {0}^3 f64", jacobi_shape[0]),
+            jacobi3d_typed(2, &jacobi_shape, 1, DataType::Float64),
         ),
         (
             "horizontal_diffusion".to_string(),
             horizontal_diffusion(&HorizontalDiffusionSpec::small()),
         ),
     ];
-    let executor = ReferenceExecutor::new();
-    workloads
+    // Separate executors pin the kernel tier; each caches its compilation
+    // across the repeated measurement runs.
+    let typed_executor = ReferenceExecutor::new();
+    let value_executor = ReferenceExecutor::new().with_typed_kernels(false);
+    let mut rows: Vec<ThroughputRow> = workloads
         .into_iter()
         .map(|(workload, program)| {
             let inputs = generate_inputs(&program, 17);
             let cells = program.space().num_cells() * program.stencil_count();
             let interpreted = measure_cells_per_s(cells, || {
-                let result = executor.run_interpreted(&program, &inputs).unwrap();
+                let result = typed_executor.run_interpreted(&program, &inputs).unwrap();
                 std::hint::black_box(&result);
             });
             let compiled = measure_cells_per_s(cells, || {
-                let result = executor.run(&program, &inputs).unwrap();
+                let result = value_executor.run(&program, &inputs).unwrap();
+                std::hint::black_box(&result);
+            });
+            let typed = measure_cells_per_s(cells, || {
+                let result = typed_executor.run(&program, &inputs).unwrap();
                 std::hint::black_box(&result);
             });
             ThroughputRow {
@@ -553,30 +587,111 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
                 cells,
                 interpreted_cells_per_s: interpreted,
                 compiled_cells_per_s: compiled,
+                typed_cells_per_s: typed,
             }
         })
-        .collect()
+        .collect();
+
+    // Iterative time loop: one Jacobi sweep ping-ponged through
+    // `run_steps`, so every step after the first hits the compiled-program
+    // cache. The interpreted baseline feeds the output back by hand.
+    let steps = if quick { 4 } else { 8 };
+    let program = jacobi3d(1, &jacobi_shape, 1);
+    let inputs = generate_inputs(&program, 17);
+    let cells = program.space().num_cells() * steps;
+    let interpreted = measure_cells_per_s(cells, || {
+        let mut work = inputs.clone();
+        for _ in 0..steps {
+            let result = typed_executor.run_interpreted(&program, &work).unwrap();
+            work.insert("f0".to_string(), result.field("f1").unwrap().clone());
+        }
+        std::hint::black_box(&work);
+    });
+    let compiled = measure_cells_per_s(cells, || {
+        let result = value_executor.run_steps(&program, &inputs, steps).unwrap();
+        std::hint::black_box(&result);
+    });
+    let typed = measure_cells_per_s(cells, || {
+        let result = typed_executor.run_steps(&program, &inputs, steps).unwrap();
+        std::hint::black_box(&result);
+    });
+    rows.push(ThroughputRow {
+        workload: format!("jacobi3d {0}^3 x{steps} steps", jacobi_shape[0]),
+        cells,
+        interpreted_cells_per_s: interpreted,
+        compiled_cells_per_s: compiled,
+        typed_cells_per_s: typed,
+    });
+    rows
 }
 
 /// Render the evaluation-throughput comparison.
 pub fn format_throughput(rows: &[ThroughputRow]) -> String {
     let mut out = String::new();
-    out.push_str("== Evaluation throughput: interpreted vs. compiled reference execution ==\n");
+    out.push_str(
+        "== Evaluation throughput: interpreted vs. compiled vs. typed reference execution ==\n",
+    );
     out.push_str(&format!(
-        "{:<24} {:>12} {:>18} {:>18} {:>9}\n",
-        "workload", "cells/run", "interpreted c/s", "compiled c/s", "speedup"
+        "{:<26} {:>12} {:>16} {:>14} {:>14} {:>9} {:>8}\n",
+        "workload", "cells/run", "interpreted c/s", "compiled c/s", "typed c/s", "speedup", "typed x"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<24} {:>12} {:>18.3e} {:>18.3e} {:>8.1}x\n",
+            "{:<26} {:>12} {:>16.3e} {:>14.3e} {:>14.3e} {:>8.1}x {:>7.2}x\n",
             row.workload,
             row.cells,
             row.interpreted_cells_per_s,
             row.compiled_cells_per_s,
-            row.speedup()
+            row.typed_cells_per_s,
+            row.speedup(),
+            row.typed_speedup()
         ));
     }
     out
+}
+
+/// Serialize throughput rows as a pretty-printed JSON document — the
+/// format of the `BENCH_eval.json` baseline tracked in the repository.
+pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
+    use stencilflow_json::Json;
+    let rows_json: Vec<Json> = rows
+        .iter()
+        .map(|row| {
+            Json::Object(vec![
+                ("workload".to_string(), Json::String(row.workload.clone())),
+                ("cells_per_run".to_string(), Json::Number(row.cells as f64)),
+                (
+                    "interpreted_cells_per_s".to_string(),
+                    Json::Number(row.interpreted_cells_per_s),
+                ),
+                (
+                    "compiled_cells_per_s".to_string(),
+                    Json::Number(row.compiled_cells_per_s),
+                ),
+                (
+                    "typed_cells_per_s".to_string(),
+                    Json::Number(row.typed_cells_per_s),
+                ),
+                (
+                    "compiled_speedup".to_string(),
+                    Json::Number(row.speedup()),
+                ),
+                (
+                    "typed_speedup".to_string(),
+                    Json::Number(row.typed_speedup()),
+                ),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        (
+            "benchmark".to_string(),
+            Json::String("eval_throughput".to_string()),
+        ),
+        ("quick".to_string(), Json::Bool(quick)),
+        ("rows".to_string(), Json::Array(rows_json)),
+    ])
+    .to_string_pretty()
 }
 
 /// Run the Fig. 4 deadlock demonstration: the listing-1 fork/join program
@@ -686,43 +801,69 @@ mod tests {
         assert!(completed);
     }
 
+    /// The shared measurement methodology with a slightly longer window for
+    /// the acceptance-floor ratios.
+    fn measure_secs_per_iter(run: &dyn Fn()) -> f64 {
+        secs_per_iter(std::time::Duration::from_millis(300), run)
+    }
+
     #[test]
-    fn compiled_execution_is_at_least_5x_faster_than_interpreted() {
-        // Acceptance criterion of the compiled-kernel work: on the Jacobi 3D
-        // throughput workload, the slot-resolved plan must beat the
-        // tree-walking evaluator by at least 5x. Both paths are pinned to a
-        // single thread so the ratio measures the compilation win alone and
-        // stays stable on contended CI runners (thread-scaling on top of it
-        // is shown by `cargo bench --bench eval_throughput`).
+    fn kernel_tier_speedup_floors_hold() {
+        // Acceptance floors of the compiled-kernel and type-specialization
+        // work, measured once per tier on the all-f32 Jacobi 3D workload,
+        // single-threaded so the ratios measure the kernel tiers alone:
+        //
+        // * the default `run` path (typed kernels) must beat the
+        //   tree-walking evaluator by >= 5x (the PR-1 criterion, which the
+        //   typed tier clears with wide margin);
+        // * the dynamically typed `Value` bytecode must beat the evaluator
+        //   by >= 3.5x on its own (its release-build ratio is ~7x; the
+        //   opt-level-2 test profile and CI contention eat part of that);
+        // * the typed kernels must add >= 1.5x over the `Value` bytecode
+        //   (the PR-2 criterion).
         use stencilflow_reference::{generate_inputs, ReferenceExecutor};
         let program = jacobi3d(2, &[32, 32, 32], 1);
         let inputs = generate_inputs(&program, 17);
-        let executor = ReferenceExecutor::new().with_max_threads(1);
-        let measure = |run: &dyn Fn()| {
-            use std::time::{Duration, Instant};
-            run();
-            let mut iterations = 0u32;
-            let start = Instant::now();
-            loop {
-                run();
-                iterations += 1;
-                if start.elapsed() >= Duration::from_millis(300) {
-                    break;
-                }
-            }
-            start.elapsed().as_secs_f64() / iterations as f64
-        };
-        let interpreted = measure(&|| {
-            std::hint::black_box(executor.run_interpreted(&program, &inputs).unwrap());
+        let value_executor = ReferenceExecutor::new()
+            .with_max_threads(1)
+            .with_typed_kernels(false);
+        let typed_executor = ReferenceExecutor::new().with_max_threads(1);
+        let interpreted = measure_secs_per_iter(&|| {
+            std::hint::black_box(typed_executor.run_interpreted(&program, &inputs).unwrap());
         });
-        let compiled = measure(&|| {
-            std::hint::black_box(executor.run(&program, &inputs).unwrap());
+        let value_path = measure_secs_per_iter(&|| {
+            std::hint::black_box(value_executor.run(&program, &inputs).unwrap());
         });
-        let speedup = interpreted / compiled;
+        let typed_path = measure_secs_per_iter(&|| {
+            std::hint::black_box(typed_executor.run(&program, &inputs).unwrap());
+        });
+        let typed_vs_interpreted = interpreted / typed_path;
         assert!(
-            speedup >= 5.0,
-            "compiled path only {speedup:.1}x faster than interpreter"
+            typed_vs_interpreted >= 5.0,
+            "default run path only {typed_vs_interpreted:.1}x faster than interpreter"
         );
+        let value_vs_interpreted = interpreted / value_path;
+        assert!(
+            value_vs_interpreted >= 3.5,
+            "Value bytecode only {value_vs_interpreted:.1}x faster than interpreter"
+        );
+        let typed_vs_value = value_path / typed_path;
+        assert!(
+            typed_vs_value >= 1.5,
+            "typed kernels only {typed_vs_value:.2}x faster than the Value path"
+        );
+    }
+
+    #[test]
+    fn repeated_time_stepping_compiles_exactly_once() {
+        use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+        let program = jacobi3d(1, &[8, 8, 8], 1);
+        let inputs = generate_inputs(&program, 3);
+        let executor = ReferenceExecutor::new();
+        executor.run_steps(&program, &inputs, 5).unwrap();
+        executor.run(&program, &inputs).unwrap();
+        executor.run_steps(&program, &inputs, 3).unwrap();
+        assert_eq!(executor.compile_count(), 1);
     }
 
     #[test]
@@ -732,5 +873,27 @@ mod tests {
         assert!(format_bandwidth(&bandwidth_series()).contains("GB/s"));
         let rows = table1_rows(true);
         assert!(format_table1(&rows).contains("Jacobi 3D"));
+    }
+
+    #[test]
+    fn throughput_json_round_trips() {
+        let rows = vec![ThroughputRow {
+            workload: "jacobi3d 8^3 f32".to_string(),
+            cells: 1024,
+            interpreted_cells_per_s: 1.0e6,
+            compiled_cells_per_s: 7.0e6,
+            typed_cells_per_s: 1.5e7,
+        }];
+        let text = throughput_json(&rows, true);
+        let parsed = stencilflow_json::parse(&text).unwrap();
+        assert_eq!(parsed.get("quick").and_then(|v| v.as_bool()), Some(true));
+        let row = &parsed.get("rows").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            row.get("workload").and_then(|v| v.as_str()),
+            Some("jacobi3d 8^3 f32")
+        );
+        assert_eq!(row.get("cells_per_run").and_then(|v| v.as_usize()), Some(1024));
+        let typed_speedup = row.get("typed_speedup").and_then(|v| v.as_f64()).unwrap();
+        assert!((typed_speedup - 1.5e7 / 7.0e6).abs() < 1e-9);
     }
 }

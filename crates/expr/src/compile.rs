@@ -26,11 +26,18 @@
 //! including type promotion, `f32` rounding, short-circuit logic, lazy
 //! ternary branches, and integer-division errors — which the golden
 //! equivalence suite checks exhaustively.
+//!
+//! On top of the slot-resolved bytecode, [`CompiledKernel::specialize`]
+//! produces a [`TypedKernel`] when every instruction's result type can be
+//! resolved statically from the slot types: evaluation then runs on raw
+//! `f64`s with compile-time `f32` rounding flags, skipping `Value` tagging
+//! and per-op promotion entirely (again bit-identical by construction).
 
 use crate::ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
 use crate::error::{ExprError, Result};
-use crate::eval::{eval_math_fn, AccessResolver};
+use crate::eval::{eval_math_fn, math_fn_raw, AccessResolver};
 use crate::fold::fold_program_exact;
+use crate::types::DataType;
 use crate::value::{CompareOp, Value};
 use std::collections::BTreeMap;
 
@@ -260,6 +267,221 @@ impl CompiledKernel {
         stack.pop().ok_or(ExprError::EmptyProgram)
     }
 
+    /// Specialize this kernel for the given slot data types, producing a
+    /// [`TypedKernel`] that evaluates over raw `f64`s with **no `Value`
+    /// tagging and no per-op promotion**.
+    ///
+    /// Specialization performs a static type-propagation pass over the
+    /// bytecode: given the (bind-time) type of every slot, the result type
+    /// of each instruction is determined by the same promotion rules the
+    /// [`Value`] arithmetic applies dynamically. When every instruction
+    /// resolves to a single static float (or boolean) type, the kernel is
+    /// lowered to [`TypedOp`]s carrying a compile-time "round through `f32`"
+    /// flag, and the typed evaluation loop is bit-identical to
+    /// [`CompiledKernel::eval_slots`] by construction.
+    ///
+    /// Returns `None` — and consumers keep the dynamic `Value` path — when
+    /// the kernel cannot be statically typed: integer-typed slots or
+    /// literals (integer division can fail, which the infallible typed loop
+    /// cannot express), arithmetic on two booleans, negation of a boolean
+    /// (which promotes to `int64`), or control-flow joins whose branches
+    /// produce different types.
+    pub fn specialize(&self, slot_types: &[DataType]) -> Option<TypedKernel> {
+        assert_eq!(
+            slot_types.len(),
+            self.slots.len(),
+            "one data type per access slot"
+        );
+        let slot_stypes: Vec<SType> = slot_types
+            .iter()
+            .map(|&t| SType::from_data_type(t))
+            .collect::<Option<_>>()?;
+
+        let mut stack: Vec<SType> = Vec::new();
+        let mut locals: Vec<Option<SType>> = vec![None; self.local_count];
+        // Expected stack types at each forward-jump target. All jumps in the
+        // bytecode are forward (ternaries and short-circuit logic), so one
+        // linear pass visits every instruction with its full type context.
+        let mut joins: BTreeMap<u32, Vec<SType>> = BTreeMap::new();
+        let mut ops = Vec::with_capacity(self.ops.len());
+        let mut live = true;
+
+        fn join(joins: &mut BTreeMap<u32, Vec<SType>>, target: u32, snapshot: Vec<SType>) -> bool {
+            match joins.get(&target) {
+                Some(existing) => *existing == snapshot,
+                None => {
+                    joins.insert(target, snapshot);
+                    true
+                }
+            }
+        }
+
+        for (pc, op) in self.ops.iter().enumerate() {
+            if let Some(snapshot) = joins.get(&(pc as u32)) {
+                if live {
+                    if *snapshot != stack {
+                        return None;
+                    }
+                } else {
+                    stack = snapshot.clone();
+                    live = true;
+                }
+            }
+            if !live {
+                // Fall-through past an unconditional jump with no recorded
+                // join: the lowering never produces this, but bail rather
+                // than guess.
+                return None;
+            }
+            match *op {
+                Op::Const(v) => {
+                    stack.push(SType::from_data_type(v.data_type())?);
+                    ops.push(TypedOp::Const(v.as_f64()));
+                }
+                Op::Slot(ix) => {
+                    stack.push(slot_stypes[ix as usize]);
+                    ops.push(TypedOp::Slot(ix));
+                }
+                Op::Local(ix) => {
+                    stack.push(locals[ix as usize]?);
+                    ops.push(TypedOp::Local(ix));
+                }
+                Op::Store(ix) => {
+                    let t = stack.pop()?;
+                    match locals[ix as usize] {
+                        Some(previous) if previous != t => return None,
+                        _ => locals[ix as usize] = Some(t),
+                    }
+                    ops.push(TypedOp::Store(ix));
+                }
+                Op::Pop => {
+                    stack.pop()?;
+                    ops.push(TypedOp::Pop);
+                }
+                Op::Unary(UnOp::Neg) => {
+                    let t = stack.pop()?;
+                    if t == SType::Bool {
+                        // Negating a boolean promotes to int64.
+                        return None;
+                    }
+                    stack.push(t);
+                    ops.push(TypedOp::Neg {
+                        round: t == SType::F32,
+                    });
+                }
+                Op::Unary(UnOp::Not) => {
+                    stack.pop()?;
+                    stack.push(SType::Bool);
+                    ops.push(TypedOp::Not);
+                }
+                Op::Binary(binop) => {
+                    let r = stack.pop()?;
+                    let l = stack.pop()?;
+                    match binop {
+                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                            let t = SType::arithmetic(l, r)?;
+                            let round = t == SType::F32;
+                            stack.push(t);
+                            ops.push(match binop {
+                                BinOp::Add => TypedOp::Add { round },
+                                BinOp::Sub => TypedOp::Sub { round },
+                                BinOp::Mul => TypedOp::Mul { round },
+                                BinOp::Div => TypedOp::Div { round },
+                                _ => unreachable!(),
+                            });
+                        }
+                        BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                            stack.push(SType::Bool);
+                            ops.push(TypedOp::Compare(match binop {
+                                BinOp::Lt => CompareOp::Lt,
+                                BinOp::Gt => CompareOp::Gt,
+                                BinOp::Le => CompareOp::Le,
+                                BinOp::Ge => CompareOp::Ge,
+                                BinOp::Eq => CompareOp::Eq,
+                                BinOp::Ne => CompareOp::Ne,
+                                _ => unreachable!(),
+                            }));
+                        }
+                        BinOp::And | BinOp::Or => {
+                            unreachable!("logical operators lower to jumps")
+                        }
+                    }
+                }
+                Op::Call1(func) => {
+                    let a = stack.pop()?;
+                    let t = SType::math_result(a, None);
+                    stack.push(t);
+                    ops.push(TypedOp::Call1(func, t == SType::F32));
+                }
+                Op::Call2(func) => {
+                    let b = stack.pop()?;
+                    let a = stack.pop()?;
+                    let t = SType::math_result(a, Some(b));
+                    stack.push(t);
+                    ops.push(TypedOp::Call2(func, t == SType::F32));
+                }
+                Op::Jump(target) => {
+                    if !join(&mut joins, target, stack.clone()) {
+                        return None;
+                    }
+                    live = false;
+                    ops.push(TypedOp::Jump(target));
+                }
+                Op::JumpIfFalse(target) => {
+                    stack.pop()?;
+                    if !join(&mut joins, target, stack.clone()) {
+                        return None;
+                    }
+                    ops.push(TypedOp::JumpIfFalse(target));
+                }
+                Op::AndShortCircuit(target) => {
+                    stack.pop()?;
+                    let mut taken = stack.clone();
+                    taken.push(SType::Bool);
+                    if !join(&mut joins, target, taken) {
+                        return None;
+                    }
+                    ops.push(TypedOp::AndFalse(target));
+                }
+                Op::OrShortCircuit(target) => {
+                    stack.pop()?;
+                    let mut taken = stack.clone();
+                    taken.push(SType::Bool);
+                    if !join(&mut joins, target, taken) {
+                        return None;
+                    }
+                    ops.push(TypedOp::OrTrue(target));
+                }
+                Op::ToBool => {
+                    stack.pop()?;
+                    stack.push(SType::Bool);
+                    ops.push(TypedOp::ToBool);
+                }
+            }
+        }
+        // A jump may target one past the final instruction (ternary in tail
+        // position): merge that join like any other.
+        if let Some(snapshot) = joins.get(&(self.ops.len() as u32)) {
+            if live {
+                if *snapshot != stack {
+                    return None;
+                }
+            } else {
+                stack = snapshot.clone();
+                live = true;
+            }
+        }
+        if !live || stack.is_empty() {
+            return None;
+        }
+        Some(TypedKernel {
+            ops,
+            slot_count: self.slots.len(),
+            local_count: self.local_count,
+            max_stack: self.max_stack,
+        })
+    }
+
     /// Convenience evaluation through an [`AccessResolver`]: resolves every
     /// slot, then runs the bytecode. Used by tests and one-off evaluations;
     /// hot paths should pre-bind slots and call
@@ -284,6 +506,278 @@ impl CompiledKernel {
             values.push(value);
         }
         self.eval_slots(&values, &mut EvalScratch::default())
+    }
+}
+
+/// Static type of one stack position / local register in a specialized
+/// kernel. Booleans are represented as `0.0` / `1.0`, matching
+/// [`Value::as_f64`], so every slot of the typed stack is a plain `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SType {
+    /// 32-bit float: every producing operation rounds through `f32`.
+    F32,
+    /// 64-bit float: no intermediate rounding.
+    F64,
+    /// Boolean (comparison / logic results), stored as `0.0` / `1.0`.
+    Bool,
+}
+
+impl SType {
+    fn from_data_type(dtype: DataType) -> Option<SType> {
+        match dtype {
+            DataType::Float32 => Some(SType::F32),
+            DataType::Float64 => Some(SType::F64),
+            DataType::Bool => Some(SType::Bool),
+            // Integer arithmetic can fail (division by zero) and truncates
+            // through `from_f64`; keep it on the fallible Value path.
+            DataType::Int32 | DataType::Int64 => None,
+        }
+    }
+
+    /// Result type of `+ - * /` on two operands, mirroring
+    /// [`DataType::promote`]. `Bool ∘ Bool` stays boolean under promotion
+    /// (the result is re-coerced through `from_f64`), which the typed loop
+    /// does not model — reject it.
+    fn arithmetic(l: SType, r: SType) -> Option<SType> {
+        match (l, r) {
+            (SType::Bool, SType::Bool) => None,
+            (SType::F64, _) | (_, SType::F64) => Some(SType::F64),
+            _ => Some(SType::F32),
+        }
+    }
+
+    /// Result type of a math-function call, mirroring
+    /// [`crate::eval::eval_math_fn`]: the promoted argument type if it is a
+    /// float, otherwise `f64`.
+    fn math_result(a: SType, b: Option<SType>) -> SType {
+        let promoted = match (a, b) {
+            (t, None) => t,
+            (SType::Bool, Some(t)) | (t, Some(SType::Bool)) => t,
+            (SType::F64, Some(_)) | (_, Some(SType::F64)) => SType::F64,
+            (SType::F32, Some(SType::F32)) => SType::F32,
+        };
+        match promoted {
+            SType::Bool => SType::F64,
+            t => t,
+        }
+    }
+}
+
+/// One instruction of a type-specialized kernel. Arithmetic ops carry a
+/// statically resolved `round` flag (`true` when the result type is `f32`);
+/// comparisons push `0.0` / `1.0`; truthiness is `!= 0.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TypedOp {
+    /// Push a literal.
+    Const(f64),
+    /// Push a pre-resolved slot value.
+    Slot(u16),
+    /// Push a local register.
+    Local(u16),
+    /// Pop into a local register.
+    Store(u16),
+    /// Pop and discard.
+    Pop,
+    /// Arithmetic negation.
+    Neg {
+        /// Round the result through `f32`.
+        round: bool,
+    },
+    /// Logical negation (pushes `0.0` / `1.0`).
+    Not,
+    /// Addition.
+    Add {
+        /// Round the result through `f32`.
+        round: bool,
+    },
+    /// Subtraction.
+    Sub {
+        /// Round the result through `f32`.
+        round: bool,
+    },
+    /// Multiplication.
+    Mul {
+        /// Round the result through `f32`.
+        round: bool,
+    },
+    /// Division (always IEEE; integer kernels never specialize).
+    Div {
+        /// Round the result through `f32`.
+        round: bool,
+    },
+    /// Comparison; pushes `0.0` / `1.0`.
+    Compare(CompareOp),
+    /// Math function of one argument; `true` rounds through `f32`.
+    Call1(MathFn, bool),
+    /// Math function of two arguments; `true` rounds through `f32`.
+    Call2(MathFn, bool),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump when zero.
+    JumpIfFalse(u32),
+    /// Pop; on zero push `0.0` and jump (short-circuit `&&`).
+    AndFalse(u32),
+    /// Pop; on non-zero push `1.0` and jump (short-circuit `||`).
+    OrTrue(u32),
+    /// Pop and push its truthiness as `0.0` / `1.0`.
+    ToBool,
+}
+
+/// Reusable scratch space for [`TypedKernel::eval_slots`]; one per worker
+/// thread.
+#[derive(Debug, Default, Clone)]
+pub struct TypedScratch {
+    stack: Vec<f64>,
+    locals: Vec<f64>,
+}
+
+/// A [`CompiledKernel`] monomorphized for fixed slot types (see
+/// [`CompiledKernel::specialize`]): evaluation runs entirely on raw `f64`s
+/// with statically resolved rounding, skipping `Value` tagging and per-op
+/// promotion. Specialized kernels are infallible — integer division (the
+/// only failing operation) never specializes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedKernel {
+    ops: Vec<TypedOp>,
+    slot_count: usize,
+    local_count: usize,
+    max_stack: usize,
+}
+
+impl TypedKernel {
+    /// Number of access slots (same layout and indices as the kernel this
+    /// was specialized from).
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+
+    /// The specialized instruction stream.
+    pub fn ops(&self) -> &[TypedOp] {
+        &self.ops
+    }
+
+    /// Evaluate with pre-resolved raw slot values (the hot path).
+    ///
+    /// `slot_values[i]` must hold the value of slot `i` for the current
+    /// cell, already representable in the slot's type (grid storage
+    /// guarantees this: every store rounds through the element type).
+    /// Booleans are `0.0` / `1.0`. After `scratch` has warmed up, this
+    /// performs no heap allocation.
+    pub fn eval_slots(&self, slot_values: &[f64], scratch: &mut TypedScratch) -> f64 {
+        debug_assert_eq!(slot_values.len(), self.slot_count);
+        #[inline]
+        fn finish(v: f64, round: bool) -> f64 {
+            if round {
+                v as f32 as f64
+            } else {
+                v
+            }
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.reserve(self.max_stack);
+        scratch.locals.clear();
+        scratch.locals.resize(self.local_count, 0.0);
+        let locals = &mut scratch.locals;
+
+        let ops = &self.ops;
+        let mut pc = 0usize;
+        while pc < ops.len() {
+            match ops[pc] {
+                TypedOp::Const(v) => stack.push(v),
+                TypedOp::Slot(ix) => stack.push(slot_values[ix as usize]),
+                TypedOp::Local(ix) => stack.push(locals[ix as usize]),
+                TypedOp::Store(ix) => {
+                    locals[ix as usize] = stack.pop().expect("stack underflow: Store");
+                }
+                TypedOp::Pop => {
+                    stack.pop().expect("stack underflow: Pop");
+                }
+                TypedOp::Neg { round } => {
+                    let v = stack.pop().expect("stack underflow: Neg");
+                    stack.push(finish(-v, round));
+                }
+                TypedOp::Not => {
+                    let v = stack.pop().expect("stack underflow: Not");
+                    stack.push(if v != 0.0 { 0.0 } else { 1.0 });
+                }
+                TypedOp::Add { round } => {
+                    let r = stack.pop().expect("stack underflow: Add rhs");
+                    let l = stack.pop().expect("stack underflow: Add lhs");
+                    stack.push(finish(l + r, round));
+                }
+                TypedOp::Sub { round } => {
+                    let r = stack.pop().expect("stack underflow: Sub rhs");
+                    let l = stack.pop().expect("stack underflow: Sub lhs");
+                    stack.push(finish(l - r, round));
+                }
+                TypedOp::Mul { round } => {
+                    let r = stack.pop().expect("stack underflow: Mul rhs");
+                    let l = stack.pop().expect("stack underflow: Mul lhs");
+                    stack.push(finish(l * r, round));
+                }
+                TypedOp::Div { round } => {
+                    let r = stack.pop().expect("stack underflow: Div rhs");
+                    let l = stack.pop().expect("stack underflow: Div lhs");
+                    stack.push(finish(l / r, round));
+                }
+                TypedOp::Compare(op) => {
+                    let r = stack.pop().expect("stack underflow: Compare rhs");
+                    let l = stack.pop().expect("stack underflow: Compare lhs");
+                    let result = match op {
+                        CompareOp::Lt => l < r,
+                        CompareOp::Gt => l > r,
+                        CompareOp::Le => l <= r,
+                        CompareOp::Ge => l >= r,
+                        CompareOp::Eq => l == r,
+                        CompareOp::Ne => l != r,
+                    };
+                    stack.push(if result { 1.0 } else { 0.0 });
+                }
+                TypedOp::Call1(func, round) => {
+                    let a = stack.pop().expect("stack underflow: Call1");
+                    stack.push(finish(math_fn_raw(func, a, 0.0), round));
+                }
+                TypedOp::Call2(func, round) => {
+                    let b = stack.pop().expect("stack underflow: Call2 arg 2");
+                    let a = stack.pop().expect("stack underflow: Call2 arg 1");
+                    stack.push(finish(math_fn_raw(func, a, b), round));
+                }
+                TypedOp::Jump(target) => {
+                    pc = target as usize;
+                    continue;
+                }
+                TypedOp::JumpIfFalse(target) => {
+                    let c = stack.pop().expect("stack underflow: JumpIfFalse");
+                    if c == 0.0 {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                TypedOp::AndFalse(target) => {
+                    let l = stack.pop().expect("stack underflow: AndFalse");
+                    if l == 0.0 {
+                        stack.push(0.0);
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                TypedOp::OrTrue(target) => {
+                    let l = stack.pop().expect("stack underflow: OrTrue");
+                    if l != 0.0 {
+                        stack.push(1.0);
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                TypedOp::ToBool => {
+                    let v = stack.pop().expect("stack underflow: ToBool");
+                    stack.push(if v != 0.0 { 1.0 } else { 0.0 });
+                }
+            }
+            pc += 1;
+        }
+        stack.pop().expect("typed kernels always produce a result")
     }
 }
 
@@ -571,6 +1065,125 @@ mod tests {
             CompiledKernel::compile(&program),
             Err(ExprError::EmptyProgram)
         ));
+    }
+
+    /// Specialize `code` for slots uniformly typed `dtype`, evaluate both
+    /// paths on the same resolver values, and require identical bits.
+    fn check_typed_matches_value_path(code: &str, dtype: DataType, resolver: &MapResolver) {
+        let kernel = compile(code);
+        let slot_types: Vec<DataType> = kernel.slots().iter().map(|_| dtype).collect();
+        let typed = kernel
+            .specialize(&slot_types)
+            .unwrap_or_else(|| panic!("`{code}` should specialize for {dtype}"));
+        let mut values = Vec::new();
+        let mut raw = Vec::new();
+        for slot in kernel.slots() {
+            let v = resolver
+                .resolve(&slot.field, &slot.offsets)
+                .unwrap_or_else(|| panic!("missing resolver entry for `{}`", slot.field));
+            let v = v.cast(dtype);
+            raw.push(v.as_f64());
+            values.push(v);
+        }
+        let reference = kernel
+            .eval_slots(&values, &mut EvalScratch::default())
+            .unwrap();
+        let specialized = typed.eval_slots(&raw, &mut TypedScratch::default());
+        assert!(
+            reference.as_f64().to_bits() == specialized.to_bits()
+                || (reference.as_f64().is_nan() && specialized.is_nan()),
+            "typed mismatch for `{code}` ({dtype}): {reference:?} vs {specialized:?}"
+        );
+    }
+
+    #[test]
+    fn typed_kernels_match_value_path_bitwise() {
+        for dtype in [DataType::Float32, DataType::Float64] {
+            let r = resolver_f32();
+            for code in [
+                "0.125 * (a[i] + a[i-1] + a[i+1] + b[i] + dt)",
+                "x = a[i-1] + a[i+1]; y = x * dt; y - a[i]",
+                "(a[i] + a[i-1]) / (a[i+1] - 2.0)",
+                "-a[i] + -(a[i-1] * dt)",
+                "sqrt(abs(a[i+1])) + min(a[i], max(a[i-1], dt))",
+                "pow(a[i], 2.0) + exp(b[i]) + log(a[i]) + floor(a[i]) + ceil(dt)",
+                "a[i] > 0.0 ? a[i] : -a[i]",
+                "b[i] != 0.0 && a[i] > 0.0 ? a[i] : a[i-1]",
+                "a[i] > 0.0 || b[i] > 0.0 ? a[i] : a[i-1]",
+                "!(a[i] > 0.0) ? dt : a[i-1]",
+                "a[i] / b[i]",
+                "(a[i] > 0.0) + a[i-1]",
+            ] {
+                check_typed_matches_value_path(code, dtype, &r);
+            }
+        }
+    }
+
+    #[test]
+    fn typed_f32_rounds_per_operation() {
+        // 1/3 is inexact: an f32 addition must round before the f64 scale,
+        // exactly like the Value path (adds are f32, the literal multiply
+        // promotes to f64).
+        let mut r = MapResolver::new();
+        r.insert_access("a", &[0], Value::F32(1.0 / 3.0));
+        r.insert_access("a", &[-1], Value::F32(2.0 / 3.0));
+        check_typed_matches_value_path("0.1 * (a[i] + a[i-1])", DataType::Float32, &r);
+        let kernel = compile("0.1 * (a[i] + a[i-1])");
+        let typed = kernel
+            .specialize(&[DataType::Float32, DataType::Float32])
+            .unwrap();
+        // The add is f32-typed, the multiply (f64 literal) is not.
+        assert!(typed.ops().contains(&TypedOp::Add { round: true }));
+        assert!(typed.ops().contains(&TypedOp::Mul { round: false }));
+    }
+
+    #[test]
+    fn all_f64_kernels_never_round() {
+        let kernel = compile("0.25 * (a[i-1] + a[i+1]) - a[i]");
+        let typed = kernel
+            .specialize(&[DataType::Float64; 3])
+            .unwrap();
+        assert!(typed.ops().iter().all(|op| !matches!(
+            op,
+            TypedOp::Add { round: true }
+                | TypedOp::Sub { round: true }
+                | TypedOp::Mul { round: true }
+                | TypedOp::Div { round: true }
+        )));
+    }
+
+    #[test]
+    fn unspecializable_kernels_fall_back() {
+        // Integer literals make integer arithmetic (and its division error)
+        // possible: no specialization.
+        let kernel = compile("a[i] + 1 / 2");
+        assert!(kernel.specialize(&[DataType::Float32]).is_none());
+        // Integer-typed slots: no specialization.
+        let kernel = compile("a[i] * 2.0");
+        assert!(kernel.specialize(&[DataType::Int32]).is_none());
+        // Ternary branches of different static types: no specialization.
+        let kernel = compile("a[i] > 0.0 ? a[i] : 0.5");
+        assert!(kernel
+            .specialize(&[DataType::Float32])
+            .is_none());
+        // ... but the same program with f64 slots joins cleanly.
+        assert!(kernel.specialize(&[DataType::Float64]).is_some());
+    }
+
+    #[test]
+    fn typed_scratch_reuse_does_not_allocate() {
+        let kernel = compile("x = a[i-1] + a[i+1]; 0.5 * x + a[i]");
+        let typed = kernel.specialize(&[DataType::Float32; 3]).unwrap();
+        let raw = [1.0, 2.0, 3.0];
+        let mut scratch = TypedScratch::default();
+        let first = typed.eval_slots(&raw, &mut scratch);
+        let stack_cap = scratch.stack.capacity();
+        let locals_cap = scratch.locals.capacity();
+        for _ in 0..100 {
+            assert_eq!(typed.eval_slots(&raw, &mut scratch), first);
+        }
+        assert_eq!(scratch.stack.capacity(), stack_cap);
+        assert_eq!(scratch.locals.capacity(), locals_cap);
     }
 
     #[test]

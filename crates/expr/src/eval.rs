@@ -218,7 +218,14 @@ pub fn eval_math_fn(func: MathFn, args: &[Value]) -> Value {
     };
     let a = args.first().map(|v| v.as_f64()).unwrap_or(0.0);
     let b = args.get(1).map(|v| v.as_f64()).unwrap_or(0.0);
-    let result = match func {
+    Value::from_f64(math_fn_raw(func, a, b), dtype)
+}
+
+/// Raw `f64` math-function evaluation shared by [`eval_math_fn`] and the
+/// type-specialized kernels ([`crate::compile::TypedKernel`]). Unary
+/// functions ignore `b`. Callers apply the result-type rounding themselves.
+pub fn math_fn_raw(func: MathFn, a: f64, b: f64) -> f64 {
+    match func {
         MathFn::Sqrt => a.sqrt(),
         MathFn::Abs => a.abs(),
         MathFn::Min => a.min(b),
@@ -231,8 +238,7 @@ pub fn eval_math_fn(func: MathFn, args: &[Value]) -> Value {
         MathFn::Tan => a.tan(),
         MathFn::Floor => a.floor(),
         MathFn::Ceil => a.ceil(),
-    };
-    Value::from_f64(result, dtype)
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use stencilflow_expr::ast::{BinOp, Expr, Index, MathFn, Program, Stmt, UnOp};
-use stencilflow_expr::{AccessExtractor, CompiledKernel, Evaluator, MapResolver, Value};
+use stencilflow_expr::{
+    AccessExtractor, CompiledKernel, EvalScratch, Evaluator, MapResolver, TypedScratch, Value,
+};
 
 /// Random well-formed expressions over a small set of fields and offsets
 /// (mirrors the strategy of the parser round-trip suite, plus division and
@@ -144,6 +146,39 @@ proptest! {
     fn compiled_matches_interpreter_mixed_types(program in arb_program()) {
         let resolver = resolver_for(&program, true);
         check_equivalence(&program, &resolver)?;
+    }
+
+    /// Whenever a kernel specializes for its bind-time slot types, the
+    /// typed `f64` loop agrees bit for bit with the `Value` bytecode (and
+    /// therefore, by the tests above, with the interpreter).
+    #[test]
+    fn typed_kernel_matches_value_path(program in arb_program(), f32_mode in any::<bool>()) {
+        let resolver = resolver_for(&program, f32_mode);
+        let kernel = CompiledKernel::compile(&program).expect("non-empty programs compile");
+        let mut slot_types = Vec::with_capacity(kernel.slots().len());
+        let mut values = Vec::with_capacity(kernel.slots().len());
+        let mut raw = Vec::with_capacity(kernel.slots().len());
+        for slot in kernel.slots() {
+            let value = stencilflow_expr::AccessResolver::resolve(
+                &resolver, &slot.field, &slot.offsets,
+            ).expect("resolver covers every access");
+            slot_types.push(value.data_type());
+            raw.push(value.as_f64());
+            values.push(value);
+        }
+        if let Some(typed) = kernel.specialize(&slot_types) {
+            // Specialized kernels reject every failing construct, so the
+            // Value path must succeed too.
+            let reference = kernel
+                .eval_slots(&values, &mut EvalScratch::default())
+                .expect("specialized kernels cannot fail");
+            let specialized = typed.eval_slots(&raw, &mut TypedScratch::default());
+            prop_assert!(
+                reference.as_f64().to_bits() == specialized.to_bits()
+                    || (reference.as_f64().is_nan() && specialized.is_nan()),
+                "typed mismatch for `{program}`: {reference:?} vs {specialized}"
+            );
+        }
     }
 
     /// Compilation is deterministic: two lowerings of the same program are

@@ -4,18 +4,25 @@
 //! the full iteration space. Two execution paths produce bit-identical
 //! results (checked by the golden-equivalence suite):
 //!
-//! * [`ReferenceExecutor::run`] — the fast path: each stencil is compiled to
-//!   a slot-resolved [`stencilflow_expr::CompiledKernel`], bound to its
-//!   grids in a [`crate::plan::StencilPlan`], and swept with interior/halo
+//! * [`ReferenceExecutor::run`] — the fast path: the program is compiled
+//!   once into a [`CompiledProgram`] (slot-resolved — and, where possible,
+//!   type-specialized — kernels plus interior/halo geometry, cached across
+//!   runs), cheaply bound to this run's grids, and swept with interior/halo
 //!   splitting and row parallelism.
 //! * [`ReferenceExecutor::run_interpreted`] — the tree-walking evaluator,
 //!   kept as the semantic reference ("reference C++" of the paper's
 //!   Fig. 13) and as the baseline of the evaluation-throughput benchmark.
+//!
+//! For iterative workloads, [`ReferenceExecutor::run_steps`] time-steps a
+//! program by ping-ponging its output grids back into its inputs, reusing
+//! one compiled program across all steps.
 
 use crate::grid::Grid;
-use crate::plan::StencilPlan;
+use crate::plan::CompiledStencil;
 use std::collections::BTreeMap;
-use stencilflow_expr::{AccessResolver, Evaluator, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use stencilflow_expr::{AccessResolver, DataType, Evaluator, Value};
 use stencilflow_program::{
     BoundaryCondition, ProgramError, Result, StencilNode, StencilProgram,
 };
@@ -55,7 +62,8 @@ impl ExecutionResult {
             .unwrap_or(0)
     }
 
-    /// Total number of stencil-cell evaluations performed.
+    /// Total number of stencil-cell evaluations performed (summed over all
+    /// time steps for [`ReferenceExecutor::run_steps`]).
     pub fn cells_evaluated(&self) -> usize {
         self.cells_evaluated
     }
@@ -82,6 +90,140 @@ impl ExecutionResult {
     }
 }
 
+/// Expected geometry of one input grid, baked at compile time.
+#[derive(Debug)]
+struct InputSpec {
+    name: String,
+    shape: Vec<usize>,
+    dtype: DataType,
+    /// Whether the input spans the full iteration space (and is therefore
+    /// eligible as a time-stepping feedback target).
+    full_rank: bool,
+}
+
+/// A stencil program compiled for repeated execution: slot-resolved (and,
+/// where the types allow, type-specialized) kernels, declared-geometry slot
+/// bindings, and interior/halo geometry for every stencil, in topological
+/// order. Built once by [`ReferenceExecutor::prepare`]; each
+/// [`ReferenceExecutor::run_compiled`] call only re-binds grids.
+pub struct CompiledProgram {
+    name: String,
+    dims: Vec<String>,
+    shape: Vec<usize>,
+    num_cells: usize,
+    inputs: Vec<InputSpec>,
+    outputs: Vec<String>,
+    stencils: Vec<CompiledStencil>,
+}
+
+impl std::fmt::Debug for CompiledProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledProgram")
+            .field("name", &self.name)
+            .field("shape", &self.shape)
+            .field("stencils", &self.stencil_count())
+            .field("typed_stencils", &self.typed_stencil_count())
+            .finish()
+    }
+}
+
+impl CompiledProgram {
+    /// Name of the source program.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of compiled stencils.
+    pub fn stencil_count(&self) -> usize {
+        self.stencils.len()
+    }
+
+    /// Number of stencils carrying a type-specialized (`Value`-free) kernel.
+    pub fn typed_stencil_count(&self) -> usize {
+        self.stencils.iter().filter(|s| s.is_typed()).count()
+    }
+
+    /// The output-to-input feedback pairing used by time stepping. A
+    /// single-output program pairs with its single full-rank input
+    /// directly. A multi-field system must *name* the correspondence: each
+    /// output pairs with the full-rank input whose name is the longest
+    /// prefix of the output's name (`h -> h_next`, `h2 -> h2_next`), so no
+    /// declaration or sort order can silently transpose coupled state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Invalid`] if the program does not have
+    /// exactly one full-rank input per output, if a multi-field pairing is
+    /// not derivable by prefix (or two outputs claim the same input), or
+    /// if an output's element type differs from the input it would feed.
+    fn feedback_pairs(&self) -> Result<Vec<(String, String)>> {
+        let feedback: Vec<&InputSpec> = self.inputs.iter().filter(|i| i.full_rank).collect();
+        if feedback.len() != self.outputs.len() {
+            return Err(ProgramError::Invalid {
+                message: format!(
+                    "time stepping requires one full-rank input per program output, \
+                     but `{}` has {} output(s) and {} full-rank input(s)",
+                    self.name,
+                    self.outputs.len(),
+                    feedback.len()
+                ),
+            });
+        }
+        let mut pairs = Vec::with_capacity(self.outputs.len());
+        let mut used: Vec<Option<&str>> = vec![None; feedback.len()];
+        for output in &self.outputs {
+            let target = if feedback.len() == 1 {
+                0
+            } else {
+                let mut best: Option<usize> = None;
+                for (ix, spec) in feedback.iter().enumerate() {
+                    let longer = match best {
+                        None => true,
+                        Some(b) => spec.name.len() > feedback[b].name.len(),
+                    };
+                    if longer && output.starts_with(spec.name.as_str()) {
+                        best = Some(ix);
+                    }
+                }
+                best.ok_or_else(|| ProgramError::Invalid {
+                    message: format!(
+                        "cannot pair output `{output}` with a state input: no full-rank \
+                         input name is a prefix of it — name coupled-system outputs \
+                         after their state fields (e.g. `h` -> `h_next`)"
+                    ),
+                })?
+            };
+            if let Some(previous) = used[target] {
+                return Err(ProgramError::Invalid {
+                    message: format!(
+                        "outputs `{previous}` and `{output}` would both feed input `{}`",
+                        feedback[target].name
+                    ),
+                });
+            }
+            used[target] = Some(output);
+            let spec = feedback[target];
+            let out_dtype = self
+                .stencils
+                .iter()
+                .find(|s| s.name() == output)
+                .expect("program outputs are stencils")
+                .out_dtype();
+            if out_dtype != spec.dtype {
+                return Err(ProgramError::Invalid {
+                    message: format!(
+                        "output `{output}` has element type {out_dtype} but would feed \
+                         input `{}` of type {}",
+                        spec.name, spec.dtype
+                    ),
+                });
+            }
+            pairs.push((output.clone(), spec.name.clone()));
+        }
+        Ok(pairs)
+    }
+}
+
 /// Reference executor.
 ///
 /// Stencils are evaluated one at a time in topological order over the full
@@ -89,18 +231,55 @@ impl ExecutionResult {
 /// path of the paper's workflow (Fig. 13), used to validate the spatial
 /// implementations. [`ReferenceExecutor::run`] sweeps each stencil through
 /// a compiled execution plan (row-parallel, interior cells skip all bounds
-/// checks); [`ReferenceExecutor::run_interpreted`] walks the expression
-/// tree per cell and serves as the semantic baseline.
-#[derive(Debug, Clone, Default)]
+/// checks, type-specialized kernels where the slot types allow), caching
+/// compiled programs across calls so repeated runs never recompile;
+/// [`ReferenceExecutor::run_interpreted`] walks the expression tree per
+/// cell and serves as the semantic baseline.
+#[derive(Debug)]
 pub struct ReferenceExecutor {
     /// Worker-thread cap for the compiled sweep; `None` picks the available
     /// hardware parallelism.
     max_threads: Option<usize>,
+    /// Whether compiled sweeps may use type-specialized kernels.
+    use_typed: bool,
+    /// Compiled programs keyed by a structural fingerprint; hits skip
+    /// compilation entirely.
+    cache: Mutex<BTreeMap<String, Arc<CompiledProgram>>>,
+    /// Number of program compilations performed (cache misses).
+    compiles: AtomicUsize,
 }
 
-/// Sweeps smaller than this stay single-threaded: thread spawn overhead
-/// dominates below roughly a quarter-million cell·accesses.
-const PARALLEL_THRESHOLD_CELLS: usize = 1 << 15;
+impl Default for ReferenceExecutor {
+    fn default() -> Self {
+        ReferenceExecutor {
+            max_threads: None,
+            use_typed: true,
+            cache: Mutex::new(BTreeMap::new()),
+            compiles: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl Clone for ReferenceExecutor {
+    fn clone(&self) -> Self {
+        ReferenceExecutor {
+            max_threads: self.max_threads,
+            use_typed: self.use_typed,
+            cache: Mutex::new(self.cache.lock().expect("executor cache poisoned").clone()),
+            compiles: AtomicUsize::new(self.compiles.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Sweeps smaller than this many cell·accesses stay single-threaded: thread
+/// spawn overhead dominates below roughly a quarter-million cell·accesses.
+/// Scaling by the per-cell access count lets small-but-heavy stencils
+/// parallelize while light sweeps stay sequential.
+const PARALLEL_THRESHOLD_CELL_ACCESSES: usize = 1 << 18;
+
+/// Compiled-program cache entries kept per executor before the cache is
+/// reset (a safety valve for program-generating loops, not a tuned policy).
+const COMPILED_CACHE_CAPACITY: usize = 64;
 
 impl ReferenceExecutor {
     /// Create a reference executor.
@@ -115,28 +294,45 @@ impl ReferenceExecutor {
         self
     }
 
-    fn check_inputs(program: &StencilProgram, inputs: &BTreeMap<String, Grid>) -> Result<()> {
-        for (name, decl) in program.inputs() {
-            let grid = inputs.get(name).ok_or_else(|| ProgramError::Invalid {
-                message: format!("missing input grid `{name}`"),
+    /// Enable or disable type-specialized kernels in compiled sweeps
+    /// (enabled by default; disabling pins the dynamically typed `Value`
+    /// bytecode path, which is useful for equivalence tests and as the
+    /// benchmark baseline).
+    pub fn with_typed_kernels(mut self, enabled: bool) -> Self {
+        self.use_typed = enabled;
+        self
+    }
+
+    /// Number of program compilations this executor has performed. Cache
+    /// hits in [`ReferenceExecutor::prepare`] (and therefore in repeated
+    /// [`ReferenceExecutor::run`] / [`ReferenceExecutor::run_steps`] calls)
+    /// do not increase this counter.
+    pub fn compile_count(&self) -> usize {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    fn check_inputs(compiled: &CompiledProgram, inputs: &BTreeMap<String, Grid>) -> Result<()> {
+        for spec in &compiled.inputs {
+            let grid = inputs.get(&spec.name).ok_or_else(|| ProgramError::Invalid {
+                message: format!("missing input grid `{}`", spec.name),
             })?;
-            let expected_shape: Vec<usize> = decl
-                .dims
-                .iter()
-                .map(|d| {
-                    program
-                        .space()
-                        .dim_index(d)
-                        .map(|ix| program.space().shape[ix])
-                        .unwrap_or(1)
-                })
-                .collect();
-            if grid.shape() != expected_shape.as_slice() {
+            if grid.shape() != spec.shape.as_slice() {
                 return Err(ProgramError::Invalid {
                     message: format!(
-                        "input `{name}` has shape {:?}, expected {:?}",
+                        "input `{}` has shape {:?}, expected {:?}",
+                        spec.name,
                         grid.shape(),
-                        expected_shape
+                        spec.shape
+                    ),
+                });
+            }
+            if grid.data_type() != spec.dtype {
+                return Err(ProgramError::Invalid {
+                    message: format!(
+                        "input `{}` has element type {}, expected {}",
+                        spec.name,
+                        grid.data_type(),
+                        spec.dtype
                     ),
                 });
             }
@@ -144,57 +340,144 @@ impl ReferenceExecutor {
         Ok(())
     }
 
+    /// Compile `program` into a reusable [`CompiledProgram`], consulting the
+    /// executor's cross-run cache first. Repeated calls with a structurally
+    /// identical program return the cached compilation.
+    ///
+    /// The cache key is an exact structural fingerprint of the program, so
+    /// every `prepare` (and therefore every [`ReferenceExecutor::run`])
+    /// pays an O(program-size) fingerprint render even on hits — small
+    /// against a sweep, but for the tightest loops hold the returned
+    /// [`CompiledProgram`] and call [`ReferenceExecutor::run_compiled`]
+    /// directly ([`ReferenceExecutor::run_steps`] does exactly that
+    /// internally: one fingerprint for all steps).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel compilation and validation failures.
+    pub fn prepare(&self, program: &StencilProgram) -> Result<Arc<CompiledProgram>> {
+        let fingerprint = format!("{program:?}");
+        // Compilation happens under the cache lock: concurrent prepares of
+        // the same program must not compile twice (the zero-recompilation
+        // guarantee), and serializing the rare compile is cheap next to the
+        // sweeps it enables.
+        let mut cache = self.cache.lock().expect("executor cache poisoned");
+        if let Some(hit) = cache.get(&fingerprint) {
+            return Ok(Arc::clone(hit));
+        }
+        let compiled = Arc::new(self.compile_program(program)?);
+        if cache.len() >= COMPILED_CACHE_CAPACITY {
+            cache.clear();
+        }
+        cache.insert(fingerprint, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    fn compile_program(&self, program: &StencilProgram) -> Result<CompiledProgram> {
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        let space = program.space();
+        let order = program.topological_stencils()?;
+        let mut stencils = Vec::with_capacity(order.len());
+        for name in &order {
+            let stencil = program
+                .stencil(name)
+                .expect("topological order only lists stencils");
+            let plan = CompiledStencil::build(program, stencil).map_err(|source| {
+                ProgramError::Code {
+                    stencil: name.clone(),
+                    source,
+                }
+            })?;
+            stencils.push(plan);
+        }
+        let inputs = program
+            .inputs()
+            .map(|(name, decl)| InputSpec {
+                name: name.to_string(),
+                shape: crate::plan::declared_shape(space, &decl.dims),
+                dtype: decl.data_type(),
+                full_rank: decl.dims == space.dims,
+            })
+            .collect();
+        Ok(CompiledProgram {
+            name: program.name().to_string(),
+            dims: space.dims.clone(),
+            shape: space.shape.clone(),
+            num_cells: space.num_cells(),
+            inputs,
+            outputs: program.outputs().to_vec(),
+            stencils,
+        })
+    }
+
     /// Run `program` on the given input grids through compiled execution
-    /// plans (the fast path).
+    /// plans (the fast path). Equivalent to [`ReferenceExecutor::prepare`]
+    /// followed by [`ReferenceExecutor::run_compiled`]; the compilation is
+    /// cached, so repeated calls with the same program only pay the sweep.
     ///
     /// Every input field of the program must be present in `inputs` with
-    /// matching dimensions. The result contains a grid for every stencil
-    /// node (intermediates included), plus validity masks, and is
-    /// bit-identical to [`ReferenceExecutor::run_interpreted`].
+    /// matching dimensions and element type. The result contains a grid for
+    /// every stencil node (intermediates included), plus validity masks,
+    /// and is bit-identical to [`ReferenceExecutor::run_interpreted`].
     ///
     /// # Errors
     ///
     /// Returns [`ProgramError::Invalid`] if an input grid is missing or has
-    /// the wrong shape, and propagates evaluation errors (which indicate a
-    /// bug in program validation) as [`ProgramError::Code`].
+    /// the wrong shape or element type, and propagates evaluation errors
+    /// (which indicate a bug in program validation) as
+    /// [`ProgramError::Code`].
     pub fn run(
         &self,
         program: &StencilProgram,
         inputs: &BTreeMap<String, Grid>,
     ) -> Result<ExecutionResult> {
-        Self::check_inputs(program, inputs)?;
+        let compiled = self.prepare(program)?;
+        self.run_compiled(&compiled, inputs)
+    }
 
-        let space = program.space();
+    /// Run an already-compiled program on the given input grids. Binding is
+    /// cheap (a few name lookups per stencil); all compilation happened in
+    /// [`ReferenceExecutor::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run`].
+    pub fn run_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<ExecutionResult> {
+        Self::check_inputs(compiled, inputs)?;
+
+        let dim_refs: Vec<&str> = compiled.dims.iter().map(String::as_str).collect();
         let mut computed: BTreeMap<String, Grid> = BTreeMap::new();
         let mut masks: BTreeMap<String, Vec<bool>> = BTreeMap::new();
         let mut cells_evaluated = 0usize;
-        let order = program.topological_stencils()?;
-        let dim_refs: Vec<&str> = space.dims.iter().map(String::as_str).collect();
 
-        for name in &order {
-            let stencil = program
-                .stencil(name)
-                .expect("topological order only lists stencils");
+        for plan in &compiled.stencils {
             let code_error = |source| ProgramError::Code {
-                stencil: name.clone(),
+                stencil: plan.name().to_string(),
                 source,
             };
-            let plan =
-                StencilPlan::build(program, stencil, inputs, &computed).map_err(code_error)?;
-            let mut output = Grid::zeros(&dim_refs, &space.shape, stencil.output_type);
-            let mut mask = vec![true; space.num_cells()];
+            let bound = plan
+                .bind(inputs, &computed, self.use_typed)
+                .map_err(code_error)?;
+            let mut output = Grid::zeros(&dim_refs, &compiled.shape, plan.out_dtype());
+            let mut mask = vec![true; compiled.num_cells];
 
             let rows = plan.row_count();
             let row_len = plan.row_len();
-            let threads = self.worker_threads(rows, space.num_cells());
+            let threads =
+                self.worker_threads(rows, compiled.num_cells, plan.accesses_per_cell());
             if threads <= 1 {
-                plan.run_rows(0, rows, output.as_mut_slice(), &mut mask)
+                bound
+                    .run_rows(0, rows, output.as_mut_slice(), &mut mask)
                     .map_err(code_error)?;
             } else {
                 let rows_per_worker = rows.div_ceil(threads);
                 let outcomes: Vec<std::result::Result<(), stencilflow_expr::ExprError>> =
                     std::thread::scope(|scope| {
-                        let plan = &plan;
+                        let bound = &bound;
                         let mut handles = Vec::with_capacity(threads);
                         let mut out_rest = output.as_mut_slice();
                         let mut mask_rest = mask.as_mut_slice();
@@ -208,7 +491,7 @@ impl ReferenceExecutor {
                             let start = row;
                             row += take;
                             handles.push(scope.spawn(move || {
-                                plan.run_rows(start, start + take, out_chunk, mask_chunk)
+                                bound.run_rows(start, start + take, out_chunk, mask_chunk)
                             }));
                         }
                         handles
@@ -220,9 +503,9 @@ impl ReferenceExecutor {
                     outcome.map_err(code_error)?;
                 }
             }
-            cells_evaluated += space.num_cells();
-            computed.insert(name.clone(), output);
-            masks.insert(name.clone(), mask);
+            cells_evaluated += compiled.num_cells;
+            computed.insert(plan.name().to_string(), output);
+            masks.insert(plan.name().to_string(), mask);
         }
 
         Ok(ExecutionResult {
@@ -230,6 +513,70 @@ impl ReferenceExecutor {
             valid_masks: masks,
             cells_evaluated,
         })
+    }
+
+    /// Time-step `program` for `steps` iterations, ping-ponging its output
+    /// grids back into its inputs between steps: a single output feeds the
+    /// single full-rank input; in multi-field systems each output feeds
+    /// the full-rank input whose name is the longest prefix of the
+    /// output's name (`h -> h_next`), and anything ambiguous is rejected.
+    /// Lower-dimensional and scalar inputs stay fixed. The program is
+    /// compiled (or fetched from the cache) exactly once for all steps.
+    ///
+    /// Returns the result of the final step, with
+    /// [`ExecutionResult::cells_evaluated`] accumulated over all steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::Invalid`] when `steps` is zero, when the
+    /// program's outputs cannot be paired one-to-one with its full-rank
+    /// inputs (or the element types of a pair differ), and propagates all
+    /// [`ReferenceExecutor::run`] failure modes.
+    pub fn run_steps(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+    ) -> Result<ExecutionResult> {
+        let compiled = self.prepare(program)?;
+        self.run_steps_compiled(&compiled, inputs, steps)
+    }
+
+    /// [`ReferenceExecutor::run_steps`] over an already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_steps`].
+    pub fn run_steps_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+    ) -> Result<ExecutionResult> {
+        if steps == 0 {
+            return Err(ProgramError::Invalid {
+                message: "run_steps requires at least one time step".into(),
+            });
+        }
+        let pairs = compiled.feedback_pairs()?;
+        let mut work = inputs.clone();
+        let mut total_cells = 0usize;
+        for step in 0..steps {
+            let mut result = self.run_compiled(compiled, &work)?;
+            total_cells += result.cells_evaluated;
+            if step + 1 == steps {
+                result.cells_evaluated = total_cells;
+                return Ok(result);
+            }
+            for (output, input) in &pairs {
+                let grid = result
+                    .fields
+                    .remove(output)
+                    .expect("program outputs are always computed");
+                work.insert(input.clone(), grid);
+            }
+        }
+        unreachable!("steps >= 1 always returns from the loop")
     }
 
     /// Run `program` through the tree-walking evaluator (the semantic
@@ -243,7 +590,7 @@ impl ReferenceExecutor {
         program: &StencilProgram,
         inputs: &BTreeMap<String, Grid>,
     ) -> Result<ExecutionResult> {
-        Self::check_inputs(program, inputs)?;
+        Self::check_program_inputs(program, inputs)?;
 
         let space = program.space();
         let mut computed: BTreeMap<String, Grid> = BTreeMap::new();
@@ -289,8 +636,42 @@ impl ReferenceExecutor {
         })
     }
 
-    fn worker_threads(&self, rows: usize, cells: usize) -> usize {
-        if cells < PARALLEL_THRESHOLD_CELLS {
+    /// Input validation for the interpreted path (shape and element type
+    /// against the program's declarations; the compiled path validates
+    /// against the same geometry baked into the [`CompiledProgram`]).
+    fn check_program_inputs(
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<()> {
+        for (name, decl) in program.inputs() {
+            let grid = inputs.get(name).ok_or_else(|| ProgramError::Invalid {
+                message: format!("missing input grid `{name}`"),
+            })?;
+            let expected_shape = crate::plan::declared_shape(program.space(), &decl.dims);
+            if grid.shape() != expected_shape.as_slice() {
+                return Err(ProgramError::Invalid {
+                    message: format!(
+                        "input `{name}` has shape {:?}, expected {:?}",
+                        grid.shape(),
+                        expected_shape
+                    ),
+                });
+            }
+            if grid.data_type() != decl.data_type() {
+                return Err(ProgramError::Invalid {
+                    message: format!(
+                        "input `{name}` has element type {}, expected {}",
+                        grid.data_type(),
+                        decl.data_type()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn worker_threads(&self, rows: usize, cells: usize, accesses_per_cell: usize) -> usize {
+        if cells.saturating_mul(accesses_per_cell.max(1)) < PARALLEL_THRESHOLD_CELL_ACCESSES {
             return 1;
         }
         let hardware = std::thread::available_parallelism()
@@ -440,6 +821,19 @@ mod tests {
     }
 
     #[test]
+    fn mistyped_inputs_are_rejected_by_both_paths() {
+        let program = laplace_program(&[4, 4]);
+        let mut wrong = BTreeMap::new();
+        wrong.insert(
+            "a".to_string(),
+            Grid::zeros(&["i", "j"], &[4, 4], DataType::Float64),
+        );
+        let executor = ReferenceExecutor::new();
+        assert!(executor.run(&program, &wrong).is_err());
+        assert!(executor.run_interpreted(&program, &wrong).is_err());
+    }
+
+    #[test]
     fn lower_dimensional_and_scalar_inputs() {
         let program = StencilProgramBuilder::new("p", &[2, 3, 4])
             .input("a", DataType::Float32, &["i", "j", "k"])
@@ -501,5 +895,242 @@ mod tests {
         let result = ReferenceExecutor::new().run(&program, &inputs).unwrap();
         let relu = result.field("relu").unwrap();
         assert_eq!(relu.as_slice(), &[0.0, 2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn repeated_runs_compile_exactly_once() {
+        let program = laplace_program(&[6, 6]);
+        let inputs = generate_inputs(&program, 5);
+        let executor = ReferenceExecutor::new();
+        assert_eq!(executor.compile_count(), 0);
+        let first = executor.run(&program, &inputs).unwrap();
+        assert_eq!(executor.compile_count(), 1);
+        for _ in 0..3 {
+            let again = executor.run(&program, &inputs).unwrap();
+            assert_eq!(
+                again.field("lap").unwrap().as_slice(),
+                first.field("lap").unwrap().as_slice()
+            );
+        }
+        assert_eq!(executor.compile_count(), 1);
+        // A structurally different program misses the cache.
+        let other = laplace_program(&[8, 8]);
+        let other_inputs = generate_inputs(&other, 5);
+        executor.run(&other, &other_inputs).unwrap();
+        assert_eq!(executor.compile_count(), 2);
+    }
+
+    #[test]
+    fn prepare_then_run_compiled_skips_recompilation() {
+        let program = laplace_program(&[6, 6]);
+        let inputs = generate_inputs(&program, 6);
+        let executor = ReferenceExecutor::new();
+        let compiled = executor.prepare(&program).unwrap();
+        assert_eq!(executor.compile_count(), 1);
+        assert_eq!(compiled.stencil_count(), 1);
+        // The all-f32 Laplace kernel specializes.
+        assert_eq!(compiled.typed_stencil_count(), 1);
+        let via_cache = executor.prepare(&program).unwrap();
+        assert_eq!(executor.compile_count(), 1);
+        let a = executor.run_compiled(&compiled, &inputs).unwrap();
+        let b = executor.run_compiled(&via_cache, &inputs).unwrap();
+        assert_eq!(
+            a.field("lap").unwrap().as_slice(),
+            b.field("lap").unwrap().as_slice()
+        );
+        assert_eq!(executor.compile_count(), 1);
+    }
+
+    #[test]
+    fn run_steps_matches_manual_ping_pong() {
+        let program = StencilProgramBuilder::new("diffuse", &[8, 8])
+            .input("u", DataType::Float32, &["i", "j"])
+            .stencil(
+                "u_next",
+                "0.25 * (u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1])",
+            )
+            .output("u_next")
+            .build()
+            .unwrap();
+        let inputs = generate_inputs(&program, 11);
+        let executor = ReferenceExecutor::new();
+
+        let stepped = executor.run_steps(&program, &inputs, 3).unwrap();
+
+        // Manual ping-pong through individual runs.
+        let mut work = inputs.clone();
+        let mut last = None;
+        for _ in 0..3 {
+            let result = executor.run(&program, &work).unwrap();
+            work.insert("u".to_string(), result.field("u_next").unwrap().clone());
+            last = Some(result);
+        }
+        let manual = last.unwrap();
+        for (a, b) in stepped
+            .field("u_next")
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(manual.field("u_next").unwrap().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // All steps (and the manual runs) share one compilation.
+        assert_eq!(executor.compile_count(), 1);
+        // cells_evaluated accumulates over steps.
+        assert_eq!(stepped.cells_evaluated(), 3 * 64);
+    }
+
+    #[test]
+    fn run_steps_pairs_feedback_by_name_prefix() {
+        // Outputs declared out of name order still feed their namesake
+        // state fields: a_next -> a and b_next -> b, never transposed.
+        let program = StencilProgramBuilder::new("coupled", &[4])
+            .input("a", DataType::Float32, &["i"])
+            .input("b", DataType::Float32, &["i"])
+            .stencil("a_next", "a[i] + 1.0")
+            .stencil("b_next", "b[i] * 2.0")
+            .output("b_next")
+            .output("a_next")
+            .build()
+            .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "a".to_string(),
+            Grid::from_values(&["i"], &[4], &[0.0, 0.0, 0.0, 0.0]),
+        );
+        inputs.insert(
+            "b".to_string(),
+            Grid::from_values(&["i"], &[4], &[1.0, 1.0, 1.0, 1.0]),
+        );
+        let result = ReferenceExecutor::new()
+            .run_steps(&program, &inputs, 3)
+            .unwrap();
+        // a increments per step (0 -> 3), b doubles per step (1 -> 8).
+        assert_eq!(result.field("a_next").unwrap().get(&[0]), 3.0);
+        assert_eq!(result.field("b_next").unwrap().get(&[0]), 8.0);
+    }
+
+    #[test]
+    fn run_steps_prefix_pairing_resists_sort_order_traps() {
+        // `h`/`h2` sort differently from `h_next`/`h2_next` ('2' < '_' in
+        // byte order), so positional pairing of sorted names would swap the
+        // state grids; longest-prefix matching pairs them correctly.
+        let program = StencilProgramBuilder::new("trap", &[4])
+            .input("h", DataType::Float32, &["i"])
+            .input("h2", DataType::Float32, &["i"])
+            .stencil("h_next", "h[i] + 1.0")
+            .stencil("h2_next", "h2[i] * 2.0")
+            .output("h_next")
+            .output("h2_next")
+            .build()
+            .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "h".to_string(),
+            Grid::from_values(&["i"], &[4], &[0.0, 0.0, 0.0, 0.0]),
+        );
+        inputs.insert(
+            "h2".to_string(),
+            Grid::from_values(&["i"], &[4], &[1.0, 1.0, 1.0, 1.0]),
+        );
+        let result = ReferenceExecutor::new()
+            .run_steps(&program, &inputs, 3)
+            .unwrap();
+        assert_eq!(result.field("h_next").unwrap().get(&[0]), 3.0);
+        assert_eq!(result.field("h2_next").unwrap().get(&[0]), 8.0);
+
+        // Outputs that name no state input are rejected, not mis-paired.
+        let unnamed = StencilProgramBuilder::new("unnamed", &[4])
+            .input("a", DataType::Float32, &["i"])
+            .input("b", DataType::Float32, &["i"])
+            .stencil("x", "a[i] + 1.0")
+            .stencil("y", "b[i] * 2.0")
+            .output("x")
+            .output("y")
+            .build()
+            .unwrap();
+        let mut unnamed_inputs = BTreeMap::new();
+        unnamed_inputs.insert(
+            "a".to_string(),
+            Grid::from_values(&["i"], &[4], &[0.0, 0.0, 0.0, 0.0]),
+        );
+        unnamed_inputs.insert(
+            "b".to_string(),
+            Grid::from_values(&["i"], &[4], &[1.0, 1.0, 1.0, 1.0]),
+        );
+        assert!(ReferenceExecutor::new()
+            .run_steps(&unnamed, &unnamed_inputs, 2)
+            .is_err());
+    }
+
+    #[test]
+    fn run_steps_rejects_unpairable_programs() {
+        // Two outputs, one full-rank input: no valid feedback pairing.
+        let program = StencilProgramBuilder::new("p", &[4])
+            .input("a", DataType::Float32, &["i"])
+            .stencil("x", "a[i] + 1.0")
+            .stencil("y", "a[i] * 2.0")
+            .output("x")
+            .output("y")
+            .build()
+            .unwrap();
+        let inputs = generate_inputs(&program, 1);
+        let executor = ReferenceExecutor::new();
+        assert!(executor.run_steps(&program, &inputs, 2).is_err());
+        // Zero steps are rejected.
+        let ok = laplace_program(&[4, 4]);
+        let ok_inputs = generate_inputs(&ok, 1);
+        assert!(executor.run_steps(&ok, &ok_inputs, 0).is_err());
+    }
+
+    #[test]
+    fn run_steps_keeps_lower_dimensional_inputs_fixed() {
+        let program = StencilProgramBuilder::new("forced", &[4, 4])
+            .input("u", DataType::Float32, &["i", "j"])
+            .input("force", DataType::Float32, &["j"])
+            .stencil("u_next", "0.5 * u[i,j] + force[j]")
+            .output("u_next")
+            .build()
+            .unwrap();
+        let mut inputs = BTreeMap::new();
+        inputs.insert(
+            "u".to_string(),
+            Grid::from_fn(&["i", "j"], &[4, 4], DataType::Float32, |_| 1.0),
+        );
+        inputs.insert(
+            "force".to_string(),
+            Grid::from_values(&["j"], &[4], &[1.0, 2.0, 3.0, 4.0]),
+        );
+        let executor = ReferenceExecutor::new();
+        let result = executor.run_steps(&program, &inputs, 2).unwrap();
+        // After two steps: u2 = 0.5*(0.5*1 + f) + f = 0.25 + 1.5*f.
+        let out = result.field("u_next").unwrap();
+        for j in 0..4 {
+            let f = (j + 1) as f64;
+            assert_eq!(out.get(&[2, j]), 0.25 + 1.5 * f);
+        }
+    }
+
+    #[test]
+    fn parallel_threshold_accounts_for_access_weight() {
+        let executor = ReferenceExecutor::new().with_max_threads(8);
+        // Light sweep below the cell·access threshold: sequential.
+        assert_eq!(executor.worker_threads(256, 1 << 12, 2), 1);
+        // The same cell count with a heavy per-cell access pattern crosses
+        // the threshold (modulo the hardware cap of this machine).
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(
+            executor.worker_threads(256, 1 << 12, min_heavy_accesses()),
+            hardware.min(8).min(256)
+        );
+    }
+
+    /// Smallest per-cell access count that pushes 2^12 cells over the
+    /// threshold.
+    fn min_heavy_accesses() -> usize {
+        PARALLEL_THRESHOLD_CELL_ACCESSES / (1 << 12)
     }
 }

@@ -46,21 +46,37 @@ impl Grid {
         grid
     }
 
-    /// Create a grid from explicit values (row-major, `float32` element type
-    /// unless changed later).
+    /// Create a `float32` grid from explicit values (row-major; every value
+    /// is rounded through `f32` on the way in). Use
+    /// [`Grid::from_values_typed`] for any other element type.
     ///
     /// # Panics
     ///
     /// Panics if the number of values does not match the shape.
     pub fn from_values(dims: &[&str], shape: &[usize], values: &[f64]) -> Self {
-        let mut grid = Grid::zeros(dims, shape, DataType::Float32);
+        Grid::from_values_typed(dims, shape, DataType::Float32, values)
+    }
+
+    /// Create a grid of the given element type from explicit values
+    /// (row-major; every value is rounded through the element type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values does not match the shape.
+    pub fn from_values_typed(
+        dims: &[&str],
+        shape: &[usize],
+        dtype: DataType,
+        values: &[f64],
+    ) -> Self {
+        let mut grid = Grid::zeros(dims, shape, dtype);
         assert_eq!(
             values.len(),
             grid.data.len(),
             "value count does not match shape"
         );
         for (slot, &v) in grid.data.iter_mut().zip(values.iter()) {
-            *slot = Value::from_f64(v, DataType::Float32).as_f64();
+            *slot = Value::from_f64(v, dtype).as_f64();
         }
         grid
     }
@@ -260,6 +276,19 @@ mod tests {
         assert_eq!(g.get(&[]), 3.25);
         let all: Vec<Vec<usize>> = g.indices().collect();
         assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn from_values_typed_rounds_through_element_type() {
+        let precise = 1.0 + 1e-12;
+        let f32_grid = Grid::from_values(&["i"], &[1], &[precise]);
+        assert_eq!(f32_grid.data_type(), DataType::Float32);
+        assert_eq!(f32_grid.get(&[0]), 1.0);
+        let f64_grid = Grid::from_values_typed(&["i"], &[1], DataType::Float64, &[precise]);
+        assert_eq!(f64_grid.data_type(), DataType::Float64);
+        assert_eq!(f64_grid.get(&[0]), precise);
+        let int_grid = Grid::from_values_typed(&["i"], &[2], DataType::Int32, &[3.7, -1.2]);
+        assert_eq!(int_grid.as_slice(), &[3.0, -1.0]);
     }
 
     #[test]

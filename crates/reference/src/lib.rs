@@ -26,7 +26,7 @@ pub mod grid;
 pub mod input_data;
 mod plan;
 
-pub use executor::{ExecutionResult, ReferenceExecutor};
+pub use executor::{CompiledProgram, ExecutionResult, ReferenceExecutor};
 pub use grid::Grid;
 pub use input_data::{generate_inputs, InputGenerator};
 

@@ -1,15 +1,22 @@
-//! Compiled execution plans: one stencil bound to concrete grids.
+//! Compiled stencil templates and their per-run grid bindings.
 //!
 //! The reference executor used to walk the expression tree once per cell,
 //! resolving every access through a string-keyed lookup that allocated an
-//! offset vector per access. A [`StencilPlan`] does all of that resolution
-//! **once per stencil**:
+//! offset vector per access. A [`CompiledStencil`] does all of that
+//! resolution **once per program** — and, unlike the earlier per-run plan,
+//! it borrows no grids, so one compiled template is reusable across any
+//! number of runs (see `ReferenceExecutor::prepare`):
 //!
 //! * the code segment is lowered to a [`CompiledKernel`] (slot-resolved
-//!   bytecode, see `stencilflow_expr::compile`);
-//! * every access slot is bound to its grid, a per-dimension stride
-//!   coefficient vector, a precomputed flat-offset delta, and its
-//!   boundary-condition action;
+//!   bytecode, see `stencilflow_expr::compile`), and additionally
+//!   specialized to a [`TypedKernel`] when every instruction's result type
+//!   is statically determined by the slot types — the typed sweep then runs
+//!   on raw `f64`s with no `Value` tagging and no per-op promotion;
+//! * every access slot is bound to its field's *declared* geometry: a
+//!   per-dimension stride coefficient vector, a precomputed flat-offset
+//!   delta, and its boundary-condition action. (Input grids are validated
+//!   against the declared shape and element type before every run, so the
+//!   declared geometry is the actual geometry.)
 //! * the iteration space is split into an **interior** — where every access
 //!   of the stencil is statically in bounds, so the inner loop is a pure
 //!   strided array walk with no bounds checks and no branches — and a
@@ -17,18 +24,37 @@
 //!   applied. Out-of-bounds tracking for `shrink` masks falls out of the
 //!   halo pass for free (interior cells are in bounds by construction).
 //!
-//! Rows (runs of the innermost dimension) are independent, so the sweep is
+//! Per run, [`CompiledStencil::bind`] resolves each field name to its grid
+//! slice (a handful of map lookups) and produces a [`BoundStencil`] whose
+//! rows (runs of the innermost dimension) are independent, so the sweep is
 //! parallelized across threads with disjoint output row chunks.
 
 use crate::grid::Grid;
 use std::collections::{BTreeMap, BTreeSet};
-use stencilflow_expr::{CompiledKernel, DataType, EvalScratch, ExprError, Value};
-use stencilflow_program::{BoundaryCondition, StencilNode, StencilProgram};
+use stencilflow_expr::{
+    CompiledKernel, DataType, EvalScratch, ExprError, TypedKernel, TypedScratch, Value,
+};
+use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, StencilProgram};
+
+/// Expand a field's declared dimension names into its dense row-major shape
+/// over the iteration space (dimensions the space does not know contribute
+/// extent 1). This single definition of the declared geometry is shared by
+/// compilation, slot binding, and input validation.
+pub(crate) fn declared_shape(space: &IterationSpace, dims: &[String]) -> Vec<usize> {
+    dims.iter()
+        .map(|d| {
+            space
+                .dim_index(d)
+                .map(|ix| space.shape[ix])
+                .unwrap_or(1)
+        })
+        .collect()
+}
 
 /// How one access slot of the kernel reads its field.
 #[derive(Debug)]
-struct BoundSlot {
-    /// Index into the plan's grid table.
+struct SlotTemplate {
+    /// Index into the template's field table.
     grid: usize,
     /// Per-iteration-space-dimension stride coefficient into the field's own
     /// dense storage (zero for dimensions the field does not span). The
@@ -40,19 +66,32 @@ struct BoundSlot {
     checks: Vec<(usize, i64)>,
     /// Boundary condition applied when a check fails.
     boundary: BoundaryCondition,
-    /// Element type of the source grid (values are typed as the grid is).
+    /// Element type of the source field (values are typed as the field is).
     dtype: DataType,
-    /// Scalar (0-D) access: resolved once, never re-read per cell.
+    /// The `Constant` boundary value pre-rounded through the slot's element
+    /// type (`0.0` for `Copy`), so the typed halo pass needs no `Value`.
+    halo_constant: f64,
+    /// Scalar (0-D) access: resolved once per run, never re-read per cell.
     scalar: bool,
 }
 
-/// A stencil compiled and bound to its input/intermediate grids.
-pub(crate) struct StencilPlan<'g> {
+/// One entry of a compiled stencil's field table.
+#[derive(Debug)]
+struct FieldRef {
+    name: String,
+    dtype: DataType,
+    len: usize,
+}
+
+/// A stencil compiled against the declared geometry of its fields. Owns no
+/// grid data; reusable across runs.
+pub(crate) struct CompiledStencil {
+    name: String,
     kernel: CompiledKernel,
-    grid_data: Vec<&'g [f64]>,
-    slots: Vec<BoundSlot>,
-    /// Template slot-value vector with scalar slots prefilled.
-    slot_template: Vec<Value>,
+    /// Type-specialized kernel, present when every op's type is static.
+    typed: Option<TypedKernel>,
+    fields: Vec<FieldRef>,
+    slots: Vec<SlotTemplate>,
     /// All syntactic `(dimension, offset)` access checks of the stencil
     /// (deduplicated) — drives the shrink mask, matching the tree-walking
     /// executor which considers every access, including ones the kernel may
@@ -67,46 +106,58 @@ pub(crate) struct StencilPlan<'g> {
     shrink: bool,
 }
 
-impl<'g> StencilPlan<'g> {
-    /// Compile `stencil` and bind its accesses against `inputs` and the
-    /// already-`computed` intermediate grids.
+impl CompiledStencil {
+    /// Compile `stencil` and bind its accesses against the **declared**
+    /// geometry of the program's fields (input declarations for inputs, the
+    /// full iteration space for intermediate results).
     ///
     /// # Errors
     ///
     /// Returns [`ExprError::UnresolvedSymbol`] if an access refers to a
-    /// field with no grid (indicates a validation bug upstream), and
-    /// propagates kernel compilation failures.
-    pub fn build(
-        program: &StencilProgram,
-        stencil: &StencilNode,
-        inputs: &'g BTreeMap<String, Grid>,
-        computed: &'g BTreeMap<String, Grid>,
-    ) -> Result<StencilPlan<'g>, ExprError> {
+    /// field the program does not declare (indicates a validation bug
+    /// upstream), and propagates kernel compilation failures.
+    pub fn build(program: &StencilProgram, stencil: &StencilNode) -> Result<CompiledStencil, ExprError> {
         let kernel = CompiledKernel::compile(&stencil.program)?;
         let space = program.space();
         let rank = space.rank();
 
-        let mut grid_data: Vec<&[f64]> = Vec::new();
-        let mut grid_table: BTreeMap<&str, (usize, &Grid)> = BTreeMap::new();
+        let mut fields: Vec<FieldRef> = Vec::new();
+        let mut field_shapes: Vec<Vec<usize>> = Vec::new();
+        let mut field_table: BTreeMap<String, usize> = BTreeMap::new();
         let mut slots = Vec::with_capacity(kernel.slots().len());
-        let mut slot_template = Vec::with_capacity(kernel.slots().len());
+        let mut slot_types = Vec::with_capacity(kernel.slots().len());
 
         for slot in kernel.slots() {
-            let (grid_ix, grid) = match grid_table.get(slot.field.as_str()) {
-                Some(&entry) => entry,
+            let grid_ix = match field_table.get(slot.field.as_str()) {
+                Some(&ix) => ix,
                 None => {
-                    let grid = inputs
-                        .get(&slot.field)
-                        .or_else(|| computed.get(&slot.field))
-                        .ok_or_else(|| ExprError::UnresolvedSymbol {
+                    let dims = program.field_dims(&slot.field).ok_or_else(|| {
+                        ExprError::UnresolvedSymbol {
                             name: slot.field.clone(),
-                        })?;
-                    let ix = grid_data.len();
-                    grid_data.push(grid.as_slice());
-                    grid_table.insert(slot.field.as_str(), (ix, grid));
-                    (ix, grid)
+                        }
+                    })?;
+                    let dtype = program
+                        .field_type(&slot.field)
+                        .expect("declared fields have a type");
+                    let shape = declared_shape(space, &dims);
+                    let len = shape.iter().product::<usize>().max(1);
+                    let ix = fields.len();
+                    fields.push(FieldRef {
+                        name: slot.field.clone(),
+                        dtype,
+                        len,
+                    });
+                    field_shapes.push(shape);
+                    field_table.insert(slot.field.clone(), ix);
+                    ix
                 }
             };
+            let field_shape = &field_shapes[grid_ix];
+            let mut strides = vec![1usize; field_shape.len()];
+            for d in (0..field_shape.len().saturating_sub(1)).rev() {
+                strides[d] = strides[d + 1] * field_shape[d + 1];
+            }
+            let dtype = fields[grid_ix].dtype;
             let mut coeffs = vec![0i64; rank];
             let mut delta = 0i64;
             let mut checks = Vec::with_capacity(slot.index_vars.len());
@@ -121,25 +172,26 @@ impl<'g> StencilPlan<'g> {
                     .ok_or_else(|| ExprError::UnresolvedSymbol {
                         name: format!("{}{:?}", slot.field, slot.offsets),
                     })?;
-                let stride = grid.strides()[axis] as i64;
+                let stride = strides[axis] as i64;
                 coeffs[dim] = stride;
                 delta += off * stride;
                 checks.push((dim, off));
             }
-            let scalar = slot.is_scalar();
-            slot_template.push(if scalar {
-                grid.get_value(&[])
-            } else {
-                Value::zero(grid.data_type())
-            });
-            slots.push(BoundSlot {
+            let boundary = stencil.boundary.condition_for(&slot.field);
+            let halo_constant = match boundary {
+                BoundaryCondition::Constant(c) => Value::from_f64(c, dtype).as_f64(),
+                BoundaryCondition::Copy => 0.0,
+            };
+            slot_types.push(dtype);
+            slots.push(SlotTemplate {
                 grid: grid_ix,
                 coeffs,
                 delta,
                 checks,
-                boundary: stencil.boundary.condition_for(&slot.field),
-                dtype: grid.data_type(),
-                scalar,
+                boundary,
+                dtype,
+                halo_constant,
+                scalar: slot.is_scalar(),
             });
         }
 
@@ -175,11 +227,13 @@ impl<'g> StencilPlan<'g> {
             interior_hi.push(hi.max(0) as usize);
         }
 
-        Ok(StencilPlan {
+        let typed = kernel.specialize(&slot_types);
+        Ok(CompiledStencil {
+            name: stencil.name.clone(),
             kernel,
-            grid_data,
+            typed,
+            fields,
             slots,
-            slot_template,
             mask_checks: mask_checks.into_iter().collect(),
             interior_lo,
             interior_hi,
@@ -188,6 +242,27 @@ impl<'g> StencilPlan<'g> {
             out_dtype: stencil.output_type,
             shrink: stencil.boundary.shrink,
         })
+    }
+
+    /// Stencil name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Output element type of the stencil.
+    pub fn out_dtype(&self) -> DataType {
+        self.out_dtype
+    }
+
+    /// Whether this stencil carries a type-specialized kernel.
+    pub fn is_typed(&self) -> bool {
+        self.typed.is_some()
+    }
+
+    /// Number of per-cell field reads of the sweep (scalar slots excluded);
+    /// at least 1. Drives the parallelization threshold.
+    pub fn accesses_per_cell(&self) -> usize {
+        self.slots.iter().filter(|s| !s.scalar).count().max(1)
     }
 
     /// Number of rows (runs of the innermost dimension) in the sweep.
@@ -200,12 +275,142 @@ impl<'g> StencilPlan<'g> {
         *self.shape.last().expect("iteration spaces are never empty")
     }
 
-    /// Sweep rows `[row_start, row_end)`, writing results into `out` and the
-    /// validity mask into `mask` (both spanning exactly those rows).
+    /// Resolve every field of this stencil to its grid for one run.
+    ///
+    /// This is the cheap per-run step: a few name lookups plus the scalar
+    /// slot prefill — no compilation, no geometry analysis.
     ///
     /// # Errors
     ///
-    /// Propagates evaluation failures (e.g. integer division by zero).
+    /// Returns [`ExprError::UnresolvedSymbol`] if a field has no grid.
+    pub fn bind<'g, 'p>(
+        &'p self,
+        inputs: &'g BTreeMap<String, Grid>,
+        computed: &'g BTreeMap<String, Grid>,
+        use_typed: bool,
+    ) -> Result<BoundStencil<'g, 'p>, ExprError> {
+        let mut grid_data: Vec<&'g [f64]> = Vec::with_capacity(self.fields.len());
+        for field in &self.fields {
+            let grid = inputs
+                .get(&field.name)
+                .or_else(|| computed.get(&field.name))
+                .ok_or_else(|| ExprError::UnresolvedSymbol {
+                    name: field.name.clone(),
+                })?;
+            debug_assert_eq!(
+                grid.data_type(),
+                field.dtype,
+                "input validation guarantees declared element types"
+            );
+            debug_assert_eq!(grid.len(), field.len, "input validation guarantees shapes");
+            grid_data.push(grid.as_slice());
+        }
+        let mut slot_template = Vec::with_capacity(self.slots.len());
+        let mut typed_template = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let raw = if slot.scalar {
+                grid_data[slot.grid][0]
+            } else {
+                0.0
+            };
+            slot_template.push(Value::from_f64(raw, slot.dtype));
+            typed_template.push(raw);
+        }
+        Ok(BoundStencil {
+            plan: self,
+            grid_data,
+            slot_template,
+            typed_template,
+            use_typed: use_typed && self.typed.is_some(),
+        })
+    }
+}
+
+/// A [`CompiledStencil`] bound to this run's grids.
+pub(crate) struct BoundStencil<'g, 'p> {
+    plan: &'p CompiledStencil,
+    grid_data: Vec<&'g [f64]>,
+    /// Template slot-value vector with scalar slots prefilled (Value path).
+    slot_template: Vec<Value>,
+    /// Raw counterpart of `slot_template` (typed path).
+    typed_template: Vec<f64>,
+    use_typed: bool,
+}
+
+/// One kernel tier driving the generic sweep: how slot values are
+/// represented, loaded from raw grid storage, and evaluated. Keeping the
+/// interior/halo control flow in one generic function
+/// ([`BoundStencil::sweep`]) means the two tiers cannot drift apart.
+trait SweepKernel {
+    /// Per-slot value representation ([`Value`] or raw `f64`).
+    type Slot: Copy;
+    /// An in-bounds load of a raw grid value for `slot`.
+    fn load(raw: f64, slot: &SlotTemplate) -> Self::Slot;
+    /// The `Constant`-boundary value of `slot`.
+    fn constant(slot: &SlotTemplate) -> Self::Slot;
+    /// Evaluate the kernel on the resolved slot values; the result is the
+    /// raw output value before rounding through the stencil's output type.
+    fn eval(&mut self, values: &[Self::Slot]) -> Result<f64, ExprError>;
+}
+
+/// The dynamically typed `Value` bytecode tier.
+struct ValueSweep<'k> {
+    kernel: &'k CompiledKernel,
+    scratch: EvalScratch,
+}
+
+impl SweepKernel for ValueSweep<'_> {
+    type Slot = Value;
+
+    fn load(raw: f64, slot: &SlotTemplate) -> Value {
+        Value::from_f64(raw, slot.dtype)
+    }
+
+    fn constant(slot: &SlotTemplate) -> Value {
+        // `halo_constant` is pre-rounded through the slot type, so tagging
+        // it is exactly `from_f64(c, dtype)` (the rounding is idempotent).
+        Value::from_f64(slot.halo_constant, slot.dtype)
+    }
+
+    fn eval(&mut self, values: &[Value]) -> Result<f64, ExprError> {
+        Ok(self.kernel.eval_slots(values, &mut self.scratch)?.as_f64())
+    }
+}
+
+/// The type-specialized raw-`f64` tier. Grids round every store through
+/// their element type, so raw loads are exactly the payloads the `Value`
+/// tier would tag — the tiers agree bit for bit.
+struct TypedSweep<'k> {
+    kernel: &'k TypedKernel,
+    scratch: TypedScratch,
+}
+
+impl SweepKernel for TypedSweep<'_> {
+    type Slot = f64;
+
+    fn load(raw: f64, _slot: &SlotTemplate) -> f64 {
+        raw
+    }
+
+    fn constant(slot: &SlotTemplate) -> f64 {
+        slot.halo_constant
+    }
+
+    fn eval(&mut self, values: &[f64]) -> Result<f64, ExprError> {
+        Ok(self.kernel.eval_slots(values, &mut self.scratch))
+    }
+}
+
+impl BoundStencil<'_, '_> {
+    /// Sweep rows `[row_start, row_end)`, writing results into `out` and the
+    /// validity mask into `mask` (both spanning exactly those rows). Uses
+    /// the type-specialized kernel when available and enabled; both paths
+    /// produce identical bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (e.g. integer division by zero; only
+    /// reachable on the `Value` path — typed kernels are infallible).
     pub fn run_rows(
         &self,
         row_start: usize,
@@ -213,43 +418,85 @@ impl<'g> StencilPlan<'g> {
         out: &mut [f64],
         mask: &mut [bool],
     ) -> Result<(), ExprError> {
-        let rank = self.shape.len();
-        let row_len = self.row_len();
+        match (self.use_typed, &self.plan.typed) {
+            (true, Some(typed)) => self.sweep(
+                TypedSweep {
+                    kernel: typed,
+                    scratch: TypedScratch::default(),
+                },
+                &self.typed_template,
+                row_start,
+                row_end,
+                out,
+                mask,
+            ),
+            _ => self.sweep(
+                ValueSweep {
+                    kernel: &self.plan.kernel,
+                    scratch: EvalScratch::default(),
+                },
+                &self.slot_template,
+                row_start,
+                row_end,
+                out,
+                mask,
+            ),
+        }
+    }
+
+    /// Decompose `row` into the leading index and per-slot row bases.
+    fn row_setup(&self, row: usize, lead: &mut [usize], rowbase: &mut [i64]) -> bool {
+        let plan = self.plan;
+        let rank = plan.shape.len();
+        let mut rem = row;
+        for d in (0..rank - 1).rev() {
+            lead[d] = rem % plan.shape[d];
+            rem /= plan.shape[d];
+        }
+        // Per-slot row base: leading-dimension contribution plus the
+        // constant access delta.
+        for (s, slot) in plan.slots.iter().enumerate() {
+            let mut base = slot.delta;
+            for (d, &ix) in lead.iter().enumerate() {
+                base += ix as i64 * slot.coeffs[d];
+            }
+            rowbase[s] = base;
+        }
+        plan.has_interior
+            && lead
+                .iter()
+                .enumerate()
+                .all(|(d, &ix)| ix >= plan.interior_lo[d] && ix < plan.interior_hi[d])
+    }
+
+    /// The sweep, generic over the kernel tier (monomorphized per tier, so
+    /// the inner loops compile exactly as the hand-specialized versions
+    /// would — with one shared copy of the interior/halo control flow).
+    fn sweep<K: SweepKernel>(
+        &self,
+        mut kernel: K,
+        template: &[K::Slot],
+        row_start: usize,
+        row_end: usize,
+        out: &mut [f64],
+        mask: &mut [bool],
+    ) -> Result<(), ExprError> {
+        let plan = self.plan;
+        let rank = plan.shape.len();
+        let row_len = plan.row_len();
         debug_assert_eq!(out.len(), (row_end - row_start) * row_len);
 
-        let mut scratch = EvalScratch::default();
-        let mut values = self.slot_template.clone();
+        let mut values = template.to_vec();
         let mut lead = vec![0usize; rank - 1];
-        let mut rowbase = vec![0i64; self.slots.len()];
+        let mut rowbase = vec![0i64; plan.slots.len()];
         let mut index = vec![0usize; rank];
 
-        let lo_k = self.interior_lo[rank - 1];
-        let hi_k = self.interior_hi[rank - 1];
+        let lo_k = plan.interior_lo[rank - 1];
+        let hi_k = plan.interior_hi[rank - 1];
 
         for row in row_start..row_end {
-            // Decompose the row number into the leading index.
-            let mut rem = row;
-            for d in (0..rank - 1).rev() {
-                lead[d] = rem % self.shape[d];
-                rem /= self.shape[d];
-            }
+            let row_interior = self.row_setup(row, &mut lead, &mut rowbase);
             index[..rank - 1].copy_from_slice(&lead);
-
-            // Per-slot row base: leading-dimension contribution plus the
-            // constant access delta.
-            for (s, slot) in self.slots.iter().enumerate() {
-                let mut base = slot.delta;
-                for (d, &ix) in lead.iter().enumerate() {
-                    base += ix as i64 * slot.coeffs[d];
-                }
-                rowbase[s] = base;
-            }
-
-            let row_interior = self.has_interior
-                && lead
-                    .iter()
-                    .enumerate()
-                    .all(|(d, &ix)| ix >= self.interior_lo[d] && ix < self.interior_hi[d]);
 
             let out_row = &mut out[(row - row_start) * row_len..][..row_len];
             let mask_row = &mut mask[(row - row_start) * row_len..][..row_len];
@@ -261,48 +508,47 @@ impl<'g> StencilPlan<'g> {
                     // Interior fast path: every access is statically in
                     // bounds; plain strided reads, no branches, mask stays
                     // valid.
-                    for (s, slot) in self.slots.iter().enumerate() {
+                    for (s, slot) in plan.slots.iter().enumerate() {
                         if slot.scalar {
                             continue;
                         }
                         let flat = (rowbase[s] + k as i64 * slot.coeffs[rank - 1]) as usize;
-                        values[s] = Value::from_f64(self.grid_data[slot.grid][flat], slot.dtype);
+                        values[s] = K::load(self.grid_data[slot.grid][flat], slot);
                     }
                 } else {
                     // Halo: bounds-check each access and apply the boundary
                     // condition on misses.
                     index[rank - 1] = k;
-                    for (s, slot) in self.slots.iter().enumerate() {
+                    for (s, slot) in plan.slots.iter().enumerate() {
                         if slot.scalar {
                             continue;
                         }
                         let in_bounds = slot.checks.iter().all(|&(dim, off)| {
                             let pos = index[dim] as i64 + off;
-                            pos >= 0 && pos < self.shape[dim] as i64
+                            pos >= 0 && pos < plan.shape[dim] as i64
                         });
                         let center = rowbase[s] - slot.delta + k as i64 * slot.coeffs[rank - 1];
                         values[s] = if in_bounds {
                             let flat = (center + slot.delta) as usize;
-                            Value::from_f64(self.grid_data[slot.grid][flat], slot.dtype)
+                            K::load(self.grid_data[slot.grid][flat], slot)
                         } else {
                             match slot.boundary {
-                                BoundaryCondition::Constant(c) => Value::from_f64(c, slot.dtype),
-                                BoundaryCondition::Copy => Value::from_f64(
-                                    self.grid_data[slot.grid][center as usize],
-                                    slot.dtype,
-                                ),
+                                BoundaryCondition::Constant(_) => K::constant(slot),
+                                BoundaryCondition::Copy => {
+                                    K::load(self.grid_data[slot.grid][center as usize], slot)
+                                }
                             }
                         };
                     }
-                    if self.shrink {
-                        *mask_cell = self.mask_checks.iter().all(|&(dim, off)| {
+                    if plan.shrink {
+                        *mask_cell = plan.mask_checks.iter().all(|&(dim, off)| {
                             let pos = index[dim] as i64 + off;
-                            pos >= 0 && pos < self.shape[dim] as i64
+                            pos >= 0 && pos < plan.shape[dim] as i64
                         });
                     }
                 }
-                let result = self.kernel.eval_slots(&values, &mut scratch)?;
-                *out_cell = Value::from_f64(result.as_f64(), self.out_dtype).as_f64();
+                let result = kernel.eval(&values)?;
+                *out_cell = Value::from_f64(result, plan.out_dtype).as_f64();
             }
         }
         Ok(())

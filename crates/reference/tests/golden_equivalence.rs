@@ -11,13 +11,17 @@ use stencilflow_workloads::{
     listing1::listing1_with_shape, ChainSpec, HorizontalDiffusionSpec,
 };
 
-/// Run both executor paths and require identical bits everywhere: every
-/// field (inputs included in the comparison domain via the program outputs),
-/// every validity mask, and the evaluation counters.
+/// Run all three executor paths — tree-walking interpreter, dynamically
+/// typed `Value` bytecode, and type-specialized kernels — and require
+/// identical bits everywhere: every field (inputs included in the
+/// comparison domain via the program outputs), every validity mask, and the
+/// evaluation counters.
 fn assert_bit_identical(program: &StencilProgram, seed: u64) {
     let inputs = generate_inputs(program, seed);
     let executor = ReferenceExecutor::new();
+    let value_executor = ReferenceExecutor::new().with_typed_kernels(false);
     let compiled = executor.run(program, &inputs).unwrap();
+    let value_compiled = value_executor.run(program, &inputs).unwrap();
     let interpreted = executor.run_interpreted(program, &inputs).unwrap();
 
     assert_eq!(compiled.cells_evaluated(), interpreted.cells_evaluated());
@@ -27,11 +31,13 @@ fn assert_bit_identical(program: &StencilProgram, seed: u64) {
 
     for (name, grid) in compiled.fields() {
         let baseline = interpreted.field(name).unwrap();
+        let value_grid = value_compiled.field(name).unwrap();
         assert_eq!(grid.shape(), baseline.shape(), "shape mismatch for `{name}`");
-        for (cell, (a, b)) in grid
+        for (cell, ((a, b), c)) in grid
             .as_slice()
             .iter()
             .zip(baseline.as_slice().iter())
+            .zip(value_grid.as_slice().iter())
             .enumerate()
         {
             assert!(
@@ -39,11 +45,22 @@ fn assert_bit_identical(program: &StencilProgram, seed: u64) {
                 "program `{}`, field `{name}`, cell {cell}: compiled {a:?} != interpreted {b:?}",
                 program.name()
             );
+            assert!(
+                a.to_bits() == c.to_bits(),
+                "program `{}`, field `{name}`, cell {cell}: typed {a:?} != Value path {c:?}",
+                program.name()
+            );
         }
         assert_eq!(
             compiled.valid_mask(name).unwrap(),
             interpreted.valid_mask(name).unwrap(),
             "mask mismatch for `{name}` in `{}`",
+            program.name()
+        );
+        assert_eq!(
+            compiled.valid_mask(name).unwrap(),
+            value_compiled.valid_mask(name).unwrap(),
+            "typed/Value mask mismatch for `{name}` in `{}`",
             program.name()
         );
         assert_eq!(compiled.valid_count(name), interpreted.valid_count(name));
@@ -120,6 +137,86 @@ fn boundary_condition_variety_matches_bitwise() {
         .build()
         .unwrap();
     assert_bit_identical(&program, 9);
+}
+
+#[test]
+fn copy_boundaries_on_full_rank_fields_match_bitwise() {
+    // The compiled halo path reads the center cell unchecked for `copy`
+    // boundaries; pin it bitwise against the interpreter on every edge and
+    // corner of a 3-D domain, for f32 and f64 output types.
+    let program = StencilProgramBuilder::new("copy3d", &[5, 4, 6])
+        .input("u", DataType::Float32, &["i", "j", "k"])
+        .stencil(
+            "s",
+            "u[i-1,j,k] + u[i+1,j,k] + u[i,j-2,k] + u[i,j+2,k] + u[i,j,k-1] + u[i,j,k+1]",
+        )
+        .boundary("s", "u", BoundaryCondition::Copy)
+        .stencil("t", "0.5 * s[i-2,j-1,k-2] + 0.25 * s[i+2,j+1,k+2]")
+        .boundary("t", "s", BoundaryCondition::Copy)
+        .output_type("t", DataType::Float64)
+        .output("t")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 21);
+}
+
+#[test]
+fn copy_boundaries_on_lower_dimensional_fields_match_bitwise() {
+    // Copy boundaries on fields that span only a subset of the iteration
+    // space: the center read must land in the field's own storage.
+    let program = StencilProgramBuilder::new("copy_lowdim", &[6, 5, 7])
+        .input("u", DataType::Float32, &["i", "j", "k"])
+        .input("surf", DataType::Float32, &["i", "k"])
+        .input("col", DataType::Float64, &["j"])
+        .stencil("s", "u[i,j,k] + surf[i-2,k+1] * 0.5 + col[j-1]")
+        .boundary("s", "surf", BoundaryCondition::Copy)
+        .boundary("s", "col", BoundaryCondition::Copy)
+        .shrink("s")
+        .output("s")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 22);
+
+    // One-dimensional domain: every cell is halo in some access.
+    let program = StencilProgramBuilder::new("copy1d", &[5])
+        .input("a", DataType::Float32, &["i"])
+        .stencil("s", "a[i-3] + a[i+3]")
+        .boundary("s", "a", BoundaryCondition::Copy)
+        .output("s")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 23);
+}
+
+#[test]
+fn run_steps_matches_interpreted_ping_pong_bitwise() {
+    let program = jacobi2d(1, &[9, 8], 1);
+    let inputs = generate_inputs(&program, 31);
+    let executor = ReferenceExecutor::new();
+    let stepped = executor.run_steps(&program, &inputs, 4).unwrap();
+
+    // Interpreted ping-pong: feed the output back by hand.
+    let mut work = inputs.clone();
+    let mut last = None;
+    for _ in 0..4 {
+        let result = executor.run_interpreted(&program, &work).unwrap();
+        work.insert("f0".to_string(), result.field("f1").unwrap().clone());
+        last = Some(result);
+    }
+    let manual = last.unwrap();
+    for (a, b) in stepped
+        .field("f1")
+        .unwrap()
+        .as_slice()
+        .iter()
+        .zip(manual.field("f1").unwrap().as_slice())
+    {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(
+        stepped.valid_mask("f1").unwrap(),
+        manual.valid_mask("f1").unwrap()
+    );
 }
 
 #[test]

@@ -24,6 +24,10 @@ pub struct Fifo {
 
 impl Fifo {
     /// Create a FIFO with the given capacity (in words).
+    ///
+    /// Unthrottled channels start with unlimited bandwidth credits, so a
+    /// push is possible immediately — [`Fifo::begin_cycle`] only matters
+    /// once a bandwidth budget is attached via [`Fifo::with_bandwidth`].
     pub fn new(name: &str, capacity: usize) -> Self {
         Fifo {
             name: name.to_string(),
@@ -31,7 +35,7 @@ impl Fifo {
             latency: 0,
             words_per_cycle: f64::INFINITY,
             queue: VecDeque::with_capacity(capacity.clamp(1, 4096)),
-            credits: 0.0,
+            credits: f64::INFINITY,
             pushed_total: 0,
             popped_total: 0,
             high_watermark: 0,
@@ -47,8 +51,10 @@ impl Fifo {
 
     /// Limit how many words can enter the channel per cycle (may be
     /// fractional; credits accumulate) — used for bandwidth-limited links.
+    /// Credits start at zero and are granted by [`Fifo::begin_cycle`].
     pub fn with_bandwidth(mut self, words_per_cycle: f64) -> Self {
         self.words_per_cycle = words_per_cycle;
+        self.credits = if words_per_cycle.is_finite() { 0.0 } else { f64::INFINITY };
         self
     }
 
@@ -174,6 +180,32 @@ mod tests {
         assert!(!fifo.can_pop(4));
         assert!(fifo.can_pop(5));
         assert_eq!(fifo.pop(5), 1.0);
+    }
+
+    #[test]
+    fn unthrottled_channels_accept_pushes_before_any_cycle() {
+        // Regression: freshly constructed unthrottled channels used to start
+        // with zero bandwidth credits, rejecting pushes until the first
+        // `begin_cycle` even though no bandwidth budget was configured.
+        let mut fifo = Fifo::new("c", 4);
+        assert!(fifo.can_push());
+        fifo.push(0, 1.0);
+        assert_eq!(fifo.pop(0), 1.0);
+        // Latency does not interact with credits either.
+        let mut delayed = Fifo::new("net", 4).with_latency(2);
+        assert!(delayed.can_push());
+        delayed.push(0, 2.0);
+        assert_eq!(delayed.pop(2), 2.0);
+    }
+
+    #[test]
+    fn bandwidth_limited_channels_still_wait_for_credits() {
+        // Attaching a bandwidth budget resets the credit pool: no push until
+        // `begin_cycle` grants the first credit.
+        let mut fifo = Fifo::new("link", 4).with_bandwidth(1.0);
+        assert!(!fifo.can_push());
+        fifo.begin_cycle();
+        assert!(fifo.can_push());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::channel::Fifo;
 use std::collections::{BTreeMap, VecDeque};
-use stencilflow_expr::{CompiledKernel, EvalScratch, Value};
+use stencilflow_expr::{CompiledKernel, EvalScratch, TypedKernel, TypedScratch, Value};
 use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, StencilProgram};
 
 /// The per-field input port of a stencil unit: a channel plus the sliding
@@ -85,9 +85,14 @@ pub struct StencilUnitSim {
     /// pre-bound window taps (`slots`) instead of the tree-walking
     /// evaluator.
     kernel: CompiledKernel,
+    /// Type-specialized kernel (all stream values carry the unit's data
+    /// type): evaluates window taps on raw `f64`s with no `Value` tagging.
+    typed: Option<TypedKernel>,
     slots: Vec<SlotTap>,
     slot_values: Vec<Value>,
+    typed_values: Vec<f64>,
     scratch: EvalScratch,
+    typed_scratch: TypedScratch,
     output_type: stencilflow_expr::DataType,
     /// Outgoing channel indices.
     pub out_channels: Vec<usize>,
@@ -176,15 +181,23 @@ impl StencilUnitSim {
             });
         }
         let slot_values = vec![Value::F64(0.0); slots.len()];
+        let typed_values = vec![0.0; slots.len()];
+        // Every stream value of the unit is tagged with the unit's data
+        // type, so the specialization is uniform over the slots.
+        let slot_types = vec![stencil.output_type; slots.len()];
+        let typed = kernel.specialize(&slot_types);
 
         StencilUnitSim {
             name: stencil.name.clone(),
             space: space.clone(),
             ports,
             kernel,
+            typed,
             slots,
             slot_values,
+            typed_values,
             scratch: EvalScratch::default(),
+            typed_scratch: TypedScratch::default(),
             output_type: stencil.output_type,
             out_channels,
             produced: 0,
@@ -258,11 +271,12 @@ impl StencilUnitSim {
         }
 
         // Compute the cell: resolve every pre-bound slot against the port
-        // windows (with boundary predication), then run the compiled kernel.
+        // windows (with boundary predication), then run the compiled kernel
+        // — through the type-specialized variant when one exists.
         let index = self.decompose(cell);
         let dtype = self.output_type;
-        let mut values = std::mem::take(&mut self.slot_values);
-        for (tap, value) in self.slots.iter().zip(values.iter_mut()) {
+        let mut raw_values = std::mem::take(&mut self.typed_values);
+        for (tap, value) in self.slots.iter().zip(raw_values.iter_mut()) {
             let port = &self.ports[tap.port];
             let out_of_bounds = tap.checks.iter().any(|&(dim, off)| {
                 let pos = index[dim] as i64 + off;
@@ -276,18 +290,34 @@ impl StencilUnitSim {
             } else {
                 port.value_at(cell as i64 + tap.linear)
             };
-            let raw = raw
+            *value = raw
                 .expect("validated programs evaluate; missing window data indicates a wiring bug");
-            *value = Value::from_f64(raw, dtype);
         }
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let result = self
-            .kernel
-            .eval_slots(&values, &mut scratch)
-            .expect("validated programs evaluate; unresolved symbols indicate a wiring bug");
-        self.slot_values = values;
-        self.scratch = scratch;
-        let value = Value::from_f64(result.as_f64(), dtype).as_f64();
+        let value = if let Some(typed) = &self.typed {
+            // Raw taps round through the unit's data type exactly as the
+            // `Value` path tags them; the typed kernel then runs `Value`-free.
+            for v in raw_values.iter_mut() {
+                *v = Value::from_f64(*v, dtype).as_f64();
+            }
+            let mut scratch = std::mem::take(&mut self.typed_scratch);
+            let result = typed.eval_slots(&raw_values, &mut scratch);
+            self.typed_scratch = scratch;
+            Value::from_f64(result, dtype).as_f64()
+        } else {
+            let mut values = std::mem::take(&mut self.slot_values);
+            for (value, &raw) in values.iter_mut().zip(raw_values.iter()) {
+                *value = Value::from_f64(raw, dtype);
+            }
+            let mut scratch = std::mem::take(&mut self.scratch);
+            let result = self
+                .kernel
+                .eval_slots(&values, &mut scratch)
+                .expect("validated programs evaluate; unresolved symbols indicate a wiring bug");
+            self.slot_values = values;
+            self.scratch = scratch;
+            Value::from_f64(result.as_f64(), dtype).as_f64()
+        };
+        self.typed_values = raw_values;
         for &c in &self.out_channels {
             channels[c].push(now, value);
         }
@@ -356,6 +386,53 @@ mod tests {
         let outputs: Vec<f64> = (0..8).map(|_| channels[1].pop(1000)).collect();
         // s[i] = a[i-1] + a[i+1] with constant-0 boundaries.
         assert_eq!(outputs, vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 6.0]);
+    }
+
+    #[test]
+    fn typed_and_value_kernel_paths_agree_bitwise() {
+        // Two programs computing the same function: the first specializes
+        // (all-float), the second keeps the dynamic `Value` path because the
+        // integer literal blocks specialization (`1 * x` is not folded by
+        // the exact fold mode and is value-preserving on f32).
+        let build = |code: &str| {
+            StencilProgramBuilder::new("p", &[8])
+                .input("a", DataType::Float32, &["i"])
+                .stencil("s", code)
+                .boundary("s", "a", BoundaryCondition::Constant(0.5))
+                .output("s")
+                .build()
+                .unwrap()
+        };
+        let typed_program = build("0.5 * (a[i-1] + a[i+1])");
+        let value_program = build("1 * (0.5 * (a[i-1] + a[i+1]))");
+        let data: Vec<f64> = (0..8).map(|v| v as f64 * 0.37).collect();
+        let mut outputs: Vec<Vec<f64>> = Vec::new();
+        for (program, expect_typed) in [(typed_program, true), (value_program, false)] {
+            let stencil = program.stencil("s").unwrap();
+            let mut channels = vec![Fifo::new("a->s", 64), Fifo::new("s->out", 64)];
+            let wiring: BTreeMap<String, usize> = [("a".to_string(), 0)].into_iter().collect();
+            let mut unit = StencilUnitSim::new(&program, stencil, &wiring, vec![1]);
+            assert_eq!(unit.typed.is_some(), expect_typed);
+            let mut fed = 0usize;
+            for cycle in 0..200u64 {
+                for c in channels.iter_mut() {
+                    c.begin_cycle();
+                }
+                if fed < data.len() && channels[0].can_push() {
+                    channels[0].push(cycle, data[fed]);
+                    fed += 1;
+                }
+                unit.step(cycle, &mut channels);
+                if unit.done() {
+                    break;
+                }
+            }
+            assert!(unit.done());
+            outputs.push((0..8).map(|_| channels[1].pop(1000)).collect());
+        }
+        for (a, b) in outputs[0].iter().zip(outputs[1].iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

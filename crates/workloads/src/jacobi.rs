@@ -28,12 +28,25 @@ pub fn jacobi2d(timesteps: usize, shape: &[usize; 2], vectorization: usize) -> S
         .expect("generated Jacobi 2D programs are valid")
 }
 
-/// A chain of `timesteps` 7-point Jacobi relaxation steps on a 3D domain.
+/// A chain of `timesteps` 7-point Jacobi relaxation steps on a 3D domain
+/// (`float32` fields; see [`jacobi3d_typed`] for other element types).
 pub fn jacobi3d(timesteps: usize, shape: &[usize; 3], vectorization: usize) -> StencilProgram {
+    jacobi3d_typed(timesteps, shape, vectorization, DataType::Float32)
+}
+
+/// [`jacobi3d`] with a custom element type for every field. The all-`f32`
+/// and all-`f64` variants exercise the reference executor's type-specialized
+/// kernels (and the time-stepping `run_steps` scenario with `timesteps = 1`).
+pub fn jacobi3d_typed(
+    timesteps: usize,
+    shape: &[usize; 3],
+    vectorization: usize,
+    dtype: DataType,
+) -> StencilProgram {
     assert!(timesteps > 0, "at least one timestep is required");
     let mut builder = StencilProgramBuilder::new("jacobi3d", shape)
         .vectorization(vectorization)
-        .input("f0", DataType::Float32, &["i", "j", "k"]);
+        .input("f0", dtype, &["i", "j", "k"]);
     for t in 1..=timesteps {
         let prev = format!("f{}", t - 1);
         let name = format!("f{t}");
@@ -45,6 +58,7 @@ pub fn jacobi3d(timesteps: usize, shape: &[usize; 3], vectorization: usize) -> S
                      + {prev}[i,j-1,k] + {prev}[i,j+1,k] + {prev}[i,j,k-1] + {prev}[i,j,k+1])"
                 ),
             )
+            .output_type(&name, dtype)
             .shrink(&name);
     }
     builder
@@ -89,5 +103,16 @@ mod tests {
     fn vectorized_variants_build() {
         jacobi2d(2, &[64, 64], 8).validate().unwrap();
         jacobi3d(2, &[16, 16, 16], 4).validate().unwrap();
+    }
+
+    #[test]
+    fn typed_variant_sets_every_field_type() {
+        let program = jacobi3d_typed(2, &[8, 8, 8], 1, DataType::Float64);
+        assert_eq!(program.field_type("f0"), Some(DataType::Float64));
+        assert_eq!(program.field_type("f1"), Some(DataType::Float64));
+        assert_eq!(program.field_type("f2"), Some(DataType::Float64));
+        // The default stays float32.
+        let default = jacobi3d(1, &[8, 8, 8], 1);
+        assert_eq!(default.field_type("f1"), Some(DataType::Float32));
     }
 }

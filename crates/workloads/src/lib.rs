@@ -25,7 +25,7 @@ pub mod membench;
 pub use chain::{chain_program, ChainSpec};
 pub use diffusion::{diffusion2d, diffusion3d};
 pub use horizontal_diffusion::{horizontal_diffusion, HorizontalDiffusionSpec};
-pub use jacobi::{jacobi2d, jacobi3d};
+pub use jacobi::{jacobi2d, jacobi3d, jacobi3d_typed};
 pub use listing1::listing1;
 pub use membench::{membench_program, MembenchSpec};
 
