@@ -1,7 +1,8 @@
 //! Evaluation-throughput harness: prints the cells/second comparison of the
-//! tree-walking evaluator against the compiled execution plan and the
-//! type-specialized kernels (Jacobi 3D 64³ f32/f64, horizontal diffusion,
-//! and a `run_steps` time loop), then times the paths with Criterion.
+//! tree-walking evaluator against the compiled execution plan, the scalar
+//! type-specialized kernels, and the lane-batched (SIMD) typed sweep
+//! (Jacobi 3D 64³ f32/f64, horizontal diffusion, and a `run_steps` time
+//! loop), then times the paths with Criterion.
 
 use criterion::{criterion_group, Criterion};
 use stencilflow_bench::{eval_throughput, format_throughput};
@@ -16,6 +17,7 @@ fn bench_eval_throughput(c: &mut Criterion) {
     let jacobi = jacobi3d(2, &[64, 64, 64], 1);
     let jacobi_inputs = generate_inputs(&jacobi, 17);
     let executor = ReferenceExecutor::new();
+    let typed_executor = ReferenceExecutor::new().with_lane_batching(false);
     let value_executor = ReferenceExecutor::new().with_typed_kernels(false);
     group.bench_function("jacobi3d_64_interpreted", |b| {
         b.iter(|| executor.run_interpreted(&jacobi, &jacobi_inputs).unwrap());
@@ -24,6 +26,9 @@ fn bench_eval_throughput(c: &mut Criterion) {
         b.iter(|| value_executor.run(&jacobi, &jacobi_inputs).unwrap());
     });
     group.bench_function("jacobi3d_64_typed", |b| {
+        b.iter(|| typed_executor.run(&jacobi, &jacobi_inputs).unwrap());
+    });
+    group.bench_function("jacobi3d_64_simd", |b| {
         b.iter(|| executor.run(&jacobi, &jacobi_inputs).unwrap());
     });
 
@@ -42,6 +47,9 @@ fn bench_eval_throughput(c: &mut Criterion) {
         b.iter(|| value_executor.run(&hdiff, &hdiff_inputs).unwrap());
     });
     group.bench_function("horizontal_diffusion_typed", |b| {
+        b.iter(|| typed_executor.run(&hdiff, &hdiff_inputs).unwrap());
+    });
+    group.bench_function("horizontal_diffusion_simd", |b| {
         b.iter(|| executor.run(&hdiff, &hdiff_inputs).unwrap());
     });
     group.finish();
@@ -51,5 +59,7 @@ criterion_group!(benches, bench_eval_throughput);
 
 fn main() {
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

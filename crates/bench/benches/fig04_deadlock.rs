@@ -11,7 +11,9 @@ use stencilflow_workloads::listing1::listing1_with_shape;
 fn bench(c: &mut Criterion) {
     let (deadlocked, completed) = deadlock_demo();
     println!("== Figure 4: deadlock demonstration ==");
-    println!("unit-depth channels deadlock: {deadlocked}; analysis-computed depths stream: {completed}");
+    println!(
+        "unit-depth channels deadlock: {deadlocked}; analysis-computed depths stream: {completed}"
+    );
     let mut group = c.benchmark_group("fig04");
     group.sample_size(10);
     group.bench_function("simulate_listing1_buffered", |b| {
@@ -32,5 +34,7 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -7,7 +7,10 @@ use stencilflow_core::{AnalysisConfig, HardwareMapping};
 use stencilflow_workloads::{chain_program, ChainSpec};
 
 fn bench(c: &mut Criterion) {
-    print!("{}", format_scaling(&scaling_series(1, 8, true), "Figure 14 (W=1, quick domain)"));
+    print!(
+        "{}",
+        format_scaling(&scaling_series(1, 8, true), "Figure 14 (W=1, quick domain)")
+    );
     let mut group = c.benchmark_group("fig14");
     group.sample_size(10);
     group.bench_function("analyze_and_map_32_stage_chain", |b| {
@@ -22,5 +25,7 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

@@ -6,12 +6,20 @@ use stencilflow_core::{AnalysisConfig, HardwareMapping};
 use stencilflow_workloads::{chain_program, ChainSpec};
 
 fn bench(c: &mut Criterion) {
-    print!("{}", format_scaling(&scaling_series(4, 24, true), "Figure 15 (W=4, quick domain)"));
+    print!(
+        "{}",
+        format_scaling(
+            &scaling_series(4, 24, true),
+            "Figure 15 (W=4, quick domain)"
+        )
+    );
     let mut group = c.benchmark_group("fig15");
     group.sample_size(10);
     group.bench_function("analyze_and_map_vectorized_chain", |b| {
         let program = chain_program(
-            &ChainSpec::new(16, 24).with_shape(&[1 << 11, 32, 32]).with_vectorization(4),
+            &ChainSpec::new(16, 24)
+                .with_shape(&[1 << 11, 32, 32])
+                .with_vectorization(4),
         );
         let config = AnalysisConfig::paper_defaults().with_vectorization(4);
         b.iter(|| HardwareMapping::build(&program, &config).unwrap());
@@ -23,5 +31,7 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

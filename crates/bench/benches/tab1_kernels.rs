@@ -13,8 +13,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("estimate_resources_jacobi3d_64", |b| {
         let program = jacobi3d(64, &[1 << 11, 32, 32], 1);
-        let mapping =
-            HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
+        let mapping = HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
         b.iter(|| estimate_resources(&mapping));
     });
     group.finish();
@@ -24,5 +23,7 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

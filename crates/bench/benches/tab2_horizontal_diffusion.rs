@@ -24,5 +24,7 @@ criterion_group!(benches, bench);
 
 fn main() {
     benches();
-    criterion::Criterion::default().configure_from_args().final_summary();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
 }

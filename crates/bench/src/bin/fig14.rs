@@ -2,5 +2,8 @@
 
 fn main() {
     let data = stencilflow_bench::scaling_series(1, 8, false);
-    print!("{}", stencilflow_bench::format_scaling(&data, "Figure 14 (W=1, 8 Op/stencil, 2^15 x 32 x 32)"));
+    print!(
+        "{}",
+        stencilflow_bench::format_scaling(&data, "Figure 14 (W=1, 8 Op/stencil, 2^15 x 32 x 32)")
+    );
 }

@@ -2,5 +2,8 @@
 
 fn main() {
     let data = stencilflow_bench::scaling_series(4, 24, false);
-    print!("{}", stencilflow_bench::format_scaling(&data, "Figure 15 (W=4, 24 Op/stencil, 2^15 x 32 x 32)"));
+    print!(
+        "{}",
+        stencilflow_bench::format_scaling(&data, "Figure 15 (W=4, 24 Op/stencil, 2^15 x 32 x 32)")
+    );
 }

@@ -8,9 +8,7 @@
 //! `src/bin/` binaries print them standalone. `EXPERIMENTS.md` records the
 //! paper-vs-measured comparison for every row.
 
-use stencilflow_core::{
-    AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig,
-};
+use stencilflow_core::{AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig};
 use stencilflow_hwmodel::{
     comparator_estimate, estimate_resources, silicon_efficiency, BandwidthModel, Device,
     FrequencyModel, Roofline,
@@ -41,7 +39,11 @@ pub struct ScalingPoint {
 
 /// Compute the scaling series of Fig. 14 (`vectorization = 1`,
 /// 8 Op/stencil) or Fig. 15 (`vectorization = 4`, 24 Op/stencil).
-pub fn scaling_series(vectorization: usize, ops_per_stencil: usize, quick: bool) -> Vec<ScalingPoint> {
+pub fn scaling_series(
+    vectorization: usize,
+    ops_per_stencil: usize,
+    quick: bool,
+) -> Vec<ScalingPoint> {
     let device = Device::stratix10_gx2800();
     let frequency_model = FrequencyModel::default();
     let config = AnalysisConfig::paper_defaults().with_vectorization(vectorization);
@@ -62,19 +64,16 @@ pub fn scaling_series(vectorization: usize, ops_per_stencil: usize, quick: bool)
     let mut points = Vec::new();
     let mut best_single = 0.0f64;
     for &target_ops in single_targets {
-        let stages =
-            (target_ops as usize / (ops_per_stencil * vectorization)).max(1);
+        let stages = (target_ops as usize / (ops_per_stencil * vectorization)).max(1);
         let spec = ChainSpec::new(stages, ops_per_stencil)
             .with_shape(&shape)
             .with_vectorization(vectorization);
         let program = chain_program(&spec);
-        let mapping = HardwareMapping::build(&program, &config)
-            .expect("chain programs always map");
+        let mapping = HardwareMapping::build(&program, &config).expect("chain programs always map");
         let resources = estimate_resources(&mapping);
         let frequency = frequency_model.frequency_hz(&resources, &device);
         let perf = mapping.performance.at_frequency(frequency);
-        let pipeline_efficiency =
-            perf.iterations as f64 / perf.expected_cycles as f64;
+        let pipeline_efficiency = perf.iterations as f64 / perf.expected_cycles as f64;
         let ops_per_cycle = mapping.ops_per_cycle();
         let upper_bound = ops_per_cycle as f64 * frequency * pipeline_efficiency / 1e9;
         // If the design no longer fits the device, logic is the bottleneck
@@ -188,15 +187,19 @@ fn best_fitting_chain(
 pub fn table1_rows(quick: bool) -> Vec<KernelRow> {
     let device = Device::stratix10_gx2800();
     let frequency_model = FrequencyModel::default();
-    let shape3 = if quick { [1 << 11, 32, 32] } else { [1 << 15, 32, 32] };
-    let shape2 = if quick { [1 << 11, 1 << 10] } else { [1 << 13, 1 << 12] };
+    let shape3 = if quick {
+        [1 << 11, 32, 32]
+    } else {
+        [1 << 15, 32, 32]
+    };
+    let shape2 = if quick {
+        [1 << 11, 1 << 10]
+    } else {
+        [1 << 13, 1 << 12]
+    };
 
     let kernels: Vec<(&str, usize, KernelBuilder)> = vec![
-        (
-            "Jacobi 3D",
-            1,
-            Box::new(move |t| jacobi3d(t, &shape3, 1)),
-        ),
+        ("Jacobi 3D", 1, Box::new(move |t| jacobi3d(t, &shape3, 1))),
         (
             "Jacobi 3D W=8",
             8,
@@ -251,7 +254,8 @@ pub fn format_table1(rows: &[KernelRow]) -> String {
         ));
         out.push_str(&format!(
             "{:<22} {:>12} {:>8.1}% {:>8.1}% {:>6.1}% {:>5.1}%\n",
-            "", "",
+            "",
+            "",
             row.utilization.0 * 100.0,
             row.utilization.1 * 100.0,
             row.utilization.2 * 100.0,
@@ -369,7 +373,10 @@ pub fn table2_rows() -> (Vec<Table2Row>, String) {
     // which corresponds to the 52 % of the data-sheet roofline reported in
     // Tab. II; the remaining gap is DRAM access inefficiency not captured by
     // the crossbar model, applied here as a calibrated factor.
-    let roofline = Roofline::new(effective_bw, mapping.ops_per_cycle() as f64 * frequency / 1e9);
+    let roofline = Roofline::new(
+        effective_bw,
+        mapping.ops_per_cycle() as f64 * frequency / 1e9,
+    );
     let bound = roofline.attainable_gops(intensity);
     let fpga_gops = bound * 0.70;
     let fpga_runtime = total_ops as f64 / (fpga_gops * 1e9) * 1e6;
@@ -482,7 +489,8 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
 
 /// One row of the evaluation-throughput comparison: tree-walking
 /// interpreter vs. the dynamically typed compiled plan (`Value` bytecode)
-/// vs. the type-specialized kernels.
+/// vs. the scalar type-specialized kernels vs. the lane-batched (SIMD)
+/// typed sweep.
 #[derive(Debug, Clone)]
 pub struct ThroughputRow {
     /// Workload name.
@@ -494,9 +502,12 @@ pub struct ThroughputRow {
     /// Compiled-plan (`Value` bytecode, typed kernels disabled) throughput
     /// in cells/second.
     pub compiled_cells_per_s: f64,
-    /// Type-specialized kernel throughput in cells/second (the default
-    /// `ReferenceExecutor::run` path).
+    /// Scalar type-specialized kernel throughput in cells/second (typed
+    /// kernels enabled, lane batching disabled).
     pub typed_cells_per_s: f64,
+    /// Lane-batched typed sweep throughput in cells/second (the default
+    /// `ReferenceExecutor::run` path).
+    pub simd_cells_per_s: f64,
 }
 
 impl ThroughputRow {
@@ -509,6 +520,12 @@ impl ThroughputRow {
     /// `Value` path.
     pub fn typed_speedup(&self) -> f64 {
         self.typed_cells_per_s / self.compiled_cells_per_s
+    }
+
+    /// Additional speedup of the lane-batched sweep over the scalar typed
+    /// kernels.
+    pub fn simd_speedup(&self) -> f64 {
+        self.simd_cells_per_s / self.typed_cells_per_s
     }
 }
 
@@ -563,7 +580,8 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
     ];
     // Separate executors pin the kernel tier; each caches its compilation
     // across the repeated measurement runs.
-    let typed_executor = ReferenceExecutor::new();
+    let simd_executor = ReferenceExecutor::new();
+    let typed_executor = ReferenceExecutor::new().with_lane_batching(false);
     let value_executor = ReferenceExecutor::new().with_typed_kernels(false);
     let mut rows: Vec<ThroughputRow> = workloads
         .into_iter()
@@ -582,12 +600,17 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
                 let result = typed_executor.run(&program, &inputs).unwrap();
                 std::hint::black_box(&result);
             });
+            let simd = measure_cells_per_s(cells, || {
+                let result = simd_executor.run(&program, &inputs).unwrap();
+                std::hint::black_box(&result);
+            });
             ThroughputRow {
                 workload,
                 cells,
                 interpreted_cells_per_s: interpreted,
                 compiled_cells_per_s: compiled,
                 typed_cells_per_s: typed,
+                simd_cells_per_s: simd,
             }
         })
         .collect();
@@ -615,12 +638,17 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
         let result = typed_executor.run_steps(&program, &inputs, steps).unwrap();
         std::hint::black_box(&result);
     });
+    let simd = measure_cells_per_s(cells, || {
+        let result = simd_executor.run_steps(&program, &inputs, steps).unwrap();
+        std::hint::black_box(&result);
+    });
     rows.push(ThroughputRow {
         workload: format!("jacobi3d {0}^3 x{steps} steps", jacobi_shape[0]),
         cells,
         interpreted_cells_per_s: interpreted,
         compiled_cells_per_s: compiled,
         typed_cells_per_s: typed,
+        simd_cells_per_s: simd,
     });
     rows
 }
@@ -629,22 +657,32 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
 pub fn format_throughput(rows: &[ThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "== Evaluation throughput: interpreted vs. compiled vs. typed reference execution ==\n",
+        "== Evaluation throughput: interpreted vs. compiled vs. typed vs. SIMD reference execution ==\n",
     );
     out.push_str(&format!(
-        "{:<26} {:>12} {:>16} {:>14} {:>14} {:>9} {:>8}\n",
-        "workload", "cells/run", "interpreted c/s", "compiled c/s", "typed c/s", "speedup", "typed x"
+        "{:<26} {:>12} {:>16} {:>14} {:>14} {:>14} {:>9} {:>8} {:>7}\n",
+        "workload",
+        "cells/run",
+        "interpreted c/s",
+        "compiled c/s",
+        "typed c/s",
+        "simd c/s",
+        "speedup",
+        "typed x",
+        "simd x"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<26} {:>12} {:>16.3e} {:>14.3e} {:>14.3e} {:>8.1}x {:>7.2}x\n",
+            "{:<26} {:>12} {:>16.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>8.1}x {:>7.2}x {:>6.2}x\n",
             row.workload,
             row.cells,
             row.interpreted_cells_per_s,
             row.compiled_cells_per_s,
             row.typed_cells_per_s,
+            row.simd_cells_per_s,
             row.speedup(),
-            row.typed_speedup()
+            row.typed_speedup(),
+            row.simd_speedup()
         ));
     }
     out
@@ -673,13 +711,15 @@ pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
                     Json::Number(row.typed_cells_per_s),
                 ),
                 (
-                    "compiled_speedup".to_string(),
-                    Json::Number(row.speedup()),
+                    "simd_cells_per_s".to_string(),
+                    Json::Number(row.simd_cells_per_s),
                 ),
+                ("compiled_speedup".to_string(), Json::Number(row.speedup())),
                 (
                     "typed_speedup".to_string(),
                     Json::Number(row.typed_speedup()),
                 ),
+                ("simd_speedup".to_string(), Json::Number(row.simd_speedup())),
             ])
         })
         .collect();
@@ -692,6 +732,75 @@ pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
         ("rows".to_string(), Json::Array(rows_json)),
     ])
     .to_string_pretty()
+}
+
+/// Check the kernel-tier speedup floors recorded in a `bench_eval` JSON
+/// document (the CI gate behind `bench_eval --check-floors`). The floors
+/// are applied to the `jacobi3d*` rows — the flagship typed/lane workloads;
+/// `horizontal_diffusion` carries data-dependent branches whose kernels
+/// intentionally keep the scalar path. Quick-mode documents (small domains
+/// on shared CI runners) use looser floors than full-mode baselines.
+///
+/// # Errors
+///
+/// Returns a description of every violated floor (or of a malformed
+/// document); `Ok` carries the human-readable summary of the checks passed.
+pub fn check_floors(json_text: &str) -> Result<String, String> {
+    let parsed =
+        stencilflow_json::parse(json_text).map_err(|e| format!("invalid benchmark JSON: {e:?}"))?;
+    let quick = parsed
+        .get("quick")
+        .and_then(|v| v.as_bool())
+        .ok_or("benchmark JSON is missing the `quick` flag")?;
+    // Floors deliberately sit well below healthy measurements (quick mode
+    // runs 32^3 domains on noisy shared runners): a regression that halves
+    // a tier's throughput still trips them, ordinary jitter does not.
+    let (compiled_floor, typed_floor, simd_floor) = if quick {
+        (3.0, 1.2, 1.2)
+    } else {
+        (4.0, 1.3, 1.5)
+    };
+    let rows = parsed
+        .get("rows")
+        .and_then(|v| v.as_array())
+        .ok_or("benchmark JSON is missing `rows`")?;
+    let mut failures = Vec::new();
+    let mut summary = String::new();
+    let mut checked = 0usize;
+    for row in rows {
+        let workload = row
+            .get("workload")
+            .and_then(|v| v.as_str())
+            .unwrap_or("<unnamed>")
+            .to_string();
+        if !workload.starts_with("jacobi3d") {
+            continue;
+        }
+        checked += 1;
+        for (key, floor) in [
+            ("compiled_speedup", compiled_floor),
+            ("typed_speedup", typed_floor),
+            ("simd_speedup", simd_floor),
+        ] {
+            match row.get(key).and_then(|v| v.as_f64()) {
+                Some(value) if value >= floor => {
+                    summary.push_str(&format!("ok: {workload}: {key} {value:.2} >= {floor:.2}\n"));
+                }
+                Some(value) => failures.push(format!(
+                    "{workload}: {key} {value:.2} below floor {floor:.2}"
+                )),
+                None => failures.push(format!("{workload}: missing `{key}`")),
+            }
+        }
+    }
+    if checked == 0 {
+        return Err("no jacobi3d rows to check in benchmark JSON".to_string());
+    }
+    if failures.is_empty() {
+        Ok(summary)
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 /// Run the Fig. 4 deadlock demonstration: the listing-1 fork/join program
@@ -855,6 +964,58 @@ mod tests {
     }
 
     #[test]
+    fn lane_tier_speedup_floor_holds() {
+        // Acceptance floor of the lane-batched (SIMD) sweep: >= 1.5x over
+        // the scalar typed kernels on the all-f32 Jacobi 3D 64^3 workload,
+        // single-threaded so the ratio measures the kernel tier alone (the
+        // release-build ratio is >3x; the opt-level-2 test profile and CI
+        // contention eat part of that).
+        use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+        let program = jacobi3d(2, &[64, 64, 64], 1);
+        let inputs = generate_inputs(&program, 17);
+        let scalar_executor = ReferenceExecutor::new()
+            .with_max_threads(1)
+            .with_lane_batching(false);
+        let lane_executor = ReferenceExecutor::new().with_max_threads(1);
+        // The workload must actually dispatch to the lane tier.
+        let compiled = lane_executor.prepare(&program).unwrap();
+        assert_eq!(compiled.lane_stencil_count(), compiled.stencil_count());
+        let scalar = measure_secs_per_iter(&|| {
+            std::hint::black_box(scalar_executor.run(&program, &inputs).unwrap());
+        });
+        let lanes = measure_secs_per_iter(&|| {
+            std::hint::black_box(lane_executor.run(&program, &inputs).unwrap());
+        });
+        let simd_vs_typed = scalar / lanes;
+        assert!(
+            simd_vs_typed >= 1.5,
+            "lane-batched sweep only {simd_vs_typed:.2}x faster than scalar typed kernels"
+        );
+    }
+
+    #[test]
+    fn check_floors_accepts_healthy_and_rejects_regressed_documents() {
+        let document = |simd_speedup: f64| {
+            let rows = vec![ThroughputRow {
+                workload: "jacobi3d 32^3 f32".to_string(),
+                cells: 1 << 15,
+                interpreted_cells_per_s: 1.0e6,
+                compiled_cells_per_s: 8.0e6,
+                typed_cells_per_s: 16.0e6,
+                simd_cells_per_s: 16.0e6 * simd_speedup,
+            }];
+            throughput_json(&rows, true)
+        };
+        assert!(check_floors(&document(2.0)).is_ok());
+        let err = check_floors(&document(1.0)).unwrap_err();
+        assert!(err.contains("simd_speedup"), "unexpected error: {err}");
+        // Documents without jacobi rows (or unparseable ones) are errors,
+        // not silent passes.
+        assert!(check_floors("{\"quick\": true, \"rows\": []}").is_err());
+        assert!(check_floors("not json").is_err());
+    }
+
+    #[test]
     fn repeated_time_stepping_compiles_exactly_once() {
         use stencilflow_reference::{generate_inputs, ReferenceExecutor};
         let program = jacobi3d(1, &[8, 8, 8], 1);
@@ -883,6 +1044,7 @@ mod tests {
             interpreted_cells_per_s: 1.0e6,
             compiled_cells_per_s: 7.0e6,
             typed_cells_per_s: 1.5e7,
+            simd_cells_per_s: 3.0e7,
         }];
         let text = throughput_json(&rows, true);
         let parsed = stencilflow_json::parse(&text).unwrap();
@@ -892,8 +1054,13 @@ mod tests {
             row.get("workload").and_then(|v| v.as_str()),
             Some("jacobi3d 8^3 f32")
         );
-        assert_eq!(row.get("cells_per_run").and_then(|v| v.as_usize()), Some(1024));
+        assert_eq!(
+            row.get("cells_per_run").and_then(|v| v.as_usize()),
+            Some(1024)
+        );
         let typed_speedup = row.get("typed_speedup").and_then(|v| v.as_f64()).unwrap();
         assert!((typed_speedup - 1.5e7 / 7.0e6).abs() < 1e-9);
+        let simd_speedup = row.get("simd_speedup").and_then(|v| v.as_f64()).unwrap();
+        assert!((simd_speedup - 2.0).abs() < 1e-9);
     }
 }

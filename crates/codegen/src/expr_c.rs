@@ -6,10 +6,7 @@ use stencilflow_expr::ast::{BinOp, Expr, MathFn, Program, UnOp};
 /// accesses are rendered through `access`, which receives the field name and
 /// its offsets and returns the C expression for that tap (e.g. a shift-
 /// register read with boundary predication).
-pub fn program_to_c(
-    program: &Program,
-    access: &impl Fn(&str, &[i64]) -> String,
-) -> Vec<String> {
+pub fn program_to_c(program: &Program, access: &impl Fn(&str, &[i64]) -> String) -> Vec<String> {
     let mut lines = Vec::new();
     for (idx, stmt) in program.statements.iter().enumerate() {
         let rhs = expr_to_c(&stmt.value, access);

@@ -1,8 +1,8 @@
 //! Host-program pseudo-code generation.
 
+use std::fmt::Write as _;
 use stencilflow_core::{HardwareMapping, MemoryAccessKind};
 use stencilflow_program::StencilProgram;
-use std::fmt::Write as _;
 
 /// Generate the host program: buffer allocation, input copies, kernel
 /// launches, and result collection, mirroring what the DaCe-generated host
@@ -12,7 +12,11 @@ pub fn generate_host_code(program: &StencilProgram, mapping: &HardwareMapping) -
     let cells = program.space().num_cells();
     let _ = writeln!(out, "// Host program for `{}`.", program.name());
     let _ = writeln!(out, "cl_context context = create_context();");
-    let _ = writeln!(out, "cl_program binary = load_bitstream(\"{}.aocx\");\n", program.name());
+    let _ = writeln!(
+        out,
+        "cl_program binary = load_bitstream(\"{}.aocx\");\n",
+        program.name()
+    );
 
     for (name, decl) in program.inputs() {
         let elements: usize = decl
@@ -32,7 +36,10 @@ pub fn generate_host_code(program: &StencilProgram, mapping: &HardwareMapping) -
             "cl_mem buf_{name} = clCreateBuffer(context, CL_MEM_READ_ONLY, {} * sizeof(float), NULL, NULL);",
             elements
         );
-        let _ = writeln!(out, "clEnqueueWriteBuffer(queue, buf_{name}, CL_TRUE, 0, ..., host_{name}, 0, NULL, NULL);");
+        let _ = writeln!(
+            out,
+            "clEnqueueWriteBuffer(queue, buf_{name}, CL_TRUE, 0, ..., host_{name}, 0, NULL, NULL);"
+        );
     }
     for output in program.outputs() {
         let _ = writeln!(
@@ -52,7 +59,11 @@ pub fn generate_host_code(program: &StencilProgram, mapping: &HardwareMapping) -
             field = unit.field
         );
     }
-    let _ = writeln!(out, "// {} autorun stencil kernels start on configuration.", mapping.unit_count());
+    let _ = writeln!(
+        out,
+        "// {} autorun stencil kernels start on configuration.",
+        mapping.unit_count()
+    );
     let _ = writeln!(out, "clFinish(all_queues);");
     for output in program.outputs() {
         let _ = writeln!(out, "clEnqueueReadBuffer(queue, buf_{output}, CL_TRUE, 0, ..., host_{output}, 0, NULL, NULL);");
@@ -69,8 +80,7 @@ mod tests {
     #[test]
     fn host_code_allocates_all_buffers_and_launches_memory_kernels() {
         let program = listing1();
-        let mapping =
-            HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
+        let mapping = HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
         let host = generate_host_code(&program, &mapping);
         for input in ["a0", "a1", "a2"] {
             assert!(host.contains(&format!("buf_{input}")));

@@ -44,7 +44,10 @@ mod tests {
         assert!(code.contains("__attribute__((depth("));
         // One autorun kernel per stencil plus readers/writers.
         for stencil in ["b0", "b1", "b2", "b3", "b4"] {
-            assert!(code.contains(&format!("void stencil_{stencil}")), "{stencil}");
+            assert!(
+                code.contains(&format!("void stencil_{stencil}")),
+                "{stencil}"
+            );
         }
         assert!(code.contains("__attribute__((autorun))"));
         assert!(code.contains("void read_a0"));

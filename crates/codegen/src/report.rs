@@ -1,8 +1,8 @@
 //! Human-readable mapping reports.
 
+use std::fmt::Write as _;
 use stencilflow_core::HardwareMapping;
 use stencilflow_program::StencilProgram;
-use std::fmt::Write as _;
 
 /// Produce a textual summary of a mapped design: units, channels, buffer
 /// sizes, and the expected-performance model. Used by the benchmark binaries
@@ -77,8 +77,7 @@ mod tests {
     #[test]
     fn report_lists_units_and_channels() {
         let program = listing1();
-        let mapping =
-            HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
+        let mapping = HardwareMapping::build(&program, &AnalysisConfig::paper_defaults()).unwrap();
         let report = mapping_report(&program, &mapping);
         assert!(report.contains("5 stencil units"));
         assert!(report.contains("b3"));

@@ -23,7 +23,7 @@
 use crate::config::AnalysisConfig;
 use crate::error::Result;
 use std::collections::BTreeMap;
-use stencilflow_program::{StencilProgram, StencilNode};
+use stencilflow_program::{StencilNode, StencilProgram};
 
 /// Internal-buffer information for one field read by one stencil.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,7 +95,11 @@ impl StencilBuffers {
     /// Largest buffer size of this stencil, in elements: the length of the
     /// initialization phase (§IV-A).
     pub fn max_buffer_size(&self) -> u64 {
-        self.fields.values().map(|b| b.size_elements).max().unwrap_or(0)
+        self.fields
+            .values()
+            .map(|b| b.size_elements)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Initialization phase in *iterations* (cycles at initiation interval
@@ -320,7 +324,11 @@ mod tests {
     #[test]
     fn fill_start_synchronizes_multiple_fields() {
         // Field a needs a 2-row buffer, field b only a 3-element row buffer.
-        let buffers = analysis_for("a[i,j-1,k] + a[i,j+1,k] + b[i,j,k-1] + b[i,j,k+1]", &[8, 8, 8], 1);
+        let buffers = analysis_for(
+            "a[i,j-1,k] + a[i,j+1,k] + b[i,j,k-1] + b[i,j,k+1]",
+            &[8, 8, 8],
+            1,
+        );
         let a = buffers.field("a").unwrap();
         let b = buffers.field("b").unwrap();
         assert!(a.size_elements > b.size_elements);

@@ -87,7 +87,9 @@ mod tests {
 
     #[test]
     fn builders_and_effective_vectorization() {
-        let config = AnalysisConfig::default().with_vectorization(8).with_min_channel_depth(4);
+        let config = AnalysisConfig::default()
+            .with_vectorization(8)
+            .with_min_channel_depth(4);
         assert_eq!(config.effective_vectorization(1), 8);
         assert_eq!(config.min_channel_depth, 4);
         let config = AnalysisConfig::default();

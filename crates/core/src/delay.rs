@@ -174,7 +174,11 @@ impl DelayBufferAnalysis {
     /// Largest delay component across all channels (words, excluding the
     /// minimum slack).
     pub fn max_channel_depth(&self) -> u64 {
-        self.channels.iter().map(|c| c.delay_words).max().unwrap_or(0)
+        self.channels
+            .iter()
+            .map(|c| c.delay_words)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total channel capacity in elements (words × vector width), the
@@ -214,11 +218,8 @@ impl DelayBufferAnalysis {
     /// with unsigned arithmetic, but the zero-edge invariant is real).
     pub fn check_invariants(&self, dag: &StencilDag) -> std::result::Result<(), String> {
         for node in dag.nodes() {
-            let incoming: Vec<&ChannelDepth> = self
-                .channels
-                .iter()
-                .filter(|c| c.to == node.name)
-                .collect();
+            let incoming: Vec<&ChannelDepth> =
+                self.channels.iter().filter(|c| c.to == node.name).collect();
             if incoming.is_empty() {
                 continue;
             }

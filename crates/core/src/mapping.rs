@@ -152,10 +152,7 @@ impl HardwareMapping {
 
         let mut units = Vec::new();
         for stencil in program.stencils() {
-            let buffers = internal
-                .stencil(&stencil.name)
-                .cloned()
-                .unwrap_or_default();
+            let buffers = internal.stencil(&stencil.name).cloned().unwrap_or_default();
             units.push(StencilUnit {
                 name: stencil.name.clone(),
                 ops: stencil.op_count(),

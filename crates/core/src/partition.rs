@@ -211,7 +211,9 @@ impl MultiDevicePlan {
             let consumer_device = device_of[stencil_name.as_str()];
             for (field, _) in stencil.accesses.iter() {
                 if program.is_input(field) {
-                    devices[consumer_device].local_inputs.insert(field.to_string());
+                    devices[consumer_device]
+                        .local_inputs
+                        .insert(field.to_string());
                     input_readers
                         .entry(field.to_string())
                         .or_default()
@@ -225,7 +227,9 @@ impl MultiDevicePlan {
                             to_device: consumer_device,
                             field: field.to_string(),
                         };
-                        devices[producer_device].remote_outputs.push(channel.clone());
+                        devices[producer_device]
+                            .remote_outputs
+                            .push(channel.clone());
                         devices[consumer_device].remote_inputs.push(channel.clone());
                         remote_channels.push(channel);
                     }
@@ -272,8 +276,7 @@ impl MultiDevicePlan {
     /// Whether the network links can sustain the required boundary traffic
     /// without throttling the pipeline.
     pub fn network_feasible(&self) -> bool {
-        let capacity =
-            self.config.link_words_per_cycle * self.config.links_between_devices as f64;
+        let capacity = self.config.link_words_per_cycle * self.config.links_between_devices as f64;
         self.peak_link_words_per_cycle <= capacity
     }
 
@@ -283,8 +286,7 @@ impl MultiDevicePlan {
         if self.peak_link_words_per_cycle == 0.0 {
             return 1.0;
         }
-        let capacity =
-            self.config.link_words_per_cycle * self.config.links_between_devices as f64;
+        let capacity = self.config.link_words_per_cycle * self.config.links_between_devices as f64;
         (capacity / self.peak_link_words_per_cycle).min(1.0)
     }
 

@@ -151,7 +151,10 @@ mod tests {
         let delay = DelayBufferAnalysis::compute(&program, &internal, &config).unwrap();
         let perf = PerformanceEstimate::compute(&program, &internal, &delay, &config).unwrap();
         assert_eq!(perf.iterations, 64 * 64);
-        assert_eq!(perf.expected_cycles, perf.pipeline_latency + perf.iterations);
+        assert_eq!(
+            perf.expected_cycles,
+            perf.pipeline_latency + perf.iterations
+        );
         assert_eq!(
             perf.expected_cycles,
             expected_cycles(&program, &config).unwrap()

@@ -114,8 +114,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let batch = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
-            as usize;
+        let batch =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
 
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         for _ in 0..self.sample_size {

@@ -56,7 +56,10 @@ mod tests {
         for output in program.outputs() {
             let a = reference.field(output).unwrap();
             let b = fused_result.field(output).unwrap();
-            assert!(a.approx_eq(b, 1e-4), "output {output} diverges after fusion");
+            assert!(
+                a.approx_eq(b, 1e-4),
+                "output {output} diverges after fusion"
+            );
         }
     }
 }

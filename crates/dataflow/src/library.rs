@@ -131,7 +131,10 @@ mod tests {
         assert_eq!(expanded.shift_phases[0].shift_by, 4);
         // Every field gets an update phase reading its channel.
         assert_eq!(expanded.update_phases.len(), 2);
-        assert!(expanded.update_phases.iter().any(|u| u.from_channel == "a_in"));
+        assert!(expanded
+            .update_phases
+            .iter()
+            .any(|u| u.from_channel == "a_in"));
         // The compute phase is vector-unrolled and conditionally writes.
         assert_eq!(expanded.compute.vector_unroll, 4);
         assert!(expanded.compute.conditional_write);

@@ -17,7 +17,12 @@ pub fn lower_to_sdfg(program: &StencilProgram) -> Sdfg {
         let elements: u64 = decl
             .dims
             .iter()
-            .map(|d| space.dim_index(d).map(|ix| space.shape[ix] as u64).unwrap_or(1))
+            .map(|d| {
+                space
+                    .dim_index(d)
+                    .map(|ix| space.shape[ix] as u64)
+                    .unwrap_or(1)
+            })
             .product::<u64>()
             .max(1);
         sdfg.add_container(name, elements);
@@ -43,7 +48,9 @@ pub fn lower_to_sdfg(program: &StencilProgram) -> Sdfg {
 
     // Access nodes for inputs.
     for (name, _) in program.inputs() {
-        state.add_node(SdfgNode::Access { data: name.to_string() });
+        state.add_node(SdfgNode::Access {
+            data: name.to_string(),
+        });
     }
     // Library nodes for stencils.
     for stencil in program.stencils() {
@@ -70,7 +77,12 @@ pub fn lower_to_sdfg(program: &StencilProgram) -> Sdfg {
                 node_index(state, &format!("stencil:{field}"))
             };
             if let Some(from) = from {
-                memlets.push((from, to, field.to_string(), cells * info.access_count() as u64));
+                memlets.push((
+                    from,
+                    to,
+                    field.to_string(),
+                    cells * info.access_count() as u64,
+                ));
             }
         }
     }
@@ -174,8 +186,16 @@ mod tests {
         // Memlet volumes are per-access: b3 reads b1 twice.
         let cells = program.space().num_cells() as u64;
         let state = &sdfg.states[0];
-        let b1 = state.nodes.iter().position(|n| n.label() == "stencil:b1").unwrap();
-        let b3 = state.nodes.iter().position(|n| n.label() == "stencil:b3").unwrap();
+        let b1 = state
+            .nodes
+            .iter()
+            .position(|n| n.label() == "stencil:b1")
+            .unwrap();
+        let b3 = state
+            .nodes
+            .iter()
+            .position(|n| n.label() == "stencil:b3")
+            .unwrap();
         let volume = state
             .memlets
             .iter()

@@ -109,7 +109,10 @@ impl SdfgState {
 
     /// Add a memlet between two existing nodes.
     pub fn add_memlet(&mut self, from: usize, to: usize, data: &str, volume: u64) {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "memlet endpoints must exist");
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "memlet endpoints must exist"
+        );
         self.memlets.push(Memlet {
             from,
             to,
@@ -120,7 +123,9 @@ impl SdfgState {
 
     /// Find the index of the access node for a container, if present.
     pub fn access_node(&self, data: &str) -> Option<usize> {
-        self.nodes.iter().position(|n| matches!(n, SdfgNode::Access { data: d } if d == data))
+        self.nodes
+            .iter()
+            .position(|n| matches!(n, SdfgNode::Access { data: d } if d == data))
     }
 
     /// Total data volume moved in this state.
@@ -130,7 +135,10 @@ impl SdfgState {
 
     /// Degree (in + out memlets) of a node.
     pub fn degree(&self, node: usize) -> usize {
-        self.memlets.iter().filter(|m| m.from == node || m.to == node).count()
+        self.memlets
+            .iter()
+            .filter(|m| m.from == node || m.to == node)
+            .count()
     }
 }
 
@@ -186,14 +194,23 @@ impl Sdfg {
     pub fn container_state_uses(&self, data: &str) -> usize {
         self.states
             .iter()
-            .filter(|s| s.nodes.iter().any(|n| matches!(n, SdfgNode::Access { data: d } if d == data)))
+            .filter(|s| {
+                s.nodes
+                    .iter()
+                    .any(|n| matches!(n, SdfgNode::Access { data: d } if d == data))
+            })
             .count()
     }
 }
 
 impl fmt::Display for Sdfg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "sdfg {} ({} containers)", self.name, self.containers.len())?;
+        writeln!(
+            f,
+            "sdfg {} ({} containers)",
+            self.name,
+            self.containers.len()
+        )?;
         for state in &self.states {
             writeln!(
                 f,

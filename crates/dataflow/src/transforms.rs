@@ -57,10 +57,7 @@ pub fn try_fuse(
         return Ok(None);
     }
     // Condition 3: the producer's output is consumed only by `consumer`.
-    let consumers: Vec<&StencilNode> = program
-        .stencils()
-        .filter(|s| s.reads(producer))
-        .collect();
+    let consumers: Vec<&StencilNode> = program.stencils().filter(|s| s.reads(producer)).collect();
     if consumers.len() != 1 || consumers[0].name != consumer {
         return Ok(None);
     }
@@ -109,7 +106,10 @@ pub fn try_fuse(
     // internal producer field).
     let mut boundary = cons.boundary.clone();
     for (field, condition) in &prod.boundary.per_field {
-        boundary.per_field.entry(field.clone()).or_insert(*condition);
+        boundary
+            .per_field
+            .entry(field.clone())
+            .or_insert(*condition);
     }
     boundary.per_field.remove(producer);
     node.boundary = boundary;
@@ -273,7 +273,9 @@ pub fn map_fission(sdfg: &mut Sdfg, state_index: usize) -> usize {
             // one for the produced field.
             let mut producers = Vec::new();
             for (field, info) in lib.stencil.accesses.iter() {
-                let node = state.add_node(SdfgNode::Access { data: field.to_string() });
+                let node = state.add_node(SdfgNode::Access {
+                    data: field.to_string(),
+                });
                 producers.push((node, field.to_string(), info.access_count() as u64));
             }
             let library_index = state.add_node(library.clone());

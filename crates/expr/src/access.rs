@@ -78,7 +78,10 @@ impl FieldAccesses {
 
     /// Total number of distinct (field, offset) access points.
     pub fn total_accesses(&self) -> usize {
-        self.accesses.values().map(|a| a.access_count().max(1)).sum()
+        self.accesses
+            .values()
+            .map(|a| a.access_count().max(1))
+            .sum()
     }
 
     /// Access information for one field, if it is accessed at all.

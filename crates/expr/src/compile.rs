@@ -189,9 +189,7 @@ impl CompiledKernel {
                 Op::Const(v) => stack.push(v),
                 Op::Slot(ix) => stack.push(slot_values[ix as usize]),
                 Op::Local(ix) => stack.push(locals[ix as usize]),
-                Op::Store(ix) => {
-                    locals[ix as usize] = stack.pop().expect("stack underflow: Store")
-                }
+                Op::Store(ix) => locals[ix as usize] = stack.pop().expect("stack underflow: Store"),
                 Op::Pop => {
                     stack.pop().expect("stack underflow: Pop");
                 }
@@ -494,15 +492,15 @@ impl CompiledKernel {
     pub fn eval<R: AccessResolver + ?Sized>(&self, resolver: &R) -> Result<Value> {
         let mut values = Vec::with_capacity(self.slots.len());
         for slot in &self.slots {
-            let value = resolver.resolve(&slot.field, &slot.offsets).ok_or_else(|| {
-                ExprError::UnresolvedSymbol {
+            let value = resolver
+                .resolve(&slot.field, &slot.offsets)
+                .ok_or_else(|| ExprError::UnresolvedSymbol {
                     name: if slot.is_scalar() {
                         slot.field.clone()
                     } else {
                         format!("{}{:?}", slot.field, slot.offsets)
                     },
-                }
-            })?;
+                })?;
             values.push(value);
         }
         self.eval_slots(&values, &mut EvalScratch::default())
@@ -631,6 +629,29 @@ pub struct TypedScratch {
     locals: Vec<f64>,
 }
 
+/// Lane width used by the lane-batched consumers of [`TypedKernel`] (the
+/// reference executor's interior sweep and the simulator's batched window
+/// taps). Eight `f64` lanes fill one 512-bit vector register and still map
+/// cleanly onto two 256-bit (AVX) or four 128-bit (SSE/NEON) operations.
+pub const KERNEL_LANES: usize = 8;
+
+/// Reusable scratch space for [`TypedKernel::eval_lanes`]; one per worker
+/// thread.
+#[derive(Debug, Clone)]
+pub struct LaneScratch<const LANES: usize> {
+    stack: Vec<[f64; LANES]>,
+    locals: Vec<[f64; LANES]>,
+}
+
+impl<const LANES: usize> Default for LaneScratch<LANES> {
+    fn default() -> Self {
+        LaneScratch {
+            stack: Vec::new(),
+            locals: Vec::new(),
+        }
+    }
+}
+
 /// A [`CompiledKernel`] monomorphized for fixed slot types (see
 /// [`CompiledKernel::specialize`]): evaluation runs entirely on raw `f64`s
 /// with statically resolved rounding, skipping `Value` tagging and per-op
@@ -654,6 +675,23 @@ impl TypedKernel {
     /// The specialized instruction stream.
     pub fn ops(&self) -> &[TypedOp] {
         &self.ops
+    }
+
+    /// Whether this kernel can be evaluated lane-batched
+    /// ([`TypedKernel::eval_lanes`]): the instruction stream must be free of
+    /// control flow. Jumps cannot diverge per lane, so ternaries and
+    /// short-circuit logic keep the scalar path; comparisons, `ToBool`, and
+    /// `Not` are branch-free selects and batch fine.
+    pub fn supports_lanes(&self) -> bool {
+        !self.ops.iter().any(|op| {
+            matches!(
+                op,
+                TypedOp::Jump(_)
+                    | TypedOp::JumpIfFalse(_)
+                    | TypedOp::AndFalse(_)
+                    | TypedOp::OrTrue(_)
+            )
+        })
     }
 
     /// Evaluate with pre-resolved raw slot values (the hot path).
@@ -776,6 +814,145 @@ impl TypedKernel {
                 }
             }
             pc += 1;
+        }
+        stack.pop().expect("typed kernels always produce a result")
+    }
+
+    /// Evaluate `LANES` cells per bytecode pass (the lane-batched hot path).
+    ///
+    /// `slot_values[i][lane]` must hold the value of slot `i` for lane
+    /// `lane`, under the same preconditions as
+    /// [`TypedKernel::eval_slots`]. Every instruction applies the identical
+    /// scalar `f64` computation (including the static `f32`-rounding flags)
+    /// independently per lane, so lane `l` of the result is bit-identical to
+    /// a scalar evaluation of lane `l`'s slot values — the per-lane loops
+    /// over plain `[f64; LANES]` arrays are written so rustc autovectorizes
+    /// them, and the bytecode-dispatch cost is amortized over all lanes.
+    ///
+    /// # Panics
+    ///
+    /// The kernel must be branch-free ([`TypedKernel::supports_lanes`]);
+    /// control-flow instructions panic.
+    pub fn eval_lanes<const LANES: usize>(
+        &self,
+        slot_values: &[[f64; LANES]],
+        scratch: &mut LaneScratch<LANES>,
+    ) -> [f64; LANES] {
+        debug_assert_eq!(slot_values.len(), self.slot_count);
+        #[inline]
+        fn finish<const LANES: usize>(v: &mut [f64; LANES], round: bool) {
+            if round {
+                for lane in v.iter_mut() {
+                    *lane = *lane as f32 as f64;
+                }
+            }
+        }
+        let stack = &mut scratch.stack;
+        stack.clear();
+        stack.reserve(self.max_stack);
+        scratch.locals.clear();
+        scratch.locals.resize(self.local_count, [0.0; LANES]);
+        let locals = &mut scratch.locals;
+
+        for op in &self.ops {
+            match *op {
+                TypedOp::Const(v) => stack.push([v; LANES]),
+                TypedOp::Slot(ix) => stack.push(slot_values[ix as usize]),
+                TypedOp::Local(ix) => stack.push(locals[ix as usize]),
+                TypedOp::Store(ix) => {
+                    locals[ix as usize] = stack.pop().expect("stack underflow: Store");
+                }
+                TypedOp::Pop => {
+                    stack.pop().expect("stack underflow: Pop");
+                }
+                TypedOp::Neg { round } => {
+                    let v = stack.last_mut().expect("stack underflow: Neg");
+                    for lane in v.iter_mut() {
+                        *lane = -*lane;
+                    }
+                    finish(v, round);
+                }
+                TypedOp::Not => {
+                    let v = stack.last_mut().expect("stack underflow: Not");
+                    for lane in v.iter_mut() {
+                        *lane = if *lane != 0.0 { 0.0 } else { 1.0 };
+                    }
+                }
+                TypedOp::Add { round } => {
+                    let r = stack.pop().expect("stack underflow: Add rhs");
+                    let l = stack.last_mut().expect("stack underflow: Add lhs");
+                    for (a, b) in l.iter_mut().zip(r.iter()) {
+                        *a += b;
+                    }
+                    finish(l, round);
+                }
+                TypedOp::Sub { round } => {
+                    let r = stack.pop().expect("stack underflow: Sub rhs");
+                    let l = stack.last_mut().expect("stack underflow: Sub lhs");
+                    for (a, b) in l.iter_mut().zip(r.iter()) {
+                        *a -= b;
+                    }
+                    finish(l, round);
+                }
+                TypedOp::Mul { round } => {
+                    let r = stack.pop().expect("stack underflow: Mul rhs");
+                    let l = stack.last_mut().expect("stack underflow: Mul lhs");
+                    for (a, b) in l.iter_mut().zip(r.iter()) {
+                        *a *= b;
+                    }
+                    finish(l, round);
+                }
+                TypedOp::Div { round } => {
+                    let r = stack.pop().expect("stack underflow: Div rhs");
+                    let l = stack.last_mut().expect("stack underflow: Div lhs");
+                    for (a, b) in l.iter_mut().zip(r.iter()) {
+                        *a /= b;
+                    }
+                    finish(l, round);
+                }
+                TypedOp::Compare(cmp) => {
+                    let r = stack.pop().expect("stack underflow: Compare rhs");
+                    let l = stack.last_mut().expect("stack underflow: Compare lhs");
+                    for (a, b) in l.iter_mut().zip(r.iter()) {
+                        let result = match cmp {
+                            CompareOp::Lt => *a < *b,
+                            CompareOp::Gt => *a > *b,
+                            CompareOp::Le => *a <= *b,
+                            CompareOp::Ge => *a >= *b,
+                            CompareOp::Eq => *a == *b,
+                            CompareOp::Ne => *a != *b,
+                        };
+                        *a = if result { 1.0 } else { 0.0 };
+                    }
+                }
+                TypedOp::Call1(func, round) => {
+                    let v = stack.last_mut().expect("stack underflow: Call1");
+                    for lane in v.iter_mut() {
+                        *lane = math_fn_raw(func, *lane, 0.0);
+                    }
+                    finish(v, round);
+                }
+                TypedOp::Call2(func, round) => {
+                    let b = stack.pop().expect("stack underflow: Call2 arg 2");
+                    let a = stack.last_mut().expect("stack underflow: Call2 arg 1");
+                    for (x, y) in a.iter_mut().zip(b.iter()) {
+                        *x = math_fn_raw(func, *x, *y);
+                    }
+                    finish(a, round);
+                }
+                TypedOp::ToBool => {
+                    let v = stack.last_mut().expect("stack underflow: ToBool");
+                    for lane in v.iter_mut() {
+                        *lane = if *lane != 0.0 { 1.0 } else { 0.0 };
+                    }
+                }
+                TypedOp::Jump(_)
+                | TypedOp::JumpIfFalse(_)
+                | TypedOp::AndFalse(_)
+                | TypedOp::OrTrue(_) => {
+                    unreachable!("eval_lanes requires a branch-free kernel (supports_lanes)")
+                }
+            }
         }
         stack.pop().expect("typed kernels always produce a result")
     }
@@ -1007,7 +1184,10 @@ mod tests {
     fn slots_are_deduplicated() {
         let kernel = compile("u[i,j] * u[i,j] + u[i-1,j] + dt * dt");
         assert_eq!(kernel.slots().len(), 3);
-        assert!(kernel.slots().iter().any(|s| s.is_scalar() && s.field == "dt"));
+        assert!(kernel
+            .slots()
+            .iter()
+            .any(|s| s.is_scalar() && s.field == "dt"));
         let u_center = kernel
             .slots()
             .iter()
@@ -1140,9 +1320,7 @@ mod tests {
     #[test]
     fn all_f64_kernels_never_round() {
         let kernel = compile("0.25 * (a[i-1] + a[i+1]) - a[i]");
-        let typed = kernel
-            .specialize(&[DataType::Float64; 3])
-            .unwrap();
+        let typed = kernel.specialize(&[DataType::Float64; 3]).unwrap();
         assert!(typed.ops().iter().all(|op| !matches!(
             op,
             TypedOp::Add { round: true }
@@ -1163,9 +1341,7 @@ mod tests {
         assert!(kernel.specialize(&[DataType::Int32]).is_none());
         // Ternary branches of different static types: no specialization.
         let kernel = compile("a[i] > 0.0 ? a[i] : 0.5");
-        assert!(kernel
-            .specialize(&[DataType::Float32])
-            .is_none());
+        assert!(kernel.specialize(&[DataType::Float32]).is_none());
         // ... but the same program with f64 slots joins cleanly.
         assert!(kernel.specialize(&[DataType::Float64]).is_some());
     }
@@ -1181,6 +1357,98 @@ mod tests {
         let locals_cap = scratch.locals.capacity();
         for _ in 0..100 {
             assert_eq!(typed.eval_slots(&raw, &mut scratch), first);
+        }
+        assert_eq!(scratch.stack.capacity(), stack_cap);
+        assert_eq!(scratch.locals.capacity(), locals_cap);
+    }
+
+    /// Branch-free codes used by the lane-batching tests: arithmetic,
+    /// locals, math functions, comparisons used as values, and `!`.
+    const LANE_CODES: &[&str] = &[
+        "0.125 * (a[i] + a[i-1] + a[i+1] + b[i] + dt)",
+        "x = a[i-1] + a[i+1]; y = x * dt; y - a[i]",
+        "(a[i] + a[i-1]) / (a[i+1] - 2.0)",
+        "-a[i] + -(a[i-1] * dt)",
+        "sqrt(abs(a[i+1])) + min(a[i], max(a[i-1], dt))",
+        "pow(a[i], 2.0) + exp(b[i]) + log(a[i]) + floor(a[i]) + ceil(dt)",
+        "(a[i] > 0.0) + a[i-1]",
+        "!(a[i] > 0.0) + a[i-1] * (b[i] <= dt)",
+    ];
+
+    #[test]
+    fn lane_batched_matches_scalar_typed_bitwise() {
+        // Each lane of `eval_lanes` must reproduce the scalar typed result
+        // bit for bit, for f32 (per-op rounding) and f64 slot types.
+        const LANES: usize = 8;
+        for dtype in [DataType::Float32, DataType::Float64] {
+            for code in LANE_CODES {
+                let kernel = compile(code);
+                let slot_types: Vec<DataType> = kernel.slots().iter().map(|_| dtype).collect();
+                let typed = kernel
+                    .specialize(&slot_types)
+                    .unwrap_or_else(|| panic!("`{code}` should specialize for {dtype}"));
+                assert!(typed.supports_lanes(), "`{code}` should be branch-free");
+                // Distinct per-lane values, rounded through the slot type as
+                // grid storage would round them.
+                let lanes: Vec<[f64; LANES]> = (0..kernel.slots().len())
+                    .map(|s| {
+                        let mut row = [0.0; LANES];
+                        for (lane, value) in row.iter_mut().enumerate() {
+                            let raw = (s as f64 + 1.0) * 0.37 + lane as f64 * 0.61 - 1.7;
+                            *value = Value::from_f64(raw, dtype).as_f64();
+                        }
+                        row
+                    })
+                    .collect();
+                let batched = typed.eval_lanes(&lanes, &mut LaneScratch::default());
+                let mut scratch = TypedScratch::default();
+                for lane in 0..LANES {
+                    let scalar_slots: Vec<f64> = lanes.iter().map(|row| row[lane]).collect();
+                    let scalar = typed.eval_slots(&scalar_slots, &mut scratch);
+                    assert!(
+                        scalar.to_bits() == batched[lane].to_bits()
+                            || (scalar.is_nan() && batched[lane].is_nan()),
+                        "lane {lane} mismatch for `{code}` ({dtype}): \
+                         {scalar:?} vs {:?}",
+                        batched[lane]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn control_flow_blocks_lane_support() {
+        for code in [
+            "a[i] > 0.0 ? a[i] : -a[i]",
+            "b[i] != 0.0 && a[i] > 0.0 ? a[i] : a[i-1]",
+            "a[i] > 0.0 || b[i] > 0.0 ? a[i] : a[i-1]",
+        ] {
+            let kernel = compile(code);
+            let slot_types: Vec<DataType> =
+                kernel.slots().iter().map(|_| DataType::Float64).collect();
+            let typed = kernel
+                .specialize(&slot_types)
+                .unwrap_or_else(|| panic!("`{code}` should specialize"));
+            assert!(
+                !typed.supports_lanes(),
+                "`{code}` lowers to jumps and must not claim lane support"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_scratch_reuse_does_not_allocate() {
+        const LANES: usize = KERNEL_LANES;
+        let kernel = compile("x = a[i-1] + a[i+1]; 0.5 * x + a[i]");
+        let typed = kernel.specialize(&[DataType::Float32; 3]).unwrap();
+        let lanes = vec![[1.0; LANES], [2.0; LANES], [3.0; LANES]];
+        let mut scratch = LaneScratch::default();
+        let first = typed.eval_lanes(&lanes, &mut scratch);
+        let stack_cap = scratch.stack.capacity();
+        let locals_cap = scratch.locals.capacity();
+        for _ in 0..100 {
+            assert_eq!(typed.eval_lanes(&lanes, &mut scratch), first);
         }
         assert_eq!(scratch.stack.capacity(), stack_cap);
         assert_eq!(scratch.locals.capacity(), locals_cap);

@@ -49,22 +49,20 @@ impl MapResolver {
     }
 
     fn position(&self, field: &str, offsets: &[i64]) -> std::result::Result<usize, usize> {
-        self.entries.binary_search_by(|((f, o), _)| {
-            match f.as_str().cmp(field) {
+        self.entries
+            .binary_search_by(|((f, o), _)| match f.as_str().cmp(field) {
                 Ordering::Equal => o.as_slice().cmp(offsets),
                 other => other,
-            }
-        })
+            })
     }
 
     /// Register the value returned for an access to `field` at `offsets`.
     pub fn insert_access(&mut self, field: &str, offsets: &[i64], value: Value) {
         match self.position(field, offsets) {
             Ok(found) => self.entries[found].1 = value,
-            Err(insert_at) => self.entries.insert(
-                insert_at,
-                ((field.to_string(), offsets.to_vec()), value),
-            ),
+            Err(insert_at) => self
+                .entries
+                .insert(insert_at, ((field.to_string(), offsets.to_vec()), value)),
         }
     }
 

@@ -115,8 +115,7 @@ pub fn expr_critical_path(expr: &Expr, table: &LatencyTable) -> u64 {
         Expr::IntLit(_) | Expr::FloatLit(_) | Expr::Var(_) | Expr::FieldAccess { .. } => 0,
         Expr::Unary { op, operand } => table.unop(*op) + expr_critical_path(operand, table),
         Expr::Binary { op, lhs, rhs } => {
-            table.binop(*op)
-                + expr_critical_path(lhs, table).max(expr_critical_path(rhs, table))
+            table.binop(*op) + expr_critical_path(lhs, table).max(expr_critical_path(rhs, table))
         }
         Expr::Ternary {
             cond,

@@ -391,7 +391,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -468,7 +472,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("a # this is a comment\n + b"),
-            vec![Token::Ident("a".into()), Token::Plus, Token::Ident("b".into())]
+            vec![
+                Token::Ident("a".into()),
+                Token::Plus,
+                Token::Ident("b".into())
+            ]
         );
     }
 

@@ -77,7 +77,10 @@ pub mod value;
 
 pub use access::{AccessExtractor, FieldAccesses};
 pub use ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
-pub use compile::{AccessSlot, CompiledKernel, EvalScratch, TypedKernel, TypedOp, TypedScratch};
+pub use compile::{
+    AccessSlot, CompiledKernel, EvalScratch, LaneScratch, TypedKernel, TypedOp, TypedScratch,
+    KERNEL_LANES,
+};
 pub use error::{ExprError, Result};
 pub use eval::{AccessResolver, Evaluator, MapResolver};
 pub use fold::{fold_program, fold_program_exact};

@@ -103,7 +103,9 @@ impl<'a> Parser<'a> {
                 message: format!(
                     "expected {}, found {}",
                     expected.describe(),
-                    other.map(|t| t.describe()).unwrap_or_else(|| "end of input".into())
+                    other
+                        .map(|t| t.describe())
+                        .unwrap_or_else(|| "end of input".into())
                 ),
             }),
         }
@@ -142,7 +144,10 @@ impl<'a> Parser<'a> {
                 Some(other) => {
                     return Err(ExprError::Parse {
                         position: self.position(),
-                        message: format!("expected `;` or end of input, found {}", other.describe()),
+                        message: format!(
+                            "expected `;` or end of input, found {}",
+                            other.describe()
+                        ),
                     })
                 }
             }
@@ -445,9 +450,21 @@ mod tests {
     #[test]
     fn parses_function_calls() {
         let e = parse_expr("sqrt(a[i]*a[i] + b[i]*b[i])").unwrap();
-        assert!(matches!(e, Expr::Call { func: MathFn::Sqrt, .. }));
+        assert!(matches!(
+            e,
+            Expr::Call {
+                func: MathFn::Sqrt,
+                ..
+            }
+        ));
         let e = parse_expr("min(a[i], max(b[i], 0.0))").unwrap();
-        assert!(matches!(e, Expr::Call { func: MathFn::Min, .. }));
+        assert!(matches!(
+            e,
+            Expr::Call {
+                func: MathFn::Min,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -539,7 +556,10 @@ mod tests {
             let parsed = parse_program(src).unwrap();
             let printed = parsed.to_string();
             let reparsed = parse_program(&printed).unwrap();
-            assert_eq!(parsed, reparsed, "round trip failed for `{src}` -> `{printed}`");
+            assert_eq!(
+                parsed, reparsed,
+                "round trip failed for `{src}` -> `{printed}`"
+            );
         }
     }
 }

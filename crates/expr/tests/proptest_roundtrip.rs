@@ -3,11 +3,11 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
+use stencilflow_expr::ast::{BinOp, Expr, Index, MathFn, Program, Stmt, UnOp};
 use stencilflow_expr::{
     count_ops, critical_path_latency, fold_program, parse_program, AccessExtractor, Evaluator,
     LatencyTable, MapResolver, Value,
 };
-use stencilflow_expr::ast::{BinOp, Expr, Index, MathFn, Program, Stmt, UnOp};
 
 /// Strategy producing random (but well-formed) expressions over a small set
 /// of fields and offsets.

@@ -78,22 +78,15 @@ impl BandwidthModel {
         vector_width: usize,
         frequency_hz: f64,
     ) -> f64 {
-        let requested =
-            access_points as f64 * vector_width as f64 * 4.0 * frequency_hz;
+        let requested = access_points as f64 * vector_width as f64 * 4.0 * frequency_hz;
         requested
             .min(self.saturation_bytes_per_s(vector_width))
             .min(self.peak_bytes_per_s)
     }
 
     /// Fraction of the requested bandwidth actually delivered.
-    pub fn efficiency(
-        &self,
-        access_points: usize,
-        vector_width: usize,
-        frequency_hz: f64,
-    ) -> f64 {
-        let requested =
-            access_points as f64 * vector_width as f64 * 4.0 * frequency_hz;
+    pub fn efficiency(&self, access_points: usize, vector_width: usize, frequency_hz: f64) -> f64 {
+        let requested = access_points as f64 * vector_width as f64 * 4.0 * frequency_hz;
         if requested == 0.0 {
             return 1.0;
         }
@@ -128,9 +121,7 @@ mod tests {
         // 76% of peak.
         assert!((high / model.peak_bytes_per_s - 0.76).abs() < 0.02);
         // Vectorization beats scalar access at the same operand count.
-        assert!(
-            model.effective_bytes_per_s(12, 4, F) > model.effective_bytes_per_s(48, 1, F)
-        );
+        assert!(model.effective_bytes_per_s(12, 4, F) > model.effective_bytes_per_s(48, 1, F));
     }
 
     #[test]

@@ -48,11 +48,7 @@ pub fn stencil_efficiency(device: &Device) -> f64 {
 
 /// Estimate a comparator's performance on a program with the given total
 /// operation count and off-chip traffic.
-pub fn comparator_estimate(
-    device: &Device,
-    total_ops: u64,
-    memory_bytes: u64,
-) -> ComparatorResult {
+pub fn comparator_estimate(device: &Device, total_ops: u64, memory_bytes: u64) -> ComparatorResult {
     let intensity = total_ops as f64 / memory_bytes as f64;
     let roofline = Roofline::new(device.peak_bandwidth_bytes(), device.peak_compute_gops);
     let bound = roofline.attainable_gops(intensity);
@@ -102,8 +98,16 @@ mod tests {
         let xeon = comparator_estimate(&Device::xeon_e5_2690v3(), ops, bytes);
         assert!(v100.runtime_us < xeon.runtime_us);
         // Paper: V100 201 us, Xeon 5,270 us — check the order of magnitude.
-        assert!((100.0..400.0).contains(&v100.runtime_us), "{}", v100.runtime_us);
-        assert!((3_000.0..9_000.0).contains(&xeon.runtime_us), "{}", xeon.runtime_us);
+        assert!(
+            (100.0..400.0).contains(&v100.runtime_us),
+            "{}",
+            v100.runtime_us
+        );
+        assert!(
+            (3_000.0..9_000.0).contains(&xeon.runtime_us),
+            "{}",
+            xeon.runtime_us
+        );
     }
 
     #[test]

@@ -79,7 +79,12 @@ impl Device {
         Device {
             name: "Xeon E5-2690 v3 (12C)".to_string(),
             kind: DeviceKind::Cpu,
-            resources: ResourcePool { alm: 0, ff: 0, m20k: 0, dsp: 0 },
+            resources: ResourcePool {
+                alm: 0,
+                ff: 0,
+                m20k: 0,
+                dsp: 0,
+            },
             peak_bandwidth_gbs: 68.0,
             peak_compute_gops: 998.0, // 12 cores * 3.25 GHz * 2 FMA * 8-wide + margin
             frequency_hz: 2.6e9,
@@ -93,7 +98,12 @@ impl Device {
         Device {
             name: "Tesla P100".to_string(),
             kind: DeviceKind::Gpu,
-            resources: ResourcePool { alm: 0, ff: 0, m20k: 0, dsp: 0 },
+            resources: ResourcePool {
+                alm: 0,
+                ff: 0,
+                m20k: 0,
+                dsp: 0,
+            },
             peak_bandwidth_gbs: 732.0,
             peak_compute_gops: 9_300.0,
             frequency_hz: 1.48e9,
@@ -107,7 +117,12 @@ impl Device {
         Device {
             name: "Tesla V100".to_string(),
             kind: DeviceKind::Gpu,
-            resources: ResourcePool { alm: 0, ff: 0, m20k: 0, dsp: 0 },
+            resources: ResourcePool {
+                alm: 0,
+                ff: 0,
+                m20k: 0,
+                dsp: 0,
+            },
             peak_bandwidth_gbs: 900.0,
             peak_compute_gops: 14_000.0,
             frequency_hz: 1.53e9,

@@ -161,7 +161,11 @@ mod tests {
         let program = jacobi3d(timesteps, &[1 << 15, 32, 32], 1);
         let mapping = HardwareMapping::build(&program, &config).unwrap();
         let estimate = estimate_resources(&mapping);
-        assert!((600..=1_200).contains(&estimate.dsp), "dsp = {}", estimate.dsp);
+        assert!(
+            (600..=1_200).contains(&estimate.dsp),
+            "dsp = {}",
+            estimate.dsp
+        );
         assert!(
             (150_000..=380_000).contains(&estimate.alm),
             "alm = {}",

@@ -358,7 +358,9 @@ impl Parser<'_> {
                 }
                 Some(b'\\') => {
                     self.pos += 1;
-                    let escape = self.peek().ok_or_else(|| self.error("unterminated escape"))?;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
                     self.pos += 1;
                     match escape {
                         b'"' => out.push('"'),
@@ -378,9 +380,8 @@ impl Parser<'_> {
                                     self.expect(b'u')?;
                                     let low = self.hex4()?;
                                     if (0xDC00..0xE000).contains(&low) {
-                                        let combined = 0x10000
-                                            + ((code - 0xD800) << 10)
-                                            + (low - 0xDC00);
+                                        let combined =
+                                            0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
                                         char::from_u32(combined)
                                     } else {
                                         // High surrogate followed by a
@@ -498,10 +499,7 @@ mod tests {
     #[test]
     fn unicode_escapes_parse() {
         assert_eq!(parse(r#""A""#).unwrap(), Json::String("A".into()));
-        assert_eq!(
-            parse(r#""😀""#).unwrap(),
-            Json::String("\u{1F600}".into())
-        );
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::String("\u{1F600}".into()));
         // Surrogate pair escapes combine...
         assert_eq!(
             parse(r#""\uD83D\uDE00""#).unwrap(),
@@ -536,8 +534,8 @@ mod tests {
 
     #[test]
     fn pretty_printing_round_trips() {
-        let v = parse(r#"{"outputs": ["b4"], "shape": [32, 32, 32], "empty": {}, "n": 1.25}"#)
-            .unwrap();
+        let v =
+            parse(r#"{"outputs": ["b4"], "shape": [32, 32, 32], "empty": {}, "n": 1.25}"#).unwrap();
         let pretty = v.to_string_pretty();
         assert!(pretty.contains("\n"));
         assert_eq!(parse(&pretty).unwrap(), v);
@@ -546,7 +544,12 @@ mod tests {
     #[test]
     fn member_order_is_preserved() {
         let v = parse(r#"{"z": 1, "a": 2}"#).unwrap();
-        let keys: Vec<&str> = v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, vec!["z", "a"]);
     }
 

@@ -30,10 +30,9 @@ impl BoundaryCondition {
                 ("type".to_string(), Json::String("constant".to_string())),
                 ("value".to_string(), Json::Number(*v)),
             ]),
-            BoundaryCondition::Copy => Json::Object(vec![(
-                "type".to_string(),
-                Json::String("copy".to_string()),
-            )]),
+            BoundaryCondition::Copy => {
+                Json::Object(vec![("type".to_string(), Json::String("copy".to_string()))])
+            }
         }
     }
 
@@ -126,9 +125,15 @@ mod tests {
 
     #[test]
     fn default_is_zero_constant() {
-        assert_eq!(BoundaryCondition::default(), BoundaryCondition::Constant(0.0));
+        assert_eq!(
+            BoundaryCondition::default(),
+            BoundaryCondition::Constant(0.0)
+        );
         let spec = BoundarySpec::new();
-        assert_eq!(spec.condition_for("whatever"), BoundaryCondition::Constant(0.0));
+        assert_eq!(
+            spec.condition_for("whatever"),
+            BoundaryCondition::Constant(0.0)
+        );
         assert!(!spec.shrink);
     }
 
@@ -170,10 +175,10 @@ mod tests {
         let back = BoundaryCondition::from_json(&copy_json).unwrap();
         assert_eq!(back, BoundaryCondition::Copy);
 
-        assert!(
-            BoundaryCondition::from_json(&stencilflow_json::parse(r#"{"type": "explode"}"#).unwrap())
-                .is_err()
-        );
+        assert!(BoundaryCondition::from_json(
+            &stencilflow_json::parse(r#"{"type": "explode"}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

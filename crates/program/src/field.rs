@@ -84,11 +84,7 @@ impl IterationSpace {
         }
         if dims.len() != shape.len() {
             return Err(ProgramError::InvalidShape {
-                message: format!(
-                    "{} dimension names but {} extents",
-                    dims.len(),
-                    shape.len()
-                ),
+                message: format!("{} dimension names but {} extents", dims.len(), shape.len()),
             });
         }
         if dims.len() > 3 {
@@ -302,7 +298,10 @@ mod tests {
     fn strides_for_subset_dims() {
         let space = IterationSpace::new(&["i", "j", "k"], &[10, 20, 30]).unwrap();
         // A 2D field over (i, k) is dense over those dims only.
-        assert_eq!(space.strides_for_dims(&["i".into(), "k".into()]), vec![30, 1]);
+        assert_eq!(
+            space.strides_for_dims(&["i".into(), "k".into()]),
+            vec![30, 1]
+        );
         assert_eq!(space.strides_for_dims(&["j".into()]), vec![1]);
     }
 

@@ -124,8 +124,14 @@ impl StencilDag {
             to: to.to_string(),
             field: field.to_string(),
         });
-        self.successors.get_mut(from).expect("node added above").push(index);
-        self.predecessors.get_mut(to).expect("node added above").push(index);
+        self.successors
+            .get_mut(from)
+            .expect("node added above")
+            .push(index);
+        self.predecessors
+            .get_mut(to)
+            .expect("node added above")
+            .push(index);
     }
 
     /// Number of nodes.
@@ -350,7 +356,11 @@ impl StencilDag {
     /// The maximum depth over all nodes (the depth of the DAG, which
     /// adversely affects the performance upper bound per §VIII-A).
     pub fn max_depth(&self) -> usize {
-        self.nodes.keys().map(|n| self.depth_of(n)).max().unwrap_or(0)
+        self.nodes
+            .keys()
+            .map(|n| self.depth_of(n))
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -36,9 +36,12 @@ fn schema_error(message: impl Into<String>) -> ProgramError {
 }
 
 fn expect_str<'a>(value: &'a Json, context: &str) -> Result<&'a str> {
-    value
-        .as_str()
-        .ok_or_else(|| schema_error(format!("{context} must be a string, got {}", value.type_name())))
+    value.as_str().ok_or_else(|| {
+        schema_error(format!(
+            "{context} must be a string, got {}",
+            value.type_name()
+        ))
+    })
 }
 
 /// Parse a stencil program from its JSON description.
@@ -108,7 +111,9 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
             .ok_or_else(|| schema_error(format!("input `{field}` is missing `dtype`")))
             .and_then(|v| expect_str(v, "`dtype`"))?;
         let dtype: DataType = dtype_name.parse().map_err(|_| {
-            schema_error(format!("unknown data type `{dtype_name}` for input `{field}`"))
+            schema_error(format!(
+                "unknown data type `{dtype_name}` for input `{field}`"
+            ))
         })?;
         let dims: Vec<&str> = match decl.get("dims") {
             Some(v) => v
@@ -132,9 +137,9 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
         let (code, boundary, data_type) = match entry {
             Json::String(code) => (code.as_str(), None, None),
             Json::Object(_) => {
-                let code = entry
-                    .get("code")
-                    .ok_or_else(|| schema_error(format!("stencil `{stencil}` is missing `code`")))?;
+                let code = entry.get("code").ok_or_else(|| {
+                    schema_error(format!("stencil `{stencil}` is missing `code`"))
+                })?;
                 (
                     expect_str(code, "`code`")?,
                     entry.get("boundary_condition"),
@@ -161,7 +166,9 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
         if let Some(dtype) = data_type {
             let dtype = expect_str(dtype, "`data_type`")?;
             let dtype: DataType = dtype.parse().map_err(|_| {
-                schema_error(format!("unknown data type `{dtype}` for stencil `{stencil}`"))
+                schema_error(format!(
+                    "unknown data type `{dtype}` for stencil `{stencil}`"
+                ))
             })?;
             builder = builder.output_type(stencil, dtype);
         }
@@ -262,10 +269,7 @@ pub fn to_json(program: &StencilProgram) -> String {
             .collect(),
     );
     let description = Json::Object(vec![
-        (
-            "name".to_string(),
-            Json::String(program.name().to_string()),
-        ),
+        ("name".to_string(), Json::String(program.name().to_string())),
         ("inputs".to_string(), inputs),
         (
             "outputs".to_string(),

@@ -257,10 +257,12 @@ impl StencilProgram {
         // Accesses must resolve and have consistent ranks / dimension names.
         for (name, stencil) in &self.stencils {
             for (field, info) in stencil.accesses.iter() {
-                let dims = self.field_dims(field).ok_or_else(|| ProgramError::UnknownField {
-                    stencil: name.clone(),
-                    field: field.to_string(),
-                })?;
+                let dims = self
+                    .field_dims(field)
+                    .ok_or_else(|| ProgramError::UnknownField {
+                        stencil: name.clone(),
+                        field: field.to_string(),
+                    })?;
                 if info.is_scalar() {
                     // Scalar reference: the field must be 0D.
                     if !dims.is_empty() {
@@ -375,7 +377,8 @@ impl StencilProgramBuilder {
 
     /// Declare an input field spanning the listed dimensions.
     pub fn input(mut self, name: &str, dtype: DataType, dims: &[&str]) -> Self {
-        self.inputs.insert(name.to_string(), FieldDecl::new(dtype, dims));
+        self.inputs
+            .insert(name.to_string(), FieldDecl::new(dtype, dims));
         self
     }
 
@@ -405,7 +408,10 @@ impl StencilProgramBuilder {
 
     /// Mark the output of stencil `stencil` as shrunk.
     pub fn shrink(mut self, stencil: &str) -> Self {
-        self.boundaries.entry(stencil.to_string()).or_default().shrink = true;
+        self.boundaries
+            .entry(stencil.to_string())
+            .or_default()
+            .shrink = true;
         self
     }
 

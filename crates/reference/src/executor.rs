@@ -23,9 +23,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use stencilflow_expr::{AccessResolver, DataType, Evaluator, Value};
-use stencilflow_program::{
-    BoundaryCondition, ProgramError, Result, StencilNode, StencilProgram,
-};
+use stencilflow_program::{BoundaryCondition, ProgramError, Result, StencilNode, StencilProgram};
 
 /// Result of running a stencil program on the reference executor.
 #[derive(Debug, Clone)]
@@ -143,6 +141,12 @@ impl CompiledProgram {
         self.stencils.iter().filter(|s| s.is_typed()).count()
     }
 
+    /// Number of stencils whose interior sweep can run lane-batched
+    /// (branch-free typed kernel, unit- or zero-stride innermost accesses).
+    pub fn lane_stencil_count(&self) -> usize {
+        self.stencils.iter().filter(|s| s.is_lane_ready()).count()
+    }
+
     /// The output-to-input feedback pairing used by time stepping. A
     /// single-output program pairs with its single full-rank input
     /// directly. A multi-field system must *name* the correspondence: each
@@ -242,6 +246,8 @@ pub struct ReferenceExecutor {
     max_threads: Option<usize>,
     /// Whether compiled sweeps may use type-specialized kernels.
     use_typed: bool,
+    /// Whether typed sweeps may batch interior cells into lanes.
+    use_lanes: bool,
     /// Compiled programs keyed by a structural fingerprint; hits skip
     /// compilation entirely.
     cache: Mutex<BTreeMap<String, Arc<CompiledProgram>>>,
@@ -254,6 +260,7 @@ impl Default for ReferenceExecutor {
         ReferenceExecutor {
             max_threads: None,
             use_typed: true,
+            use_lanes: true,
             cache: Mutex::new(BTreeMap::new()),
             compiles: AtomicUsize::new(0),
         }
@@ -265,6 +272,7 @@ impl Clone for ReferenceExecutor {
         ReferenceExecutor {
             max_threads: self.max_threads,
             use_typed: self.use_typed,
+            use_lanes: self.use_lanes,
             cache: Mutex::new(self.cache.lock().expect("executor cache poisoned").clone()),
             compiles: AtomicUsize::new(self.compiles.load(Ordering::Relaxed)),
         }
@@ -303,6 +311,15 @@ impl ReferenceExecutor {
         self
     }
 
+    /// Enable or disable lane batching of typed interior sweeps (enabled by
+    /// default; disabling pins the scalar typed kernel, which is the
+    /// baseline the lane tier is benchmarked and differentially tested
+    /// against). Has no effect when typed kernels are disabled.
+    pub fn with_lane_batching(mut self, enabled: bool) -> Self {
+        self.use_lanes = enabled;
+        self
+    }
+
     /// Number of program compilations this executor has performed. Cache
     /// hits in [`ReferenceExecutor::prepare`] (and therefore in repeated
     /// [`ReferenceExecutor::run`] / [`ReferenceExecutor::run_steps`] calls)
@@ -313,9 +330,11 @@ impl ReferenceExecutor {
 
     fn check_inputs(compiled: &CompiledProgram, inputs: &BTreeMap<String, Grid>) -> Result<()> {
         for spec in &compiled.inputs {
-            let grid = inputs.get(&spec.name).ok_or_else(|| ProgramError::Invalid {
-                message: format!("missing input grid `{}`", spec.name),
-            })?;
+            let grid = inputs
+                .get(&spec.name)
+                .ok_or_else(|| ProgramError::Invalid {
+                    message: format!("missing input grid `{}`", spec.name),
+                })?;
             if grid.shape() != spec.shape.as_slice() {
                 return Err(ProgramError::Invalid {
                     message: format!(
@@ -382,12 +401,11 @@ impl ReferenceExecutor {
             let stencil = program
                 .stencil(name)
                 .expect("topological order only lists stencils");
-            let plan = CompiledStencil::build(program, stencil).map_err(|source| {
-                ProgramError::Code {
+            let plan =
+                CompiledStencil::build(program, stencil).map_err(|source| ProgramError::Code {
                     stencil: name.clone(),
                     source,
-                }
-            })?;
+                })?;
             stencils.push(plan);
         }
         let inputs = program
@@ -460,15 +478,14 @@ impl ReferenceExecutor {
                 source,
             };
             let bound = plan
-                .bind(inputs, &computed, self.use_typed)
+                .bind(inputs, &computed, self.use_typed, self.use_lanes)
                 .map_err(code_error)?;
             let mut output = Grid::zeros(&dim_refs, &compiled.shape, plan.out_dtype());
             let mut mask = vec![true; compiled.num_cells];
 
             let rows = plan.row_count();
             let row_len = plan.row_len();
-            let threads =
-                self.worker_threads(rows, compiled.num_cells, plan.accesses_per_cell());
+            let threads = self.worker_threads(rows, compiled.num_cells, plan.accesses_per_cell());
             if threads <= 1 {
                 bound
                     .run_rows(0, rows, output.as_mut_slice(), &mut mask)
@@ -677,7 +694,11 @@ impl ReferenceExecutor {
         let hardware = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        self.max_threads.unwrap_or(hardware).min(hardware).min(rows).max(1)
+        self.max_threads
+            .unwrap_or(hardware)
+            .min(hardware)
+            .min(rows)
+            .max(1)
     }
 }
 
@@ -744,9 +765,7 @@ impl AccessResolver for CellResolver<'_> {
             None => {
                 // Out of bounds: apply the boundary condition.
                 match self.stencil.boundary.condition_for(field) {
-                    BoundaryCondition::Constant(c) => {
-                        Some(Value::from_f64(c, grid.data_type()))
-                    }
+                    BoundaryCondition::Constant(c) => Some(Value::from_f64(c, grid.data_type())),
                     BoundaryCondition::Copy => grid
                         .get_checked(&center)
                         .map(|v| Value::from_f64(v, grid.data_type())),

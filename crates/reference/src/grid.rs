@@ -185,10 +185,8 @@ impl Grid {
             return None;
         }
         let mut flat = 0usize;
-        for ((&ix, &stride), &extent) in index
-            .iter()
-            .zip(self.strides.iter())
-            .zip(self.shape.iter())
+        for ((&ix, &stride), &extent) in
+            index.iter().zip(self.strides.iter()).zip(self.shape.iter())
         {
             if ix < 0 || ix as usize >= extent {
                 return None;

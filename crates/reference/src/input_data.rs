@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn values_respect_range() {
-        let inputs = InputGenerator::new(1).with_range(2.0, 3.0).generate(&program());
+        let inputs = InputGenerator::new(1)
+            .with_range(2.0, 3.0)
+            .generate(&program());
         for v in inputs["a"].as_slice() {
             assert!((2.0..3.0).contains(v));
         }

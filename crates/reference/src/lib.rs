@@ -14,8 +14,9 @@
 //!   topological order, applying the per-field boundary conditions
 //!   (`constant`, `copy`) and computing the `shrink` validity mask. The
 //!   default [`ReferenceExecutor::run`] path sweeps compiled execution
-//!   plans ([`plan`]) — slot-resolved bytecode, interior/halo splitting,
-//!   row parallelism — while [`ReferenceExecutor::run_interpreted`] keeps
+//!   plans (the private `plan` module) — slot-resolved bytecode,
+//!   interior/halo splitting, lane batching, row parallelism — while
+//!   [`ReferenceExecutor::run_interpreted`] keeps
 //!   the tree-walking evaluator as the semantic baseline; both produce
 //!   bit-identical results (see `docs/evaluation.md`).
 //! * [`input_data`] — deterministic pseudo-random input generation shared by

@@ -32,9 +32,14 @@
 use crate::grid::Grid;
 use std::collections::{BTreeMap, BTreeSet};
 use stencilflow_expr::{
-    CompiledKernel, DataType, EvalScratch, ExprError, TypedKernel, TypedScratch, Value,
+    CompiledKernel, DataType, EvalScratch, ExprError, LaneScratch, TypedKernel, TypedScratch,
+    Value, KERNEL_LANES,
 };
 use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, StencilProgram};
+
+/// Lane width of the batched interior sweep (one bytecode pass evaluates
+/// this many innermost-dimension cells).
+const LANES: usize = KERNEL_LANES;
 
 /// Expand a field's declared dimension names into its dense row-major shape
 /// over the iteration space (dimensions the space does not know contribute
@@ -42,12 +47,7 @@ use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, Stenci
 /// compilation, slot binding, and input validation.
 pub(crate) fn declared_shape(space: &IterationSpace, dims: &[String]) -> Vec<usize> {
     dims.iter()
-        .map(|d| {
-            space
-                .dim_index(d)
-                .map(|ix| space.shape[ix])
-                .unwrap_or(1)
-        })
+        .map(|d| space.dim_index(d).map(|ix| space.shape[ix]).unwrap_or(1))
         .collect()
 }
 
@@ -90,6 +90,11 @@ pub(crate) struct CompiledStencil {
     kernel: CompiledKernel,
     /// Type-specialized kernel, present when every op's type is static.
     typed: Option<TypedKernel>,
+    /// Whether the interior sweep may run lane-batched: the typed kernel is
+    /// branch-free and every non-scalar slot walks the innermost dimension
+    /// with a unit stride (contiguous run) or a zero stride (broadcast from
+    /// a field that does not span the innermost dimension).
+    lane_ready: bool,
     fields: Vec<FieldRef>,
     slots: Vec<SlotTemplate>,
     /// All syntactic `(dimension, offset)` access checks of the stencil
@@ -116,7 +121,10 @@ impl CompiledStencil {
     /// Returns [`ExprError::UnresolvedSymbol`] if an access refers to a
     /// field the program does not declare (indicates a validation bug
     /// upstream), and propagates kernel compilation failures.
-    pub fn build(program: &StencilProgram, stencil: &StencilNode) -> Result<CompiledStencil, ExprError> {
+    pub fn build(
+        program: &StencilProgram,
+        stencil: &StencilNode,
+    ) -> Result<CompiledStencil, ExprError> {
         let kernel = CompiledKernel::compile(&stencil.program)?;
         let space = program.space();
         let rank = space.rank();
@@ -161,12 +169,7 @@ impl CompiledStencil {
             let mut coeffs = vec![0i64; rank];
             let mut delta = 0i64;
             let mut checks = Vec::with_capacity(slot.index_vars.len());
-            for (axis, (var, &off)) in slot
-                .index_vars
-                .iter()
-                .zip(slot.offsets.iter())
-                .enumerate()
-            {
+            for (axis, (var, &off)) in slot.index_vars.iter().zip(slot.offsets.iter()).enumerate() {
                 let dim = space
                     .dim_index(var)
                     .ok_or_else(|| ExprError::UnresolvedSymbol {
@@ -228,10 +231,15 @@ impl CompiledStencil {
         }
 
         let typed = kernel.specialize(&slot_types);
+        let lane_ready = typed.as_ref().is_some_and(TypedKernel::supports_lanes)
+            && slots
+                .iter()
+                .all(|s| s.scalar || matches!(s.coeffs[rank - 1], 0 | 1));
         Ok(CompiledStencil {
             name: stencil.name.clone(),
             kernel,
             typed,
+            lane_ready,
             fields,
             slots,
             mask_checks: mask_checks.into_iter().collect(),
@@ -259,6 +267,12 @@ impl CompiledStencil {
         self.typed.is_some()
     }
 
+    /// Whether this stencil's interior sweep may run lane-batched (see the
+    /// `lane_ready` field for the exact conditions).
+    pub fn is_lane_ready(&self) -> bool {
+        self.lane_ready
+    }
+
     /// Number of per-cell field reads of the sweep (scalar slots excluded);
     /// at least 1. Drives the parallelization threshold.
     pub fn accesses_per_cell(&self) -> usize {
@@ -267,7 +281,10 @@ impl CompiledStencil {
 
     /// Number of rows (runs of the innermost dimension) in the sweep.
     pub fn row_count(&self) -> usize {
-        self.shape[..self.shape.len() - 1].iter().product::<usize>().max(1)
+        self.shape[..self.shape.len() - 1]
+            .iter()
+            .product::<usize>()
+            .max(1)
     }
 
     /// Length of one row (innermost extent).
@@ -288,6 +305,7 @@ impl CompiledStencil {
         inputs: &'g BTreeMap<String, Grid>,
         computed: &'g BTreeMap<String, Grid>,
         use_typed: bool,
+        use_lanes: bool,
     ) -> Result<BoundStencil<'g, 'p>, ExprError> {
         let mut grid_data: Vec<&'g [f64]> = Vec::with_capacity(self.fields.len());
         for field in &self.fields {
@@ -322,6 +340,7 @@ impl CompiledStencil {
             slot_template,
             typed_template,
             use_typed: use_typed && self.typed.is_some(),
+            use_lanes: use_typed && use_lanes && self.lane_ready,
         })
     }
 }
@@ -335,6 +354,8 @@ pub(crate) struct BoundStencil<'g, 'p> {
     /// Raw counterpart of `slot_template` (typed path).
     typed_template: Vec<f64>,
     use_typed: bool,
+    /// Whether the interior sweep runs lane-batched (implies `use_typed`).
+    use_lanes: bool,
 }
 
 /// One kernel tier driving the generic sweep: how slot values are
@@ -401,11 +422,96 @@ impl SweepKernel for TypedSweep<'_> {
     }
 }
 
+/// Fill `values` with the slot values of interior cell `k` of the current
+/// row: every access is statically in bounds, so the loads are plain strided
+/// reads with no branches.
+#[inline]
+fn fill_interior_slots<K: SweepKernel>(
+    plan: &CompiledStencil,
+    grid_data: &[&[f64]],
+    rowbase: &[i64],
+    k: usize,
+    values: &mut [K::Slot],
+) {
+    let rank = plan.shape.len();
+    for (s, slot) in plan.slots.iter().enumerate() {
+        if slot.scalar {
+            continue;
+        }
+        let flat = (rowbase[s] + k as i64 * slot.coeffs[rank - 1]) as usize;
+        values[s] = K::load(grid_data[slot.grid][flat], slot);
+    }
+}
+
+/// Fill `values` for a halo cell: bounds-check each access and apply the
+/// boundary condition on misses. `index` must hold the cell's full index
+/// (leading dimensions and `k`).
+#[inline]
+fn fill_halo_slots<K: SweepKernel>(
+    plan: &CompiledStencil,
+    grid_data: &[&[f64]],
+    index: &[usize],
+    rowbase: &[i64],
+    k: usize,
+    values: &mut [K::Slot],
+) {
+    let rank = plan.shape.len();
+    for (s, slot) in plan.slots.iter().enumerate() {
+        if slot.scalar {
+            continue;
+        }
+        let in_bounds = slot.checks.iter().all(|&(dim, off)| {
+            let pos = index[dim] as i64 + off;
+            pos >= 0 && pos < plan.shape[dim] as i64
+        });
+        let center = rowbase[s] - slot.delta + k as i64 * slot.coeffs[rank - 1];
+        values[s] = if in_bounds {
+            let flat = (center + slot.delta) as usize;
+            K::load(grid_data[slot.grid][flat], slot)
+        } else {
+            match slot.boundary {
+                BoundaryCondition::Constant(_) => K::constant(slot),
+                BoundaryCondition::Copy => K::load(grid_data[slot.grid][center as usize], slot),
+            }
+        };
+    }
+}
+
+/// Shrink-mask validity of a halo cell (interior cells are always valid).
+#[inline]
+fn halo_mask_valid(plan: &CompiledStencil, index: &[usize]) -> bool {
+    plan.mask_checks.iter().all(|&(dim, off)| {
+        let pos = index[dim] as i64 + off;
+        pos >= 0 && pos < plan.shape[dim] as i64
+    })
+}
+
+/// Round a lane batch of raw results through the stencil's output element
+/// type into `out` — per lane exactly `Value::from_f64(v, dtype).as_f64()`,
+/// the rounding every scalar path applies on store.
+#[inline]
+fn round_lanes(values: &[f64; LANES], dtype: DataType, out: &mut [f64]) {
+    match dtype {
+        DataType::Float32 => {
+            for (cell, &v) in out.iter_mut().zip(values.iter()) {
+                *cell = v as f32 as f64;
+            }
+        }
+        DataType::Float64 => out.copy_from_slice(values),
+        _ => {
+            for (cell, &v) in out.iter_mut().zip(values.iter()) {
+                *cell = Value::from_f64(v, dtype).as_f64();
+            }
+        }
+    }
+}
+
 impl BoundStencil<'_, '_> {
     /// Sweep rows `[row_start, row_end)`, writing results into `out` and the
     /// validity mask into `mask` (both spanning exactly those rows). Uses
-    /// the type-specialized kernel when available and enabled; both paths
-    /// produce identical bits.
+    /// the type-specialized kernel when available and enabled — lane-batched
+    /// over the interior where the stencil allows it; all paths produce
+    /// identical bits.
     ///
     /// # Errors
     ///
@@ -419,6 +525,10 @@ impl BoundStencil<'_, '_> {
         mask: &mut [bool],
     ) -> Result<(), ExprError> {
         match (self.use_typed, &self.plan.typed) {
+            (true, Some(typed)) if self.use_lanes => {
+                self.sweep_lanes(typed, row_start, row_end, out, mask);
+                Ok(())
+            }
             (true, Some(typed)) => self.sweep(
                 TypedSweep {
                     kernel: typed,
@@ -441,6 +551,101 @@ impl BoundStencil<'_, '_> {
                 out,
                 mask,
             ),
+        }
+    }
+
+    /// The lane-batched typed sweep: interior cells are evaluated `LANES`
+    /// at a time — per slot, one contiguous innermost-dimension load (unit
+    /// stride) or broadcast (zero stride) feeds a [`TypedKernel::eval_lanes`]
+    /// pass — while halo cells and the interior remainder (fewer than
+    /// `LANES` cells left before the halo) fall back to the scalar typed
+    /// kernel. Bit-identical to [`BoundStencil::sweep`] because each lane
+    /// applies the identical per-cell computation.
+    fn sweep_lanes(
+        &self,
+        typed: &TypedKernel,
+        row_start: usize,
+        row_end: usize,
+        out: &mut [f64],
+        mask: &mut [bool],
+    ) {
+        let plan = self.plan;
+        let rank = plan.shape.len();
+        let row_len = plan.row_len();
+        debug_assert_eq!(out.len(), (row_end - row_start) * row_len);
+
+        let mut scratch = TypedScratch::default();
+        let mut lane_scratch = LaneScratch::<LANES>::default();
+        // Slot-major lane buffer; scalar slots stay broadcast for the whole
+        // sweep, exactly like the scalar template prefill.
+        let mut lane_values: Vec<[f64; LANES]> =
+            self.typed_template.iter().map(|&v| [v; LANES]).collect();
+        let mut values = self.typed_template.clone();
+        let mut lead = vec![0usize; rank - 1];
+        let mut rowbase = vec![0i64; plan.slots.len()];
+        let mut index = vec![0usize; rank];
+
+        let lo_k = plan.interior_lo[rank - 1];
+        let hi_k = plan.interior_hi[rank - 1];
+
+        for row in row_start..row_end {
+            let row_interior = self.row_setup(row, &mut lead, &mut rowbase);
+            index[..rank - 1].copy_from_slice(&lead);
+
+            let out_row = &mut out[(row - row_start) * row_len..][..row_len];
+            let mask_row = &mut mask[(row - row_start) * row_len..][..row_len];
+
+            let mut k = 0usize;
+            while k < row_len {
+                if row_interior && k >= lo_k && k + LANES <= hi_k {
+                    // Lane-batched interior run: gather each slot's lanes
+                    // from its contiguous innermost-dimension window.
+                    for (s, slot) in plan.slots.iter().enumerate() {
+                        if slot.scalar {
+                            continue;
+                        }
+                        let stride = slot.coeffs[rank - 1];
+                        let base = (rowbase[s] + k as i64 * stride) as usize;
+                        let lanes = &mut lane_values[s];
+                        if stride == 1 {
+                            lanes.copy_from_slice(&self.grid_data[slot.grid][base..base + LANES]);
+                        } else {
+                            *lanes = [self.grid_data[slot.grid][base]; LANES];
+                        }
+                    }
+                    let result = typed.eval_lanes(&lane_values, &mut lane_scratch);
+                    round_lanes(&result, plan.out_dtype, &mut out_row[k..k + LANES]);
+                    k += LANES;
+                } else {
+                    // Scalar fallback: halo cells and the interior
+                    // remainder.
+                    if row_interior && k >= lo_k && k < hi_k {
+                        fill_interior_slots::<TypedSweep<'_>>(
+                            plan,
+                            &self.grid_data,
+                            &rowbase,
+                            k,
+                            &mut values,
+                        );
+                    } else {
+                        index[rank - 1] = k;
+                        fill_halo_slots::<TypedSweep<'_>>(
+                            plan,
+                            &self.grid_data,
+                            &index,
+                            &rowbase,
+                            k,
+                            &mut values,
+                        );
+                        if plan.shrink {
+                            mask_row[k] = halo_mask_valid(plan, &index);
+                        }
+                    }
+                    let result = typed.eval_slots(&values, &mut scratch);
+                    out_row[k] = Value::from_f64(result, plan.out_dtype).as_f64();
+                    k += 1;
+                }
+            }
         }
     }
 
@@ -508,43 +713,14 @@ impl BoundStencil<'_, '_> {
                     // Interior fast path: every access is statically in
                     // bounds; plain strided reads, no branches, mask stays
                     // valid.
-                    for (s, slot) in plan.slots.iter().enumerate() {
-                        if slot.scalar {
-                            continue;
-                        }
-                        let flat = (rowbase[s] + k as i64 * slot.coeffs[rank - 1]) as usize;
-                        values[s] = K::load(self.grid_data[slot.grid][flat], slot);
-                    }
+                    fill_interior_slots::<K>(plan, &self.grid_data, &rowbase, k, &mut values);
                 } else {
                     // Halo: bounds-check each access and apply the boundary
                     // condition on misses.
                     index[rank - 1] = k;
-                    for (s, slot) in plan.slots.iter().enumerate() {
-                        if slot.scalar {
-                            continue;
-                        }
-                        let in_bounds = slot.checks.iter().all(|&(dim, off)| {
-                            let pos = index[dim] as i64 + off;
-                            pos >= 0 && pos < plan.shape[dim] as i64
-                        });
-                        let center = rowbase[s] - slot.delta + k as i64 * slot.coeffs[rank - 1];
-                        values[s] = if in_bounds {
-                            let flat = (center + slot.delta) as usize;
-                            K::load(self.grid_data[slot.grid][flat], slot)
-                        } else {
-                            match slot.boundary {
-                                BoundaryCondition::Constant(_) => K::constant(slot),
-                                BoundaryCondition::Copy => {
-                                    K::load(self.grid_data[slot.grid][center as usize], slot)
-                                }
-                            }
-                        };
-                    }
+                    fill_halo_slots::<K>(plan, &self.grid_data, &index, &rowbase, k, &mut values);
                     if plan.shrink {
-                        *mask_cell = plan.mask_checks.iter().all(|&(dim, off)| {
-                            let pos = index[dim] as i64 + off;
-                            pos >= 0 && pos < plan.shape[dim] as i64
-                        });
+                        *mask_cell = halo_mask_valid(plan, &index);
                     }
                 }
                 let result = kernel.eval(&values)?;

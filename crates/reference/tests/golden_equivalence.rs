@@ -11,17 +11,19 @@ use stencilflow_workloads::{
     listing1::listing1_with_shape, ChainSpec, HorizontalDiffusionSpec,
 };
 
-/// Run all three executor paths — tree-walking interpreter, dynamically
-/// typed `Value` bytecode, and type-specialized kernels — and require
-/// identical bits everywhere: every field (inputs included in the
-/// comparison domain via the program outputs), every validity mask, and the
-/// evaluation counters.
+/// Run all four executor paths — tree-walking interpreter, dynamically
+/// typed `Value` bytecode, scalar type-specialized kernels, and the
+/// lane-batched typed sweep (the default) — and require identical bits
+/// everywhere: every field (inputs included in the comparison domain via
+/// the program outputs), every validity mask, and the evaluation counters.
 fn assert_bit_identical(program: &StencilProgram, seed: u64) {
     let inputs = generate_inputs(program, seed);
     let executor = ReferenceExecutor::new();
     let value_executor = ReferenceExecutor::new().with_typed_kernels(false);
+    let scalar_typed_executor = ReferenceExecutor::new().with_lane_batching(false);
     let compiled = executor.run(program, &inputs).unwrap();
     let value_compiled = value_executor.run(program, &inputs).unwrap();
+    let scalar_typed = scalar_typed_executor.run(program, &inputs).unwrap();
     let interpreted = executor.run_interpreted(program, &inputs).unwrap();
 
     assert_eq!(compiled.cells_evaluated(), interpreted.cells_evaluated());
@@ -32,12 +34,18 @@ fn assert_bit_identical(program: &StencilProgram, seed: u64) {
     for (name, grid) in compiled.fields() {
         let baseline = interpreted.field(name).unwrap();
         let value_grid = value_compiled.field(name).unwrap();
-        assert_eq!(grid.shape(), baseline.shape(), "shape mismatch for `{name}`");
-        for (cell, ((a, b), c)) in grid
+        let scalar_grid = scalar_typed.field(name).unwrap();
+        assert_eq!(
+            grid.shape(),
+            baseline.shape(),
+            "shape mismatch for `{name}`"
+        );
+        for (cell, (((a, b), c), d)) in grid
             .as_slice()
             .iter()
             .zip(baseline.as_slice().iter())
             .zip(value_grid.as_slice().iter())
+            .zip(scalar_grid.as_slice().iter())
             .enumerate()
         {
             assert!(
@@ -48,6 +56,11 @@ fn assert_bit_identical(program: &StencilProgram, seed: u64) {
             assert!(
                 a.to_bits() == c.to_bits(),
                 "program `{}`, field `{name}`, cell {cell}: typed {a:?} != Value path {c:?}",
+                program.name()
+            );
+            assert!(
+                a.to_bits() == d.to_bits(),
+                "program `{}`, field `{name}`, cell {cell}: lane-batched {a:?} != scalar typed {d:?}",
                 program.name()
             );
         }
@@ -61,6 +74,12 @@ fn assert_bit_identical(program: &StencilProgram, seed: u64) {
             compiled.valid_mask(name).unwrap(),
             value_compiled.valid_mask(name).unwrap(),
             "typed/Value mask mismatch for `{name}` in `{}`",
+            program.name()
+        );
+        assert_eq!(
+            compiled.valid_mask(name).unwrap(),
+            scalar_typed.valid_mask(name).unwrap(),
+            "lane/scalar mask mismatch for `{name}` in `{}`",
             program.name()
         );
         assert_eq!(compiled.valid_count(name), interpreted.valid_count(name));
@@ -233,8 +252,11 @@ fn random_small_dags_match_bitwise() {
             state % bound
         };
         let stages = 1 + next(5) as usize;
-        let mut builder = StencilProgramBuilder::new("random", &[9, 11])
-            .input("src", DataType::Float32, &["i", "j"]);
+        let mut builder = StencilProgramBuilder::new("random", &[9, 11]).input(
+            "src",
+            DataType::Float32,
+            &["i", "j"],
+        );
         let mut produced = vec!["src".to_string()];
         for stage in 0..stages {
             let name = format!("s{stage}");
@@ -264,6 +286,71 @@ fn random_small_dags_match_bitwise() {
         let program = builder.output(&last).build().unwrap();
         assert_bit_identical(&program, seed);
     }
+}
+
+#[test]
+fn lane_batched_sweep_is_engaged_on_jacobi() {
+    // The lane tier must actually dispatch (not silently fall back to the
+    // scalar typed kernel) on the flagship workloads.
+    let executor = ReferenceExecutor::new();
+    let jacobi = executor.prepare(&jacobi3d(2, &[16, 16, 16], 1)).unwrap();
+    assert_eq!(jacobi.lane_stencil_count(), jacobi.stencil_count());
+    let diffusion = executor.prepare(&diffusion2d(2, &[16, 16], 1)).unwrap();
+    assert!(diffusion.lane_stencil_count() > 0);
+}
+
+#[test]
+fn lane_batched_matches_scalar_typed_on_remainder_widths() {
+    // Innermost extents straddling the lane width (KERNEL_LANES = 8):
+    // shorter than one batch, exactly one batch, and batch + remainder —
+    // every cell of every width must match the scalar typed sweep bitwise,
+    // for f32 (per-op rounding) and f64 workloads.
+    for width in [1usize, 2, 3, 7, 8, 9, 11, 16, 20] {
+        for dtype in [DataType::Float32, DataType::Float64] {
+            let program = StencilProgramBuilder::new("lane_rem", &[5, width])
+                .input("u", dtype, &["i", "j"])
+                .stencil(
+                    "s",
+                    "0.2 * (u[i,j] + u[i-1,j] + u[i+1,j] + u[i,j-1] + u[i,j+1])",
+                )
+                .boundary("s", "u", BoundaryCondition::Constant(0.25))
+                .stencil("t", "sqrt(abs(s[i,j-2])) + s[i,j] * 0.5")
+                .boundary("t", "s", BoundaryCondition::Copy)
+                .output_type("t", dtype)
+                .output("t")
+                .build()
+                .unwrap();
+            assert_bit_identical(&program, 40 + width as u64);
+        }
+    }
+}
+
+#[test]
+fn lane_batched_matches_scalar_typed_on_low_rank_fields() {
+    // One-dimensional iteration space: rows are single innermost runs.
+    let program = StencilProgramBuilder::new("lane_1d", &[19])
+        .input("a", DataType::Float32, &["i"])
+        .stencil("s", "0.5 * (a[i-1] + a[i+1]) - a[i]")
+        .boundary("s", "a", BoundaryCondition::Copy)
+        .output("s")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 51);
+
+    // Broadcast slots: `col[i]` does not span the innermost dimension, so
+    // its innermost stride is zero and the lane gather broadcasts; `row[j]`
+    // spans only the innermost dimension with unit stride.
+    let program = StencilProgramBuilder::new("lane_broadcast", &[6, 17])
+        .input("u", DataType::Float64, &["i", "j"])
+        .input("col", DataType::Float64, &["i"])
+        .input("row", DataType::Float64, &["j"])
+        .scalar("dt", DataType::Float64)
+        .stencil("s", "u[i,j-1] + u[i,j+1] + col[i] * row[j-1] + dt")
+        .shrink("s")
+        .output("s")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 52);
 }
 
 #[test]

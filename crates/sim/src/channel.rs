@@ -54,7 +54,11 @@ impl Fifo {
     /// Credits start at zero and are granted by [`Fifo::begin_cycle`].
     pub fn with_bandwidth(mut self, words_per_cycle: f64) -> Self {
         self.words_per_cycle = words_per_cycle;
-        self.credits = if words_per_cycle.is_finite() { 0.0 } else { f64::INFINITY };
+        self.credits = if words_per_cycle.is_finite() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
         self
     }
 
@@ -81,6 +85,13 @@ impl Fifo {
     /// Whether a push would currently succeed.
     pub fn can_push(&self) -> bool {
         self.queue.len() < self.capacity && self.credits >= 1.0
+    }
+
+    /// Whether `n` consecutive pushes would currently succeed (capacity and
+    /// bandwidth credits for the whole batch). Used by lane-batched units to
+    /// reserve space for a full batch before producing it.
+    pub fn can_push_n(&self, n: usize) -> bool {
+        self.queue.len() + n <= self.capacity && self.credits >= n as f64
     }
 
     /// Whether a pop at the given cycle would succeed (a word is present and

@@ -50,17 +50,28 @@ mod tests {
         let inputs = generate_inputs(&program, 11);
         let reference = ReferenceExecutor::new().run(&program, &inputs).unwrap();
 
-        let sim = Simulator::build(&program, &AnalysisConfig::paper_defaults(), &SimConfig::default())
-            .unwrap();
+        let sim = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default(),
+        )
+        .unwrap();
         let report = sim.run(&inputs).unwrap();
         assert_eq!(report.outcome, SimOutcome::Completed);
         let out = report.output("b4").unwrap();
         let max_err = reference.compare_field("b4", out).unwrap();
-        assert!(max_err < 1e-5, "simulator diverges from reference: {max_err}");
+        assert!(
+            max_err < 1e-5,
+            "simulator diverges from reference: {max_err}"
+        );
         // Eq. 1: cycles are close to N + L (never less than N).
         let n = program.space().num_cells() as u64;
         assert!(report.cycles >= n);
-        assert!(report.cycles < 3 * n, "cycles = {} for N = {n}", report.cycles);
+        assert!(
+            report.cycles < 3 * n,
+            "cycles = {} for N = {n}",
+            report.cycles
+        );
     }
 
     #[test]
@@ -95,14 +106,11 @@ mod tests {
             memory_words_per_cycle: Some(1.0),
             ..SimConfig::default()
         };
-        let limited = Simulator::build(
-            &program,
-            &AnalysisConfig::paper_defaults(),
-            &limited_config,
-        )
-        .unwrap()
-        .run(&inputs)
-        .unwrap();
+        let limited =
+            Simulator::build(&program, &AnalysisConfig::paper_defaults(), &limited_config)
+                .unwrap()
+                .run(&inputs)
+                .unwrap();
         assert_eq!(limited.outcome, SimOutcome::Completed);
         assert!(limited.cycles > unlimited.cycles);
         // Results stay correct, only slower.

@@ -93,13 +93,15 @@ impl Simulator {
                 .channel_depth_override
                 .unwrap_or(channel.depth_words.max(1) + config.extra_channel_slack)
                 as usize;
-            let crosses_devices = match (device_of.get(&channel.from), device_of.get(&channel.to))
-            {
+            let crosses_devices = match (device_of.get(&channel.from), device_of.get(&channel.to)) {
                 (Some(a), Some(b)) => a != b,
                 _ => false,
             };
             let (latency, words_per_cycle) = if crosses_devices {
-                (config.network.latency_cycles, config.network.words_per_cycle)
+                (
+                    config.network.latency_cycles,
+                    config.network.words_per_cycle,
+                )
             } else {
                 (0, f64::INFINITY)
             };
@@ -215,7 +217,10 @@ impl Simulator {
                 .filter(|((from, _), _)| from == name)
                 .map(|(_, &idx)| idx)
                 .collect();
-            units.push(StencilUnitSim::new(program, stencil, &input_channels, outs));
+            units.push(
+                StencilUnitSim::new(program, stencil, &input_channels, outs)
+                    .with_lane_batching(self.config.lane_batching),
+            );
         }
 
         // Writers: one per program output.
@@ -353,7 +358,11 @@ mod tests {
         assert!(report.completed());
         let n = program.space().num_cells();
         // A linear chain is fully pipelined: close to one cell per cycle.
-        assert!(report.cells_per_cycle(n) > 0.8, "rate = {}", report.cells_per_cycle(n));
+        assert!(
+            report.cells_per_cycle(n) > 0.8,
+            "rate = {}",
+            report.cells_per_cycle(n)
+        );
         // Functional check against the reference executor.
         let reference = ReferenceExecutor::new().run(&program, &inputs).unwrap();
         let max_err = reference
@@ -393,6 +402,37 @@ mod tests {
         // streams (it is not orders of magnitude slower).
         assert!(multi.cycles >= single.cycles);
         assert!(multi.cycles < single.cycles * 3);
+    }
+
+    #[test]
+    fn lane_batched_simulation_is_bit_identical() {
+        // The lane-batching fast mode must not change a single output bit —
+        // only how many cells a unit may process per step.
+        let program = chain_program(&ChainSpec::new(4, 8).with_shape(&[16, 8, 8]));
+        let inputs = generate_inputs(&program, 3);
+        let scalar = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default(),
+        )
+        .unwrap()
+        .run(&inputs)
+        .unwrap();
+        let batched = Simulator::build(
+            &program,
+            &AnalysisConfig::paper_defaults(),
+            &SimConfig::default().with_lane_batching(true),
+        )
+        .unwrap()
+        .run(&inputs)
+        .unwrap();
+        assert!(scalar.completed());
+        assert!(batched.completed());
+        let a = scalar.output("f4").unwrap();
+        let b = batched.output("f4").unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub use stencilflow_reference as reference;
 pub use stencilflow_sim as sim;
 pub use stencilflow_workloads as workloads;
 
-pub use stencilflow_core::{analyze, AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig, ProgramAnalysis};
+pub use stencilflow_core::{
+    analyze, AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig, ProgramAnalysis,
+};
 pub use stencilflow_program::{from_json, StencilProgram, StencilProgramBuilder};
 pub use stencilflow_sim::{SimConfig, SimOutcome, SimReport, Simulator};
 
@@ -234,7 +236,10 @@ mod tests {
             .build()
             .unwrap();
         let fused = Pipeline::new(pointwise.clone()).execute(3).unwrap();
-        let unfused = Pipeline::new(pointwise).without_fusion().execute(3).unwrap();
+        let unfused = Pipeline::new(pointwise)
+            .without_fusion()
+            .execute(3)
+            .unwrap();
         assert!(fused.program.stencil_count() < unfused.program.stencil_count());
         assert!(fused.max_error_vs_reference < 1e-5);
         assert!(unfused.max_error_vs_reference < 1e-5);

@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn vectorization_and_shape_are_applied() {
-        let spec = ChainSpec::new(4, 8).with_shape(&[128, 16, 16]).with_vectorization(4);
+        let spec = ChainSpec::new(4, 8)
+            .with_shape(&[128, 16, 16])
+            .with_vectorization(4);
         let program = chain_program(&spec);
         assert_eq!(program.vectorization(), 4);
         assert_eq!(program.space().shape, vec![128, 16, 16]);
@@ -172,8 +174,12 @@ mod tests {
 
     #[test]
     fn chain_works_in_one_and_two_dimensions() {
-        chain_program(&ChainSpec::new(3, 8).with_shape(&[256])).validate().unwrap();
-        chain_program(&ChainSpec::new(3, 8).with_shape(&[64, 64])).validate().unwrap();
+        chain_program(&ChainSpec::new(3, 8).with_shape(&[256]))
+            .validate()
+            .unwrap();
+        chain_program(&ChainSpec::new(3, 8).with_shape(&[64, 64]))
+            .validate()
+            .unwrap();
     }
 
     #[test]

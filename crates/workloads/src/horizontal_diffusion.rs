@@ -227,7 +227,11 @@ mod tests {
         // Paper: 87 additions, 41 multiplications, 2 sqrt, 2 min, 2 max, 20
         // data-dependent branches. Our reconstruction is within a few
         // operations of those counts (see EXPERIMENTS.md).
-        assert!((75..=95).contains(&ops.additions), "adds = {}", ops.additions);
+        assert!(
+            (75..=95).contains(&ops.additions),
+            "adds = {}",
+            ops.additions
+        );
         assert!(
             (35..=45).contains(&ops.multiplications),
             "muls = {}",
@@ -266,7 +270,10 @@ mod tests {
         assert_eq!(program.total_memory_bytes(), expected_operands * 4);
         // Arithmetic intensity ~ 130/9/4 Op/B (Eq. 2).
         let ai = program.arithmetic_intensity();
-        assert!((ai - 130.0 / 36.0).abs() < 0.5, "arithmetic intensity = {ai}");
+        assert!(
+            (ai - 130.0 / 36.0).abs() < 0.5,
+            "arithmetic intensity = {ai}"
+        );
     }
 
     #[test]

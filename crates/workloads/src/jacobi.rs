@@ -16,9 +16,7 @@ pub fn jacobi2d(timesteps: usize, shape: &[usize; 2], vectorization: usize) -> S
         builder = builder
             .stencil(
                 &name,
-                &format!(
-                    "0.25 * ({prev}[i-1,j] + {prev}[i+1,j] + {prev}[i,j-1] + {prev}[i,j+1])"
-                ),
+                &format!("0.25 * ({prev}[i-1,j] + {prev}[i+1,j] + {prev}[i,j-1] + {prev}[i,j+1])"),
             )
             .shrink(&name);
     }

@@ -3,7 +3,7 @@
 //! Every benchmark of the paper's evaluation (§VIII–IX) is driven by one of
 //! the stencil programs generated here:
 //!
-//! * [`listing1`] — the running example of §II (Lst. 1 / Fig. 2).
+//! * [`mod@listing1`] — the running example of §II (Lst. 1 / Fig. 2).
 //! * [`chain`] — linear chains of identical stencils ("analogous to
 //!   time-tiled iterative stencils"), the workload of the Fig. 14/15 scaling
 //!   experiments.
@@ -11,7 +11,7 @@
 //!   kernels of Tab. I.
 //! * [`membench`] — bandwidth microbenchmarks with a configurable number of
 //!   parallel off-chip access points (Fig. 16).
-//! * [`horizontal_diffusion`] — the COSMO horizontal-diffusion stencil
+//! * [`mod@horizontal_diffusion`] — the COSMO horizontal-diffusion stencil
 //!   program with Smagorinsky diffusion (§IX), the full-complexity
 //!   application study.
 
@@ -43,7 +43,9 @@ mod tests {
         diffusion2d(4, &[16, 16], 1).validate().unwrap();
         diffusion3d(4, &[8, 8, 8], 1).validate().unwrap();
         chain_program(&ChainSpec::new(8, 8)).validate().unwrap();
-        membench_program(&MembenchSpec::new(8, 1)).validate().unwrap();
+        membench_program(&MembenchSpec::new(8, 1))
+            .validate()
+            .unwrap();
         horizontal_diffusion(&HorizontalDiffusionSpec::default())
             .validate()
             .unwrap();

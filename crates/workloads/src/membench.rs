@@ -72,10 +72,7 @@ pub fn membench_program(spec: &MembenchSpec) -> StencilProgram {
     let dims: Vec<&str> = ["i", "j", "k"][..spec.shape.len()].to_vec();
     let index = dims.join(",");
     let mut builder = StencilProgramBuilder::new(
-        &format!(
-            "membench{}x{}",
-            spec.read_access_points, spec.vectorization
-        ),
+        &format!("membench{}x{}", spec.read_access_points, spec.vectorization),
         &spec.shape,
     )
     .vectorization(spec.vectorization);

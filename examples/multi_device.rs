@@ -27,7 +27,11 @@ fn main() {
     // Partition over 4 devices.
     let plan = MultiDevicePlan::partition(&program, &PartitionConfig::devices(4))
         .expect("partitioning succeeds");
-    println!("partitioned {} stencils over {} devices:", program.stencil_count(), plan.device_count());
+    println!(
+        "partitioned {} stencils over {} devices:",
+        program.stencil_count(),
+        plan.device_count()
+    );
     for device in &plan.devices {
         println!(
             "  device {}: {:?}, local inputs {:?}, {} remote in, {} remote out",
@@ -47,10 +51,11 @@ fn main() {
 
     // Simulate the distributed design (remote streams get network latency
     // and bandwidth limits) and compare.
-    let multi = Simulator::build_multi_device(&program, &analysis_config, &plan, &SimConfig::default())
-        .expect("multi-device design builds")
-        .run(&inputs)
-        .expect("multi-device design runs");
+    let multi =
+        Simulator::build_multi_device(&program, &analysis_config, &plan, &SimConfig::default())
+            .expect("multi-device design builds")
+            .run(&inputs)
+            .expect("multi-device design runs");
     let output = program.outputs().last().unwrap().clone();
     let max_diff = single
         .output(&output)

@@ -31,7 +31,9 @@ fn jacobi_chain_simulation_matches_reference_and_eq1() {
         .run(&inputs)
         .unwrap();
     assert_eq!(report.outcome, SimOutcome::Completed);
-    let err = reference.compare_field("f4", report.output("f4").unwrap()).unwrap();
+    let err = reference
+        .compare_field("f4", report.output("f4").unwrap())
+        .unwrap();
     assert!(err < 1e-4);
     // Eq. 1: the measured cycle count is at least N and close to L + N.
     let n = program.space().num_cells() as u64;
@@ -49,7 +51,10 @@ fn fusion_mapping_and_simulation_agree_for_horizontal_diffusion() {
     assert!(result.max_error_vs_reference < 1e-4);
     // The generated kernels contain one autorun kernel per fused stencil.
     assert_eq!(
-        result.kernel_code.matches("__attribute__((autorun))").count(),
+        result
+            .kernel_code
+            .matches("__attribute__((autorun))")
+            .count(),
         result.program.stencil_count()
     );
 }
@@ -64,7 +69,8 @@ fn multi_device_execution_is_equivalent_to_single_device() {
         .run(&inputs)
         .unwrap();
     for devices in [2usize, 4] {
-        let plan = MultiDevicePlan::partition(&program, &PartitionConfig::devices(devices)).unwrap();
+        let plan =
+            MultiDevicePlan::partition(&program, &PartitionConfig::devices(devices)).unwrap();
         let multi = Simulator::build_multi_device(&program, &config, &plan, &SimConfig::default())
             .unwrap()
             .run(&inputs)
@@ -102,7 +108,11 @@ fn vectorization_reduces_expected_runtime() {
     )
     .unwrap();
     let wide = stencilflow::core::analyze(
-        &chain_program(&ChainSpec::new(8, 8).with_shape(&[256, 16, 16]).with_vectorization(4)),
+        &chain_program(
+            &ChainSpec::new(8, 8)
+                .with_shape(&[256, 16, 16])
+                .with_vectorization(4),
+        ),
         &config,
     )
     .unwrap();

@@ -14,8 +14,11 @@ use stencilflow_expr::DataType;
 fn arb_program() -> impl Strategy<Value = StencilProgram> {
     let stage = (0usize..3, -1i64..2, -1i64..2, 0usize..3, any::<bool>());
     proptest::collection::vec(stage, 1..6).prop_map(|stages| {
-        let mut builder = StencilProgramBuilder::new("random", &[10, 12])
-            .input("src", DataType::Float32, &["i", "j"]);
+        let mut builder = StencilProgramBuilder::new("random", &[10, 12]).input(
+            "src",
+            DataType::Float32,
+            &["i", "j"],
+        );
         let mut produced = vec!["src".to_string()];
         for (index, (pick_a, di, dj, pick_b, use_second)) in stages.iter().enumerate() {
             let name = format!("s{index}");
@@ -52,7 +55,10 @@ fn arb_program() -> impl Strategy<Value = StencilProgram> {
             produced.push(name);
         }
         let last = produced.last().unwrap().clone();
-        builder.output(&last).build().expect("generated programs are valid")
+        builder
+            .output(&last)
+            .build()
+            .expect("generated programs are valid")
     })
 }
 
