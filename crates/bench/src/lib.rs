@@ -15,7 +15,7 @@ use stencilflow_hwmodel::{
 };
 use stencilflow_program::StencilProgram;
 use stencilflow_workloads::{
-    chain_program, diffusion2d, diffusion3d, horizontal_diffusion, jacobi3d, ChainSpec,
+    chain_program, diffusion2d, diffusion3d, horizontal_diffusion, jacobi3d, upwind3d, ChainSpec,
     HorizontalDiffusionSpec, MembenchSpec,
 };
 
@@ -577,6 +577,12 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
             "horizontal_diffusion".to_string(),
             horizontal_diffusion(&HorizontalDiffusionSpec::small()),
         ),
+        (
+            // The branchy workload: per-cell data-dependent ternaries that
+            // lane-batch only through if-conversion to selects.
+            format!("upwind3d {0}^3 f32", jacobi_shape[0]),
+            upwind3d(2, &jacobi_shape, 1),
+        ),
     ];
     // Separate executors pin the kernel tier; each caches its compilation
     // across the repeated measurement runs.
@@ -736,10 +742,14 @@ pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
 
 /// Check the kernel-tier speedup floors recorded in a `bench_eval` JSON
 /// document (the CI gate behind `bench_eval --check-floors`). The floors
-/// are applied to the `jacobi3d*` rows — the flagship typed/lane workloads;
-/// `horizontal_diffusion` carries data-dependent branches whose kernels
-/// intentionally keep the scalar path. Quick-mode documents (small domains
-/// on shared CI runners) use looser floors than full-mode baselines.
+/// are applied to the `jacobi3d*` rows — the flagship typed/lane workloads
+/// — and to the `upwind3d*` rows, whose data-dependent ternaries only
+/// lane-batch through if-conversion: their `simd_speedup` floor gates the
+/// optimizer end to end (before the pass pipeline these kernels could not
+/// lane-batch at all). `horizontal_diffusion` carries kernels that resist
+/// if-conversion and intentionally keep the scalar path. Quick-mode
+/// documents (small domains on shared CI runners) use looser floors than
+/// full-mode baselines.
 ///
 /// # Errors
 ///
@@ -760,6 +770,9 @@ pub fn check_floors(json_text: &str) -> Result<String, String> {
     } else {
         (4.0, 1.3, 1.5)
     };
+    // The branchy rows gate the if-conversion payoff: the acceptance
+    // criterion is >= 1.5x lane-over-scalar on the full-mode baseline.
+    let branchy_simd_floor = if quick { 1.2 } else { 1.5 };
     let rows = parsed
         .get("rows")
         .and_then(|v| v.as_array())
@@ -767,21 +780,30 @@ pub fn check_floors(json_text: &str) -> Result<String, String> {
     let mut failures = Vec::new();
     let mut summary = String::new();
     let mut checked = 0usize;
+    let mut branchy_checked = 0usize;
     for row in rows {
         let workload = row
             .get("workload")
             .and_then(|v| v.as_str())
             .unwrap_or("<unnamed>")
             .to_string();
-        if !workload.starts_with("jacobi3d") {
+        let gates: Vec<(&str, f64)> = if workload.starts_with("jacobi3d") {
+            checked += 1;
+            vec![
+                ("compiled_speedup", compiled_floor),
+                ("typed_speedup", typed_floor),
+                ("simd_speedup", simd_floor),
+            ]
+        } else if workload.starts_with("upwind3d") {
+            branchy_checked += 1;
+            vec![
+                ("compiled_speedup", compiled_floor),
+                ("simd_speedup", branchy_simd_floor),
+            ]
+        } else {
             continue;
-        }
-        checked += 1;
-        for (key, floor) in [
-            ("compiled_speedup", compiled_floor),
-            ("typed_speedup", typed_floor),
-            ("simd_speedup", simd_floor),
-        ] {
+        };
+        for (key, floor) in gates {
             match row.get(key).and_then(|v| v.as_f64()) {
                 Some(value) if value >= floor => {
                     summary.push_str(&format!("ok: {workload}: {key} {value:.2} >= {floor:.2}\n"));
@@ -795,6 +817,9 @@ pub fn check_floors(json_text: &str) -> Result<String, String> {
     }
     if checked == 0 {
         return Err("no jacobi3d rows to check in benchmark JSON".to_string());
+    }
+    if branchy_checked == 0 {
+        return Err("no upwind3d rows to check in benchmark JSON".to_string());
     }
     if failures.is_empty() {
         Ok(summary)
@@ -995,24 +1020,83 @@ mod tests {
 
     #[test]
     fn check_floors_accepts_healthy_and_rejects_regressed_documents() {
-        let document = |simd_speedup: f64| {
-            let rows = vec![ThroughputRow {
+        let document = |jacobi_simd: f64, upwind_simd: f64| {
+            let rows = vec![
+                ThroughputRow {
+                    workload: "jacobi3d 32^3 f32".to_string(),
+                    cells: 1 << 15,
+                    interpreted_cells_per_s: 1.0e6,
+                    compiled_cells_per_s: 8.0e6,
+                    typed_cells_per_s: 16.0e6,
+                    simd_cells_per_s: 16.0e6 * jacobi_simd,
+                },
+                ThroughputRow {
+                    workload: "upwind3d 32^3 f32".to_string(),
+                    cells: 1 << 15,
+                    interpreted_cells_per_s: 1.0e6,
+                    compiled_cells_per_s: 7.0e6,
+                    typed_cells_per_s: 12.0e6,
+                    simd_cells_per_s: 12.0e6 * upwind_simd,
+                },
+            ];
+            throughput_json(&rows, true)
+        };
+        assert!(check_floors(&document(2.0, 1.8)).is_ok());
+        let err = check_floors(&document(1.0, 1.8)).unwrap_err();
+        assert!(err.contains("simd_speedup"), "unexpected error: {err}");
+        // A regressed branchy row trips its own gate.
+        let err = check_floors(&document(2.0, 1.0)).unwrap_err();
+        assert!(
+            err.contains("upwind3d") && err.contains("simd_speedup"),
+            "unexpected error: {err}"
+        );
+        // Documents without jacobi or upwind rows (or unparseable ones)
+        // are errors, not silent passes.
+        assert!(check_floors("{\"quick\": true, \"rows\": []}").is_err());
+        let jacobi_only = throughput_json(
+            &[ThroughputRow {
                 workload: "jacobi3d 32^3 f32".to_string(),
                 cells: 1 << 15,
                 interpreted_cells_per_s: 1.0e6,
                 compiled_cells_per_s: 8.0e6,
                 typed_cells_per_s: 16.0e6,
-                simd_cells_per_s: 16.0e6 * simd_speedup,
-            }];
-            throughput_json(&rows, true)
-        };
-        assert!(check_floors(&document(2.0)).is_ok());
-        let err = check_floors(&document(1.0)).unwrap_err();
-        assert!(err.contains("simd_speedup"), "unexpected error: {err}");
-        // Documents without jacobi rows (or unparseable ones) are errors,
-        // not silent passes.
-        assert!(check_floors("{\"quick\": true, \"rows\": []}").is_err());
+                simd_cells_per_s: 32.0e6,
+            }],
+            true,
+        );
+        assert!(check_floors(&jacobi_only).unwrap_err().contains("upwind3d"));
         assert!(check_floors("not json").is_err());
+    }
+
+    #[test]
+    fn branchy_lane_tier_speedup_floor_holds() {
+        // Acceptance floor of the if-conversion work: the lane-batched
+        // sweep must beat the scalar typed kernels by >= 1.5x on the
+        // branchy upwind workload — a kernel that, before the pass
+        // pipeline, could not lane-batch at all (its ternaries lowered to
+        // jumps and `supports_lanes` rejected them). Single-threaded so
+        // the ratio measures the kernel tier alone.
+        use stencilflow_reference::{generate_inputs, ReferenceExecutor};
+        let program = upwind3d(2, &[64, 64, 64], 1);
+        let inputs = generate_inputs(&program, 17);
+        let scalar_executor = ReferenceExecutor::new()
+            .with_max_threads(1)
+            .with_lane_batching(false);
+        let lane_executor = ReferenceExecutor::new().with_max_threads(1);
+        // The branchy workload must actually dispatch to the lane tier.
+        let compiled = lane_executor.prepare(&program).unwrap();
+        assert_eq!(compiled.lane_stencil_count(), compiled.stencil_count());
+        let scalar = measure_secs_per_iter(&|| {
+            std::hint::black_box(scalar_executor.run(&program, &inputs).unwrap());
+        });
+        let lanes = measure_secs_per_iter(&|| {
+            std::hint::black_box(lane_executor.run(&program, &inputs).unwrap());
+        });
+        let simd_vs_typed = scalar / lanes;
+        assert!(
+            simd_vs_typed >= 1.5,
+            "lane-batched branchy sweep only {simd_vs_typed:.2}x faster than scalar typed kernels"
+        );
     }
 
     #[test]

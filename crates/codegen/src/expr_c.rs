@@ -1,17 +1,99 @@
 //! Translation of stencil expressions to C (OpenCL C) source text.
+//!
+//! Two emitters are provided:
+//!
+//! * [`kernel_to_c`] — the preferred path: emits from the **optimized
+//!   bytecode** ([`CompiledKernel`]), so the generated code reflects what
+//!   the shared pass pipeline produced (if-converted selects, CSE'd
+//!   subexpressions held in named temporaries, dead code already gone).
+//!   It handles branch-free kernels only and returns `None` when jumps
+//!   remain (an arm that resisted if-conversion).
+//! * [`program_to_c`] / [`expr_to_c`] — the raw AST walk, kept as the
+//!   fallback for jump-carrying kernels, where lazy evaluation must be
+//!   expressed with native C ternaries.
+//!
+//! Both emit float literals in shortest-round-trip form and derive the
+//! literal suffix (and math-function flavor, `sqrtf` vs `sqrt`) from the
+//! kernel's element type, so `double` kernels are not silently truncated
+//! through `float` constants.
 
-use stencilflow_expr::ast::{BinOp, Expr, MathFn, Program, UnOp};
+use stencilflow_expr::ast::{Expr, MathFn, Program, UnOp};
+use stencilflow_expr::{CompiledKernel, DataType, Op, Value};
 
-/// Translate a full code segment to a sequence of C statements. Field
-/// accesses are rendered through `access`, which receives the field name and
-/// its offsets and returns the C expression for that tap (e.g. a shift-
-/// register read with boundary predication).
-pub fn program_to_c(program: &Program, access: &impl Fn(&str, &[i64]) -> String) -> Vec<String> {
+/// How [`kernel_to_c`] renders an [`Op::Select`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectStyle {
+    /// A C conditional expression, `(c ? t : e)`.
+    #[default]
+    Ternary,
+    /// The OpenCL `select(e, t, c)` builtin (note the operand order), with
+    /// the condition cast to the integer type of matching width.
+    OpenClSelect,
+}
+
+/// C scalar type name for a kernel element type.
+fn c_type(dtype: DataType) -> &'static str {
+    match dtype {
+        DataType::Float64 => "double",
+        _ => "float",
+    }
+}
+
+/// Emit a floating-point literal in shortest-round-trip form, suffixed for
+/// the kernel's element type (`f` only for `float` kernels — a `double`
+/// kernel must not have its constants truncated through `float`).
+fn float_literal(v: f64, dtype: DataType) -> String {
+    // `{v:?}` prints the shortest decimal that round-trips to `v` exactly;
+    // `{v}` does not guarantee that, and fixed-precision formats lose bits.
+    let body = format!("{v:?}");
+    match dtype {
+        DataType::Float64 => body,
+        _ => format!("{body}f"),
+    }
+}
+
+/// Math-function spelling for the kernel's element type (`fminf` vs
+/// `fmin`, ...).
+fn mathfn_c(func: MathFn, dtype: DataType) -> String {
+    let base = match func {
+        MathFn::Sqrt => "sqrt",
+        MathFn::Abs => "fabs",
+        MathFn::Min => "fmin",
+        MathFn::Max => "fmax",
+        MathFn::Exp => "exp",
+        MathFn::Log => "log",
+        MathFn::Pow => "pow",
+        MathFn::Sin => "sin",
+        MathFn::Cos => "cos",
+        MathFn::Tan => "tan",
+        MathFn::Floor => "floor",
+        MathFn::Ceil => "ceil",
+    };
+    match dtype {
+        DataType::Float64 => base.to_string(),
+        _ => format!("{base}f"),
+    }
+}
+
+/// Translate a full code segment to a sequence of C statements via the raw
+/// AST walk. Field accesses are rendered through `access`, which receives
+/// the field name and its offsets and returns the C expression for that tap
+/// (e.g. a shift-register read with boundary predication). `dtype` is the
+/// kernel's element type, driving literal suffixes, local declarations, and
+/// math-function flavors.
+///
+/// Prefer [`kernel_to_c`], which emits from the optimized bytecode; this
+/// walk remains for kernels whose control flow resists if-conversion.
+pub fn program_to_c(
+    program: &Program,
+    access: &impl Fn(&str, &[i64]) -> String,
+    dtype: DataType,
+) -> Vec<String> {
     let mut lines = Vec::new();
     for (idx, stmt) in program.statements.iter().enumerate() {
-        let rhs = expr_to_c(&stmt.value, access);
+        let rhs = expr_to_c(&stmt.value, access, dtype);
         let line = match (&stmt.name, idx + 1 == program.statements.len()) {
-            (Some(name), _) => format!("const float {name} = {rhs};"),
+            (Some(name), _) => format!("const {} {name} = {rhs};", c_type(dtype)),
             (None, true) => format!("result = {rhs};"),
             (None, false) => format!("(void)({rhs});"),
         };
@@ -20,70 +102,153 @@ pub fn program_to_c(program: &Program, access: &impl Fn(&str, &[i64]) -> String)
     lines
 }
 
-/// Translate one expression to C.
-pub fn expr_to_c(expr: &Expr, access: &impl Fn(&str, &[i64]) -> String) -> String {
+/// Translate one expression to C (see [`program_to_c`]).
+pub fn expr_to_c(expr: &Expr, access: &impl Fn(&str, &[i64]) -> String, dtype: DataType) -> String {
     match expr {
         Expr::IntLit(v) => format!("{v}"),
-        Expr::FloatLit(v) => {
-            if v.fract() == 0.0 {
-                format!("{v:.1}f")
-            } else {
-                format!("{v}f")
-            }
-        }
+        Expr::FloatLit(v) => float_literal(*v, dtype),
         Expr::Var(name) => name.clone(),
         Expr::FieldAccess { field, indices } => {
             let offsets: Vec<i64> = indices.iter().map(|ix| ix.offset).collect();
             access(field, &offsets)
         }
         Expr::Unary { op, operand } => {
-            let inner = expr_to_c(operand, access);
+            let inner = expr_to_c(operand, access, dtype);
             match op {
                 UnOp::Neg => format!("(-{inner})"),
                 UnOp::Not => format!("(!{inner})"),
             }
         }
         Expr::Binary { op, lhs, rhs } => {
-            let l = expr_to_c(lhs, access);
-            let r = expr_to_c(rhs, access);
-            format!("({l} {} {r})", binop_c(*op))
+            let l = expr_to_c(lhs, access, dtype);
+            let r = expr_to_c(rhs, access, dtype);
+            format!("({l} {} {r})", op.symbol())
         }
         Expr::Ternary {
             cond,
             then,
             otherwise,
         } => {
-            let c = expr_to_c(cond, access);
-            let t = expr_to_c(then, access);
-            let e = expr_to_c(otherwise, access);
+            let c = expr_to_c(cond, access, dtype);
+            let t = expr_to_c(then, access, dtype);
+            let e = expr_to_c(otherwise, access, dtype);
             format!("({c} ? {t} : {e})")
         }
         Expr::Call { func, args } => {
-            let rendered: Vec<String> = args.iter().map(|a| expr_to_c(a, access)).collect();
-            format!("{}({})", mathfn_c(*func), rendered.join(", "))
+            let rendered: Vec<String> = args.iter().map(|a| expr_to_c(a, access, dtype)).collect();
+            format!("{}({})", mathfn_c(*func, dtype), rendered.join(", "))
         }
     }
 }
 
-fn binop_c(op: BinOp) -> &'static str {
-    op.symbol()
-}
-
-fn mathfn_c(func: MathFn) -> &'static str {
-    match func {
-        MathFn::Sqrt => "sqrtf",
-        MathFn::Abs => "fabsf",
-        MathFn::Min => "fminf",
-        MathFn::Max => "fmaxf",
-        MathFn::Exp => "expf",
-        MathFn::Log => "logf",
-        MathFn::Pow => "powf",
-        MathFn::Sin => "sinf",
-        MathFn::Cos => "cosf",
-        MathFn::Tan => "tanf",
-        MathFn::Floor => "floorf",
-        MathFn::Ceil => "ceilf",
+/// Emit C statements from a compiled (optimized) kernel's bytecode.
+///
+/// The instruction stream is symbolically executed with a stack of C
+/// expression strings: slot reads render through `access`, CSE-introduced
+/// registers become `const` temporaries (`t0`, `t1`, ...), and
+/// [`Op::Select`] renders per `style` — a C ternary or the OpenCL `select`
+/// builtin. Returns `None` when the kernel still carries control flow
+/// (jump diamonds that resisted if-conversion need the lazy AST walk,
+/// [`program_to_c`]).
+pub fn kernel_to_c(
+    kernel: &CompiledKernel,
+    access: &impl Fn(&str, &[i64]) -> String,
+    dtype: DataType,
+    style: SelectStyle,
+) -> Option<Vec<String>> {
+    let mut lines = Vec::new();
+    let mut stack: Vec<String> = Vec::new();
+    let mut locals: Vec<Option<String>> = vec![None; kernel.local_count()];
+    for op in kernel.ops() {
+        match op {
+            Op::Const(v) => stack.push(match v {
+                Value::I32(x) => format!("{x}"),
+                Value::I64(x) => format!("{x}"),
+                Value::Bool(b) => if *b { "1" } else { "0" }.to_string(),
+                Value::F32(x) => float_literal(*x as f64, dtype),
+                Value::F64(x) => float_literal(*x, dtype),
+            }),
+            Op::Slot(ix) => {
+                let slot = &kernel.slots()[*ix as usize];
+                // Scalar symbols are bare parameters, not buffer taps —
+                // exactly like the AST walk's `Expr::Var` arm.
+                stack.push(if slot.is_scalar() {
+                    slot.field.clone()
+                } else {
+                    access(&slot.field, &slot.offsets)
+                });
+            }
+            Op::Local(ix) => stack.push(locals[*ix as usize].clone()?),
+            Op::Store(ix) => {
+                let value = stack.pop()?;
+                let name = format!("t{ix}");
+                lines.push(format!("const {} {name} = {value};", c_type(dtype)));
+                locals[*ix as usize] = Some(name);
+            }
+            Op::Pop => {
+                let value = stack.pop()?;
+                lines.push(format!("(void)({value});"));
+            }
+            Op::Unary(op) => {
+                let inner = stack.pop()?;
+                stack.push(match op {
+                    UnOp::Neg => format!("(-{inner})"),
+                    UnOp::Not => format!("(!{inner})"),
+                });
+            }
+            Op::Binary(op) => {
+                let r = stack.pop()?;
+                let l = stack.pop()?;
+                stack.push(format!("({l} {} {r})", op.symbol()));
+            }
+            Op::Call1(func) => {
+                let a = stack.pop()?;
+                stack.push(format!("{}({a})", mathfn_c(*func, dtype)));
+            }
+            Op::Call2(func) => {
+                let b = stack.pop()?;
+                let a = stack.pop()?;
+                stack.push(format!("{}({a}, {b})", mathfn_c(*func, dtype)));
+            }
+            Op::ToBool => {
+                let a = stack.pop()?;
+                stack.push(format!("({a} != 0)"));
+            }
+            Op::Select => {
+                let otherwise = stack.pop()?;
+                let then = stack.pop()?;
+                let cond = stack.pop()?;
+                stack.push(match style {
+                    SelectStyle::Ternary => format!("({cond} ? {then} : {otherwise})"),
+                    SelectStyle::OpenClSelect => {
+                        // OpenCL `select(a, b, c)` picks `b` where `c` is
+                        // true; the condition must be an integer type of
+                        // the operands' width. Language truthiness is
+                        // `!= 0.0`, and a raw float condition (`c[i] ? …`)
+                        // must not be truncated by the integer cast —
+                        // 0.5 is true — so the comparison happens first.
+                        let cond_type = match dtype {
+                            DataType::Float64 => "long",
+                            _ => "int",
+                        };
+                        let zero = float_literal(0.0, dtype);
+                        format!("select({otherwise}, {then}, ({cond_type})({cond} != {zero}))")
+                    }
+                });
+            }
+            // Control flow cannot be expressed as a C expression DAG; the
+            // caller falls back to the AST walk with native ternaries.
+            Op::Jump(_) | Op::JumpIfFalse(_) | Op::AndShortCircuit(_) | Op::OrShortCircuit(_) => {
+                return None;
+            }
+        }
     }
+    let result = stack.pop()?;
+    if !stack.is_empty() {
+        return None;
+    }
+    lines.push(format!("result = {result};"));
+    Some(lines)
 }
 
 #[cfg(test)]
@@ -99,7 +264,7 @@ mod tests {
     #[test]
     fn translates_arithmetic_and_calls() {
         let program = parse_program("0.5 * (a[i-1] + a[i+1]) - sqrt(b[i])").unwrap();
-        let c = program_to_c(&program, &simple_access);
+        let c = program_to_c(&program, &simple_access, DataType::Float32);
         assert_eq!(c.len(), 1);
         assert!(c[0].contains("0.5f"));
         assert!(c[0].contains("buf_a[-1]"));
@@ -111,10 +276,148 @@ mod tests {
     fn translates_locals_ternaries_and_minmax() {
         let program =
             parse_program("d = a[i] - b[i]; min(max(d, 0.0), 1.0) > 0.5 ? d : -d").unwrap();
-        let c = program_to_c(&program, &simple_access);
+        let c = program_to_c(&program, &simple_access, DataType::Float32);
         assert_eq!(c.len(), 2);
         assert!(c[0].starts_with("const float d ="));
         assert!(c[1].contains("fminf(fmaxf(d, 0.0f), 1.0f)"));
         assert!(c[1].contains("? d : (-d)"));
+    }
+
+    #[test]
+    fn float_literals_round_trip_exactly() {
+        // 0.1 has no finite binary expansion: the emitted literal must be
+        // the shortest decimal that parses back to the same f64, not a
+        // fixed-precision rendering.
+        let program = parse_program("a[i] * 0.1 + 1.0 + 0.30000000000000004").unwrap();
+        let c = program_to_c(&program, &simple_access, DataType::Float32);
+        assert!(c[0].contains("0.1f"));
+        assert!(c[0].contains("1.0f"));
+        assert!(c[0].contains("0.30000000000000004f"));
+    }
+
+    #[test]
+    fn double_kernels_drop_the_float_suffix() {
+        let program = parse_program("sqrt(a[i]) * 0.5 + min(b[i], 2.0)").unwrap();
+        let c = program_to_c(&program, &simple_access, DataType::Float64);
+        assert!(c[0].contains("0.5"));
+        assert!(!c[0].contains("0.5f"));
+        assert!(c[0].contains("sqrt(buf_a[0])"));
+        assert!(!c[0].contains("sqrtf"));
+        assert!(c[0].contains("fmin(buf_b[0], 2.0)"));
+    }
+
+    #[test]
+    fn kernel_emission_renders_selects_as_ternaries() {
+        let program = parse_program("a[i] > 0.0 ? a[i] : -a[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let lines = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::Ternary,
+        )
+        .expect("if-converted kernels are branch-free");
+        let body = lines.join("\n");
+        assert!(body.contains('?'), "no ternary in:\n{body}");
+        assert!(body.contains("buf_a[0]"));
+        assert!(lines.last().unwrap().starts_with("result ="));
+    }
+
+    #[test]
+    fn kernel_emission_renders_opencl_selects() {
+        let program = parse_program("a[i] > 0.0 ? a[i] : -a[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let lines = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::OpenClSelect,
+        )
+        .unwrap();
+        let body = lines.join("\n");
+        assert!(body.contains("select("), "no select in:\n{body}");
+        assert!(body.contains("(int)("), "condition not cast in:\n{body}");
+        let double = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float64,
+            SelectStyle::OpenClSelect,
+        )
+        .unwrap()
+        .join("\n");
+        assert!(double.contains("(long)("));
+    }
+
+    #[test]
+    fn kernel_emission_renders_scalar_symbols_as_bare_names() {
+        // Scalar symbols (empty-offset slots) must emit as plain parameter
+        // names, not as zero-dimensional buffer taps.
+        let program = parse_program("a[i] * dt + a[i-1]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let lines = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::Ternary,
+        )
+        .unwrap();
+        let body = lines.join("\n");
+        assert!(body.contains("* dt)"), "scalar not bare in:\n{body}");
+        assert!(!body.contains("buf_dt"), "scalar rendered as tap:\n{body}");
+    }
+
+    #[test]
+    fn opencl_select_preserves_float_truthiness() {
+        // A raw float condition is true when non-zero (0.5 is true); the
+        // integer cast must apply to the comparison, not the float.
+        let program = parse_program("a[i] ? b[i] : -b[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let body = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::OpenClSelect,
+        )
+        .unwrap()
+        .join("\n");
+        assert!(
+            body.contains("(int)(buf_a[0] != 0.0f)"),
+            "condition cast truncates truthiness in:\n{body}"
+        );
+    }
+
+    #[test]
+    fn kernel_emission_names_cse_temporaries() {
+        // The shared subexpression appears once, bound to a temporary.
+        let program = parse_program("(a[i-1] + a[i+1]) * (a[i-1] + a[i+1])").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let lines = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::Ternary,
+        )
+        .unwrap();
+        let body = lines.join("\n");
+        assert_eq!(body.matches('+').count(), 1, "add not shared in:\n{body}");
+        assert!(body.contains("const float t0 ="));
+        assert!(body.contains("(t0 * t0)"));
+    }
+
+    #[test]
+    fn kernel_emission_falls_back_on_jumpy_kernels() {
+        // A division in an arm keeps the jump diamond; the bytecode
+        // emitter declines and the AST walk takes over.
+        let program = parse_program("a[i] > 0.0 ? a[i] / b[i] : a[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        assert!(kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::Ternary
+        )
+        .is_none());
+        let fallback = program_to_c(&program, &simple_access, DataType::Float32);
+        assert!(fallback[0].contains('?'));
     }
 }

@@ -13,7 +13,9 @@
 //!   device, and SMI-style remote channels for multi-device plans.
 //! * [`host`] — host-program pseudo-code (buffer allocation, kernel launch
 //!   order, result collection).
-//! * [`expr_c`] — translation of stencil expressions to C.
+//! * [`expr_c`] — translation of stencil expressions to C, preferring the
+//!   optimized-bytecode emitter (if-converted selects, CSE temporaries)
+//!   with the raw AST walk as the fallback for lazy control flow.
 //! * [`report`] — a human-readable mapping report used by the benchmark
 //!   binaries.
 
@@ -22,7 +24,7 @@ pub mod host;
 pub mod opencl;
 pub mod report;
 
-pub use expr_c::expr_to_c;
+pub use expr_c::{expr_to_c, kernel_to_c, program_to_c, SelectStyle};
 pub use host::generate_host_code;
 pub use opencl::{generate_kernels, generate_multi_device_kernels};
 pub use report::mapping_report;

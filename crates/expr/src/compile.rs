@@ -92,6 +92,12 @@ pub enum Op {
     OrShortCircuit(u32),
     /// Pop and push the value coerced to `Bool` (logical-operator results).
     ToBool,
+    /// Branch-free conditional: pop `otherwise`, `then`, `cond` (in that
+    /// order) and push `then` when `cond` is truthy, `otherwise` when it is
+    /// not. Produced only by the if-conversion pass
+    /// ([`crate::opt::IfConversion`]), which proves both arms side-effect
+    /// free before rewriting a jump diamond into this form.
+    Select,
 }
 
 /// Reusable evaluation scratch space; one per worker thread.
@@ -126,6 +132,37 @@ impl CompiledKernel {
     /// symbols are *not* detected here — they surface when the consumer
     /// binds slots (mirroring the evaluator, which fails on first use).
     pub fn compile(program: &Program) -> Result<CompiledKernel> {
+        Self::compile_with(program, &crate::opt::OptConfig::default())
+    }
+
+    /// Lower a parsed code segment and run the optimization pipeline with an
+    /// explicit configuration (see [`crate::opt::PassManager`]). The default
+    /// configuration enables every pass; [`crate::opt::OptConfig::disabled`]
+    /// yields the raw lowering (also available as
+    /// [`CompiledKernel::compile_unoptimized`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CompiledKernel::compile`].
+    pub fn compile_with(
+        program: &Program,
+        config: &crate::opt::OptConfig,
+    ) -> Result<CompiledKernel> {
+        let (kernel, _) = Self::compile_traced(program, config)?;
+        Ok(kernel)
+    }
+
+    /// [`CompiledKernel::compile_with`], additionally returning the per-pass
+    /// effect report (and, when `config.debug` is set, bytecode dumps after
+    /// each pass that changed the kernel).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CompiledKernel::compile`].
+    pub fn compile_traced(
+        program: &Program,
+        config: &crate::opt::OptConfig,
+    ) -> Result<(CompiledKernel, Vec<crate::opt::PassEffect>)> {
         if program.statements.is_empty() {
             return Err(ExprError::EmptyProgram);
         }
@@ -135,13 +172,30 @@ impl CompiledKernel {
         for (idx, stmt) in folded.statements.iter().enumerate() {
             compiler.lower_stmt(stmt, idx == last);
         }
-        let max_stack = compiler.max_stack();
-        Ok(CompiledKernel {
-            ops: compiler.ops,
-            slots: compiler.slots,
-            local_count: compiler.locals.len(),
-            max_stack,
-        })
+        let mut ops = compiler.ops;
+        let report = crate::opt::PassManager::standard(config).run(&mut ops);
+        let max_stack = max_stack_of(&ops);
+        let local_count = local_count_of(&ops);
+        Ok((
+            CompiledKernel {
+                ops,
+                slots: compiler.slots,
+                local_count,
+                max_stack,
+            },
+            report,
+        ))
+    }
+
+    /// Lower a parsed code segment without running any optimization pass:
+    /// ternaries and short-circuit logic stay jump-based. This is the
+    /// semantic anchor the optimized form is differentially tested against.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`CompiledKernel::compile`].
+    pub fn compile_unoptimized(program: &Program) -> Result<CompiledKernel> {
+        Self::compile_with(program, &crate::opt::OptConfig::disabled())
     }
 
     /// The distinct accesses of this kernel, indexed by slot number.
@@ -258,6 +312,12 @@ impl CompiledKernel {
                 Op::ToBool => {
                     let v = stack.pop().expect("stack underflow: ToBool");
                     stack.push(Value::Bool(v.as_bool()));
+                }
+                Op::Select => {
+                    let otherwise = stack.pop().expect("stack underflow: Select otherwise");
+                    let then = stack.pop().expect("stack underflow: Select then");
+                    let cond = stack.pop().expect("stack underflow: Select cond");
+                    stack.push(if cond.as_bool() { then } else { otherwise });
                 }
             }
             pc += 1;
@@ -455,6 +515,18 @@ impl CompiledKernel {
                     stack.push(SType::Bool);
                     ops.push(TypedOp::ToBool);
                 }
+                Op::Select => {
+                    let otherwise = stack.pop()?;
+                    let then = stack.pop()?;
+                    stack.pop()?; // condition: any type (truthiness).
+                    if then != otherwise {
+                        // Mixed-type arms cannot resolve to one static type —
+                        // the same condition that fails a jump-based join.
+                        return None;
+                    }
+                    stack.push(then);
+                    ops.push(TypedOp::Select);
+                }
             }
         }
         // A jump may target one past the final instruction (ternary in tail
@@ -619,6 +691,9 @@ pub enum TypedOp {
     OrTrue(u32),
     /// Pop and push its truthiness as `0.0` / `1.0`.
     ToBool,
+    /// Branch-free conditional: pop `otherwise`, `then`, `cond`; push `then`
+    /// when `cond` is non-zero, `otherwise` when it is zero.
+    Select,
 }
 
 /// Reusable scratch space for [`TypedKernel::eval_slots`]; one per worker
@@ -679,9 +754,12 @@ impl TypedKernel {
 
     /// Whether this kernel can be evaluated lane-batched
     /// ([`TypedKernel::eval_lanes`]): the instruction stream must be free of
-    /// control flow. Jumps cannot diverge per lane, so ternaries and
-    /// short-circuit logic keep the scalar path; comparisons, `ToBool`, and
-    /// `Not` are branch-free selects and batch fine.
+    /// control flow. Jumps cannot diverge per lane, so jump-based ternaries
+    /// and short-circuit logic keep the scalar path; comparisons, `ToBool`,
+    /// `Not`, and `Select` are branch-free and batch fine. The if-conversion
+    /// pass ([`crate::opt::IfConversion`]) rewrites eligible jump diamonds
+    /// into [`TypedOp::Select`], which is how formerly-branchy kernels gain
+    /// lane support.
     pub fn supports_lanes(&self) -> bool {
         !self.ops.iter().any(|op| {
             matches!(
@@ -811,6 +889,12 @@ impl TypedKernel {
                 TypedOp::ToBool => {
                     let v = stack.pop().expect("stack underflow: ToBool");
                     stack.push(if v != 0.0 { 1.0 } else { 0.0 });
+                }
+                TypedOp::Select => {
+                    let otherwise = stack.pop().expect("stack underflow: Select otherwise");
+                    let then = stack.pop().expect("stack underflow: Select then");
+                    let cond = stack.pop().expect("stack underflow: Select cond");
+                    stack.push(if cond != 0.0 { then } else { otherwise });
                 }
             }
             pc += 1;
@@ -946,6 +1030,14 @@ impl TypedKernel {
                         *lane = if *lane != 0.0 { 1.0 } else { 0.0 };
                     }
                 }
+                TypedOp::Select => {
+                    let otherwise = stack.pop().expect("stack underflow: Select otherwise");
+                    let then = stack.pop().expect("stack underflow: Select then");
+                    let cond = stack.last_mut().expect("stack underflow: Select cond");
+                    for ((c, t), e) in cond.iter_mut().zip(then.iter()).zip(otherwise.iter()) {
+                        *c = if *c != 0.0 { *t } else { *e };
+                    }
+                }
                 TypedOp::Jump(_)
                 | TypedOp::JumpIfFalse(_)
                 | TypedOp::AndFalse(_)
@@ -1077,27 +1169,47 @@ impl Compiler {
             }
         }
     }
+}
 
-    /// Statically determine the maximum operand-stack depth by abstract
-    /// execution over instruction effects (jumps only ever skip pushes, so a
-    /// linear scan upper-bounds the true depth).
-    fn max_stack(&self) -> usize {
-        let mut depth = 0i64;
-        let mut max = 0i64;
-        for op in &self.ops {
-            depth += match op {
-                Op::Const(_) | Op::Slot(_) | Op::Local(_) => 1,
-                Op::Store(_) | Op::Pop | Op::Binary(_) | Op::Call2(_) | Op::JumpIfFalse(_) => -1,
-                Op::Unary(_) | Op::Call1(_) | Op::Jump(_) | Op::ToBool => 0,
-                // Short-circuit ops pop the lhs and conditionally push the
-                // result; net effect on the fall-through path is -1, and the
-                // taken path pushes one back, so 0 is the safe upper bound.
-                Op::AndShortCircuit(_) | Op::OrShortCircuit(_) => 0,
-            };
-            max = max.max(depth);
-        }
-        max.max(1) as usize
+/// Statically determine the maximum operand-stack depth of an instruction
+/// stream by abstract execution over instruction effects (jumps only ever
+/// skip pushes, so a linear scan upper-bounds the true depth). Shared by the
+/// lowering and by the optimization passes, which rewrite the stream.
+pub(crate) fn max_stack_of(ops: &[Op]) -> usize {
+    let mut depth = 0i64;
+    let mut max = 0i64;
+    for op in ops {
+        depth += op_stack_effect(op);
+        max = max.max(depth);
     }
+    max.max(1) as usize
+}
+
+/// Net stack effect of one instruction on the fall-through path (an upper
+/// bound for conditional control flow; see [`max_stack_of`]).
+pub(crate) fn op_stack_effect(op: &Op) -> i64 {
+    match op {
+        Op::Const(_) | Op::Slot(_) | Op::Local(_) => 1,
+        Op::Store(_) | Op::Pop | Op::Binary(_) | Op::Call2(_) | Op::JumpIfFalse(_) => -1,
+        Op::Unary(_) | Op::Call1(_) | Op::Jump(_) | Op::ToBool => 0,
+        // Short-circuit ops pop the lhs and conditionally push the result;
+        // net effect on the fall-through path is -1, and the taken path
+        // pushes one back, so 0 is the safe upper bound.
+        Op::AndShortCircuit(_) | Op::OrShortCircuit(_) => 0,
+        Op::Select => -2,
+    }
+}
+
+/// Number of local registers an instruction stream uses (registers are
+/// allocated densely from zero by both the lowering and the optimizer).
+pub(crate) fn local_count_of(ops: &[Op]) -> usize {
+    ops.iter()
+        .map(|op| match op {
+            Op::Store(ix) | Op::Local(ix) => *ix as usize + 1,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -1363,7 +1475,9 @@ mod tests {
     }
 
     /// Branch-free codes used by the lane-batching tests: arithmetic,
-    /// locals, math functions, comparisons used as values, and `!`.
+    /// locals, math functions, comparisons used as values, `!`, and —
+    /// since the if-conversion pass — ternaries and short-circuit logic
+    /// lowered to selects.
     const LANE_CODES: &[&str] = &[
         "0.125 * (a[i] + a[i-1] + a[i+1] + b[i] + dt)",
         "x = a[i-1] + a[i+1]; y = x * dt; y - a[i]",
@@ -1373,6 +1487,9 @@ mod tests {
         "pow(a[i], 2.0) + exp(b[i]) + log(a[i]) + floor(a[i]) + ceil(dt)",
         "(a[i] > 0.0) + a[i-1]",
         "!(a[i] > 0.0) + a[i-1] * (b[i] <= dt)",
+        "a[i] > 0.0 ? a[i] : -a[i]",
+        "b[i] != 0.0 && a[i] > 0.0 ? a[i] * dt : a[i-1]",
+        "u = a[i] > dt ? a[i] - a[i-1] : a[i+1] - a[i]; u * u + b[i]",
     ];
 
     #[test]
@@ -1419,12 +1536,16 @@ mod tests {
 
     #[test]
     fn control_flow_blocks_lane_support() {
+        // Jump-based diamonds (the unoptimized lowering) block lane
+        // batching; the if-converted form of the same kernels is
+        // branch-free and admits it.
         for code in [
             "a[i] > 0.0 ? a[i] : -a[i]",
             "b[i] != 0.0 && a[i] > 0.0 ? a[i] : a[i-1]",
             "a[i] > 0.0 || b[i] > 0.0 ? a[i] : a[i-1]",
         ] {
-            let kernel = compile(code);
+            let program = parse_program(code).unwrap();
+            let kernel = CompiledKernel::compile_unoptimized(&program).unwrap();
             let slot_types: Vec<DataType> =
                 kernel.slots().iter().map(|_| DataType::Float64).collect();
             let typed = kernel
@@ -1434,7 +1555,21 @@ mod tests {
                 !typed.supports_lanes(),
                 "`{code}` lowers to jumps and must not claim lane support"
             );
+            let optimized = CompiledKernel::compile(&program).unwrap();
+            let typed = optimized
+                .specialize(&slot_types)
+                .unwrap_or_else(|| panic!("optimized `{code}` should specialize"));
+            assert!(
+                typed.supports_lanes(),
+                "if-converted `{code}` should lane-batch"
+            );
         }
+        // A division in an arm resists if-conversion: the optimized kernel
+        // keeps its jumps and the scalar path.
+        let program = parse_program("a[i] > 0.0 ? a[i] / b[i] : a[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let typed = kernel.specialize(&[DataType::Float64; 2]).unwrap();
+        assert!(!typed.supports_lanes());
     }
 
     #[test]

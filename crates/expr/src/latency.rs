@@ -159,6 +159,65 @@ pub fn critical_path_latency(program: &Program, table: &LatencyTable) -> u64 {
     last
 }
 
+/// Critical-path latency of a compiled kernel's instruction stream — the
+/// bytecode-level counterpart of [`critical_path_latency`], evaluated on
+/// the *optimized* form (CSE shortens nothing here, but never lengthens it;
+/// if-converted selects cost one [`LatencyTable::mux`] above their longest
+/// input, exactly like the ternaries they replace).
+///
+/// Returns `None` when the kernel still carries control flow (jump-based
+/// diamonds have no single static dataflow DAG to walk).
+pub fn kernel_critical_path(
+    kernel: &crate::compile::CompiledKernel,
+    table: &LatencyTable,
+) -> Option<u64> {
+    use crate::compile::Op;
+    let mut stack: Vec<u64> = Vec::new();
+    let mut locals: Vec<u64> = vec![0; kernel.local_count()];
+    for op in kernel.ops() {
+        match op {
+            Op::Const(_) | Op::Slot(_) => stack.push(0),
+            Op::Local(ix) => stack.push(locals[*ix as usize]),
+            Op::Store(ix) => locals[*ix as usize] = stack.pop()?,
+            Op::Pop => {
+                stack.pop()?;
+            }
+            Op::Unary(op) => {
+                let a = stack.pop()?;
+                stack.push(table.unop(*op) + a);
+            }
+            Op::Binary(op) => {
+                let b = stack.pop()?;
+                let a = stack.pop()?;
+                stack.push(table.binop(*op) + a.max(b));
+            }
+            Op::Call1(func) => {
+                let a = stack.pop()?;
+                stack.push(table.math_fn(*func) + a);
+            }
+            Op::Call2(func) => {
+                let b = stack.pop()?;
+                let a = stack.pop()?;
+                stack.push(table.math_fn(*func) + a.max(b));
+            }
+            Op::ToBool => {
+                let a = stack.pop()?;
+                stack.push(table.logic + a);
+            }
+            Op::Select => {
+                let otherwise = stack.pop()?;
+                let then = stack.pop()?;
+                let cond = stack.pop()?;
+                stack.push(table.mux + cond.max(then).max(otherwise));
+            }
+            Op::Jump(_) | Op::JumpIfFalse(_) | Op::AndShortCircuit(_) | Op::OrShortCircuit(_) => {
+                return None;
+            }
+        }
+    }
+    stack.pop()
+}
+
 fn expr_latency_with_locals(
     expr: &Expr,
     table: &LatencyTable,
@@ -251,6 +310,27 @@ mod tests {
         assert_eq!(expr_critical_path(&e, &t), t.sqrt);
         let e = parse_expr("min(a[i], b[i])").unwrap();
         assert_eq!(expr_critical_path(&e, &t), t.select);
+    }
+
+    #[test]
+    fn kernel_critical_path_matches_select_semantics() {
+        use crate::compile::CompiledKernel;
+        let t = LatencyTable::unit();
+        // If-converted ternary: compare (1) and arms (then: 1 add, else: 0)
+        // feed a mux (+1) -> critical path 2, same as the AST walk.
+        let program = parse_program("c[i] > 0.0 ? a[i] + b[i] : b[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        assert_eq!(kernel_critical_path(&kernel, &t), Some(2));
+        assert_eq!(critical_path_latency(&program, &t), 2);
+        // CSE never lengthens the path: sharing the add keeps depth 2.
+        let program = parse_program("(a[i] + b[i]) * (a[i] + b[i])").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        assert_eq!(kernel_critical_path(&kernel, &t), Some(2));
+        // Jump-carrying kernels (a division blocks if-conversion) have no
+        // static dataflow DAG.
+        let program = parse_program("c[i] > 0.0 ? a[i] / b[i] : b[i]").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        assert_eq!(kernel_critical_path(&kernel, &t), None);
     }
 
     #[test]

@@ -48,6 +48,9 @@
 //!   ([`CompiledKernel`]), the allocation-free fast path used by the
 //!   reference executor and the functional simulator (see
 //!   `docs/evaluation.md` for the two-tier evaluation architecture).
+//! * [`opt`] — the pass-based optimization pipeline over the bytecode
+//!   (if-conversion of ternary diamonds to branch-free selects, CSE, and
+//!   DCE), run by default inside [`compile`] and shared by every backend.
 //!
 //! # Example
 //!
@@ -71,6 +74,7 @@ pub mod fold;
 pub mod latency;
 pub mod lexer;
 pub mod opcount;
+pub mod opt;
 pub mod parser;
 pub mod types;
 pub mod value;
@@ -78,15 +82,16 @@ pub mod value;
 pub use access::{AccessExtractor, FieldAccesses};
 pub use ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
 pub use compile::{
-    AccessSlot, CompiledKernel, EvalScratch, LaneScratch, TypedKernel, TypedOp, TypedScratch,
+    AccessSlot, CompiledKernel, EvalScratch, LaneScratch, Op, TypedKernel, TypedOp, TypedScratch,
     KERNEL_LANES,
 };
 pub use error::{ExprError, Result};
 pub use eval::{AccessResolver, Evaluator, MapResolver};
 pub use fold::{fold_program, fold_program_exact};
-pub use latency::{critical_path_latency, LatencyTable};
+pub use latency::{critical_path_latency, kernel_critical_path, LatencyTable};
 pub use lexer::{tokenize, Token};
-pub use opcount::{count_ops, OpCount};
+pub use opcount::{count_kernel_ops, count_ops, OpCount};
+pub use opt::{dump_ops, Cse, Dce, IfConversion, OptConfig, Pass, PassEffect, PassManager};
 pub use parser::{parse_expr, parse_program};
 pub use types::DataType;
 pub use value::Value;

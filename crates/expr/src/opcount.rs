@@ -131,6 +131,45 @@ pub fn count_ops(program: &Program) -> OpCount {
     count
 }
 
+/// Count the operations of a compiled kernel's instruction stream.
+///
+/// This is the bytecode-level counterpart of [`count_ops`]: it sees the
+/// kernel *after* the optimization pipeline, so common-subexpression
+/// elimination and dead-code elimination reduce these counts while the
+/// AST-level counts (which drive the paper's hardware-cost model, where
+/// both ternary arms are instantiated) are unchanged. If-converted
+/// selects are counted as branches, exactly like the ternaries they came
+/// from; control-flow instructions (jumps) and data movement (slot reads,
+/// register traffic) count as nothing.
+pub fn count_kernel_ops(kernel: &crate::compile::CompiledKernel) -> OpCount {
+    use crate::compile::Op;
+    let mut count = OpCount::default();
+    for op in kernel.ops() {
+        match op {
+            Op::Binary(op) => match op {
+                BinOp::Add | BinOp::Sub => count.additions += 1,
+                BinOp::Mul => count.multiplications += 1,
+                BinOp::Div => count.divisions += 1,
+                BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne => {
+                    count.comparisons += 1
+                }
+                BinOp::And | BinOp::Or => count.logical += 1,
+            },
+            Op::Unary(_) | Op::ToBool => count.logical += 1,
+            Op::Select | Op::JumpIfFalse(_) => count.branches += 1,
+            Op::AndShortCircuit(_) | Op::OrShortCircuit(_) => count.logical += 1,
+            Op::Call1(func) | Op::Call2(func) => match func {
+                MathFn::Sqrt => count.square_roots += 1,
+                MathFn::Min => count.minimums += 1,
+                MathFn::Max => count.maximums += 1,
+                _ => count.other_math += 1,
+            },
+            Op::Const(_) | Op::Slot(_) | Op::Local(_) | Op::Store(_) | Op::Pop | Op::Jump(_) => {}
+        }
+    }
+    count
+}
+
 /// Count the operations of a single expression.
 pub fn count_expr(expr: &Expr) -> OpCount {
     let mut count = OpCount::default();
@@ -207,6 +246,24 @@ mod tests {
         assert_eq!(ops.additions, 6);
         assert_eq!(ops.multiplications, 1);
         assert_eq!(ops.flops(), 7);
+    }
+
+    #[test]
+    fn kernel_counts_reflect_optimization() {
+        use crate::compile::CompiledKernel;
+        // The AST counts both adds; the optimized bytecode shares one.
+        let program = parse_program("(a[i-1] + a[i+1]) * (a[i-1] + a[i+1])").unwrap();
+        assert_eq!(count_ops(&program).additions, 2);
+        let optimized = CompiledKernel::compile(&program).unwrap();
+        let counts = count_kernel_ops(&optimized);
+        assert_eq!(counts.additions, 1);
+        assert_eq!(counts.multiplications, 1);
+        // An if-converted ternary still counts as one branch.
+        let program = parse_program("a[i] > 0.0 ? a[i] : -a[i]").unwrap();
+        let optimized = CompiledKernel::compile(&program).unwrap();
+        let counts = count_kernel_ops(&optimized);
+        assert_eq!(counts.branches, 1);
+        assert_eq!(counts.comparisons, 1);
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Property test for the optimization pipeline: randomly generated
+//! programs with (nested) ternaries and short-circuit logic, asserting the
+//! optimized bytecode — if-converted, CSE'd, DCE'd — is bitwise identical
+//! to both the unoptimized bytecode and the tree-walking interpreter,
+//! across f32, f64, and mixed slot types, on the `Value` path and (where
+//! the kernel specializes) the typed and lane paths.
+
+use proptest::prelude::*;
+use stencilflow_expr::ast::{BinOp, Expr, Index, MathFn, Program, Stmt, UnOp};
+use stencilflow_expr::{
+    AccessExtractor, AccessResolver, CompiledKernel, EvalScratch, Evaluator, LaneScratch,
+    MapResolver, TypedScratch, Value,
+};
+
+/// Random expressions biased towards ternaries (including nested ones) and
+/// repeated subexpressions — the constructs if-conversion and CSE act on.
+/// Division is included deliberately: it blocks if-conversion of the arm
+/// containing it, exercising the mixed jump-plus-select paths.
+fn arb_expr(_depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0i32..100).prop_map(|v| Expr::FloatLit(v as f64 / 8.0)),
+        (0i64..4).prop_map(Expr::IntLit),
+        (0usize..3usize, -2i64..3, -2i64..3).prop_map(|(f, di, dj)| Expr::FieldAccess {
+            field: format!("f{f}"),
+            indices: vec![
+                Index {
+                    var: "i".into(),
+                    offset: di
+                },
+                Index {
+                    var: "j".into(),
+                    offset: dj
+                },
+            ],
+        }),
+    ];
+    leaf.prop_recursive(4, 96, 3, |inner| {
+        prop_oneof![
+            // The ternary arm appears three times: the offline proptest
+            // stand-in has no weighted arms, and nesting should be common.
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::ternary(c, t, e)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::ternary(c, t, e)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::ternary(c, t, e)),
+            (inner.clone(), inner.clone(), any::<u8>()).prop_map(|(a, b, op)| {
+                let op = match op % 8 {
+                    0 => BinOp::Add,
+                    1 => BinOp::Sub,
+                    2 => BinOp::Mul,
+                    3 => BinOp::Div,
+                    4 => BinOp::Lt,
+                    5 => BinOp::And,
+                    6 => BinOp::Or,
+                    _ => BinOp::Ge,
+                };
+                Expr::binary(op, a, b)
+            }),
+            // Duplicated subtree: guaranteed CSE fodder.
+            inner
+                .clone()
+                .prop_map(|a| Expr::binary(BinOp::Mul, a.clone(), a)),
+            inner.clone().prop_map(|a| Expr::unary(UnOp::Neg, a)),
+            inner.clone().prop_map(|a| Expr::unary(UnOp::Not, a)),
+            (inner.clone(), inner.clone(), any::<bool>()).prop_map(|(a, b, is_min)| {
+                Expr::Call {
+                    func: if is_min { MathFn::Min } else { MathFn::Max },
+                    args: vec![a, b],
+                }
+            }),
+            inner.clone().prop_map(|a| Expr::Call {
+                func: MathFn::Sqrt,
+                args: vec![a],
+            }),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(arb_expr(4), 1..4).prop_map(|exprs| {
+        let n = exprs.len();
+        Program {
+            statements: exprs
+                .into_iter()
+                .enumerate()
+                .map(|(idx, value)| Stmt {
+                    name: if idx + 1 < n {
+                        Some(format!("tmp{idx}"))
+                    } else {
+                        None
+                    },
+                    value,
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Slot typing modes the equivalence is checked under.
+#[derive(Debug, Clone, Copy)]
+enum SlotMode {
+    AllF32,
+    AllF64,
+    Mixed,
+}
+
+fn resolver_for(program: &Program, mode: SlotMode) -> MapResolver {
+    let mut resolver = MapResolver::new();
+    let accesses = AccessExtractor::extract(program);
+    for (field, info) in accesses.iter() {
+        if info.is_scalar() {
+            resolver.insert_scalar(field, Value::F64(1.25));
+        }
+        for offsets in &info.offsets {
+            let v = offsets
+                .iter()
+                .enumerate()
+                .map(|(d, o)| (*o as f64) * (d as f64 + 1.0) * 0.37)
+                .sum::<f64>()
+                + field.len() as f64
+                - 1.4;
+            let f32_slot = match mode {
+                SlotMode::AllF32 => true,
+                SlotMode::AllF64 => false,
+                SlotMode::Mixed => (offsets.iter().sum::<i64>()).rem_euclid(2) == 0,
+            };
+            let value = if f32_slot {
+                Value::F32(v as f32)
+            } else {
+                Value::F64(v)
+            };
+            resolver.insert_access(field, offsets, value);
+        }
+    }
+    resolver
+}
+
+fn bits_match(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+/// The full differential check for one program and one slot mode:
+/// interpreter vs unoptimized bytecode vs optimized bytecode (values,
+/// types, and errors), plus the typed and lane tiers when the optimized
+/// kernel specializes.
+fn check_optimized_equivalence(program: &Program, mode: SlotMode) -> Result<(), TestCaseError> {
+    let resolver = resolver_for(program, mode);
+    let interpreted = Evaluator::new(&resolver).eval_program(program);
+    let optimized = CompiledKernel::compile(program).expect("non-empty programs compile");
+    let unoptimized = CompiledKernel::compile_unoptimized(program).unwrap();
+    for kernel in [&optimized, &unoptimized] {
+        let compiled = kernel.eval(&resolver);
+        match (&interpreted, &compiled) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.data_type(), b.data_type());
+                prop_assert!(
+                    bits_match(a.as_f64(), b.as_f64()),
+                    "compiled {:?} differs from interpreted {:?} for `{}`",
+                    b,
+                    a,
+                    program
+                );
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "outcome mismatch for `{program}`: interpreted {a:?}, compiled {b:?}"
+            ),
+        }
+    }
+
+    // Typed and lane tiers of the optimized kernel, when they exist.
+    let mut slot_types = Vec::with_capacity(optimized.slots().len());
+    let mut values = Vec::with_capacity(optimized.slots().len());
+    let mut raw = Vec::with_capacity(optimized.slots().len());
+    for slot in optimized.slots() {
+        let value = resolver
+            .resolve(&slot.field, &slot.offsets)
+            .expect("resolver covers every access");
+        slot_types.push(value.data_type());
+        raw.push(value.as_f64());
+        values.push(value);
+    }
+    if let Some(typed) = optimized.specialize(&slot_types) {
+        let reference = optimized
+            .eval_slots(&values, &mut EvalScratch::default())
+            .expect("specialized kernels cannot fail");
+        let specialized = typed.eval_slots(&raw, &mut TypedScratch::default());
+        prop_assert!(
+            bits_match(reference.as_f64(), specialized),
+            "typed mismatch for `{}`: {:?} vs {}",
+            program,
+            reference,
+            specialized
+        );
+        if typed.supports_lanes() {
+            const LANES: usize = 4;
+            let lanes: Vec<[f64; LANES]> = raw.iter().map(|&v| [v; LANES]).collect();
+            let batched = typed.eval_lanes(&lanes, &mut LaneScratch::<LANES>::default());
+            for lane in batched {
+                prop_assert!(
+                    bits_match(specialized, lane),
+                    "lane mismatch for `{program}`: {specialized} vs {lane}"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Optimized bytecode is bitwise identical to the unoptimized bytecode
+    /// and to the interpreter on all-f32 slots (per-operation rounding).
+    #[test]
+    fn optimized_matches_interpreter_f32(program in arb_program()) {
+        check_optimized_equivalence(&program, SlotMode::AllF32)?;
+    }
+
+    /// ... on all-f64 slots.
+    #[test]
+    fn optimized_matches_interpreter_f64(program in arb_program()) {
+        check_optimized_equivalence(&program, SlotMode::AllF64)?;
+    }
+
+    /// ... and on mixed f32/f64 slots, stressing promotion across the
+    /// select joins.
+    #[test]
+    fn optimized_matches_interpreter_mixed(program in arb_program()) {
+        check_optimized_equivalence(&program, SlotMode::Mixed)?;
+    }
+}

@@ -365,10 +365,9 @@ pub(crate) struct BoundStencil<'g, 'p> {
 trait SweepKernel {
     /// Per-slot value representation ([`Value`] or raw `f64`).
     type Slot: Copy;
-    /// An in-bounds load of a raw grid value for `slot`.
+    /// A load of a raw grid value (or a pre-rounded boundary constant) for
+    /// `slot`.
     fn load(raw: f64, slot: &SlotTemplate) -> Self::Slot;
-    /// The `Constant`-boundary value of `slot`.
-    fn constant(slot: &SlotTemplate) -> Self::Slot;
     /// Evaluate the kernel on the resolved slot values; the result is the
     /// raw output value before rounding through the stencil's output type.
     fn eval(&mut self, values: &[Self::Slot]) -> Result<f64, ExprError>;
@@ -384,13 +383,9 @@ impl SweepKernel for ValueSweep<'_> {
     type Slot = Value;
 
     fn load(raw: f64, slot: &SlotTemplate) -> Value {
+        // Boundary constants are pre-rounded through the slot type, so
+        // tagging them here is exactly `from_f64(c, dtype)` (idempotent).
         Value::from_f64(raw, slot.dtype)
-    }
-
-    fn constant(slot: &SlotTemplate) -> Value {
-        // `halo_constant` is pre-rounded through the slot type, so tagging
-        // it is exactly `from_f64(c, dtype)` (the rounding is idempotent).
-        Value::from_f64(slot.halo_constant, slot.dtype)
     }
 
     fn eval(&mut self, values: &[Value]) -> Result<f64, ExprError> {
@@ -411,10 +406,6 @@ impl SweepKernel for TypedSweep<'_> {
 
     fn load(raw: f64, _slot: &SlotTemplate) -> f64 {
         raw
-    }
-
-    fn constant(slot: &SlotTemplate) -> f64 {
-        slot.halo_constant
     }
 
     fn eval(&mut self, values: &[f64]) -> Result<f64, ExprError> {
@@ -443,6 +434,41 @@ fn fill_interior_slots<K: SweepKernel>(
     }
 }
 
+/// Raw value of one non-scalar slot at a halo cell: bounds-check the access
+/// and apply the boundary condition on a miss. `index` must hold the cell's
+/// full index (leading dimensions and `k`). The returned raw value is what
+/// grid storage holds (already rounded through the slot's element type), so
+/// both kernel tiers load it identically — and the lane-batched halo gather
+/// reuses this exact per-cell logic per lane, which is why it stays
+/// bit-identical to the scalar halo sweep.
+#[inline]
+fn halo_slot_raw(
+    plan: &CompiledStencil,
+    grid_data: &[&[f64]],
+    slot_ix: usize,
+    slot: &SlotTemplate,
+    index: &[usize],
+    rowbase: &[i64],
+    k: usize,
+) -> f64 {
+    let rank = plan.shape.len();
+    let in_bounds = slot.checks.iter().all(|&(dim, off)| {
+        let pos = index[dim] as i64 + off;
+        pos >= 0 && pos < plan.shape[dim] as i64
+    });
+    let center = rowbase[slot_ix] - slot.delta + k as i64 * slot.coeffs[rank - 1];
+    if in_bounds {
+        grid_data[slot.grid][(center + slot.delta) as usize]
+    } else {
+        match slot.boundary {
+            // Pre-rounded through the slot type; `K::load` tagging is
+            // idempotent on it.
+            BoundaryCondition::Constant(_) => slot.halo_constant,
+            BoundaryCondition::Copy => grid_data[slot.grid][center as usize],
+        }
+    }
+}
+
 /// Fill `values` for a halo cell: bounds-check each access and apply the
 /// boundary condition on misses. `index` must hold the cell's full index
 /// (leading dimensions and `k`).
@@ -455,25 +481,14 @@ fn fill_halo_slots<K: SweepKernel>(
     k: usize,
     values: &mut [K::Slot],
 ) {
-    let rank = plan.shape.len();
     for (s, slot) in plan.slots.iter().enumerate() {
         if slot.scalar {
             continue;
         }
-        let in_bounds = slot.checks.iter().all(|&(dim, off)| {
-            let pos = index[dim] as i64 + off;
-            pos >= 0 && pos < plan.shape[dim] as i64
-        });
-        let center = rowbase[s] - slot.delta + k as i64 * slot.coeffs[rank - 1];
-        values[s] = if in_bounds {
-            let flat = (center + slot.delta) as usize;
-            K::load(grid_data[slot.grid][flat], slot)
-        } else {
-            match slot.boundary {
-                BoundaryCondition::Constant(_) => K::constant(slot),
-                BoundaryCondition::Copy => K::load(grid_data[slot.grid][center as usize], slot),
-            }
-        };
+        values[s] = K::load(
+            halo_slot_raw(plan, grid_data, s, slot, index, rowbase, k),
+            slot,
+        );
     }
 }
 
@@ -554,13 +569,23 @@ impl BoundStencil<'_, '_> {
         }
     }
 
-    /// The lane-batched typed sweep: interior cells are evaluated `LANES`
-    /// at a time — per slot, one contiguous innermost-dimension load (unit
-    /// stride) or broadcast (zero stride) feeds a [`TypedKernel::eval_lanes`]
-    /// pass — while halo cells and the interior remainder (fewer than
-    /// `LANES` cells left before the halo) fall back to the scalar typed
-    /// kernel. Bit-identical to [`BoundStencil::sweep`] because each lane
-    /// applies the identical per-cell computation.
+    /// The lane-batched typed sweep: cells are evaluated `LANES` at a time
+    /// wherever a full batch fits in the row.
+    ///
+    /// * **Interior batches** gather each slot with one contiguous
+    ///   innermost-dimension load (unit stride) or a broadcast (zero
+    ///   stride) and feed a single [`TypedKernel::eval_lanes`] pass.
+    /// * **Halo (or mixed) batches** gather each slot lane by lane with
+    ///   the same clamped/bounds-checked tap logic the scalar halo sweep
+    ///   uses ([`halo_slot_raw`]) — the gather is slower than the
+    ///   interior's contiguous copy, but the bytecode-dispatch cost of the
+    ///   kernel is still amortized over all `LANES` cells, so halos no
+    ///   longer force the per-cell scalar path.
+    /// * Only the **row remainder** (fewer than `LANES` cells left in the
+    ///   row) falls back to the scalar typed kernel.
+    ///
+    /// Bit-identical to [`BoundStencil::sweep`] because each lane applies
+    /// the identical per-cell loads and computation.
     fn sweep_lanes(
         &self,
         typed: &TypedKernel,
@@ -597,29 +622,10 @@ impl BoundStencil<'_, '_> {
 
             let mut k = 0usize;
             while k < row_len {
-                if row_interior && k >= lo_k && k + LANES <= hi_k {
-                    // Lane-batched interior run: gather each slot's lanes
-                    // from its contiguous innermost-dimension window.
-                    for (s, slot) in plan.slots.iter().enumerate() {
-                        if slot.scalar {
-                            continue;
-                        }
-                        let stride = slot.coeffs[rank - 1];
-                        let base = (rowbase[s] + k as i64 * stride) as usize;
-                        let lanes = &mut lane_values[s];
-                        if stride == 1 {
-                            lanes.copy_from_slice(&self.grid_data[slot.grid][base..base + LANES]);
-                        } else {
-                            *lanes = [self.grid_data[slot.grid][base]; LANES];
-                        }
-                    }
-                    let result = typed.eval_lanes(&lane_values, &mut lane_scratch);
-                    round_lanes(&result, plan.out_dtype, &mut out_row[k..k + LANES]);
-                    k += LANES;
-                } else {
-                    // Scalar fallback: halo cells and the interior
-                    // remainder.
-                    if row_interior && k >= lo_k && k < hi_k {
+                if k + LANES > row_len {
+                    // Row remainder: scalar typed kernel, cell by cell.
+                    let cell_interior = row_interior && k >= lo_k && k < hi_k;
+                    if cell_interior {
                         fill_interior_slots::<TypedSweep<'_>>(
                             plan,
                             &self.grid_data,
@@ -644,6 +650,67 @@ impl BoundStencil<'_, '_> {
                     let result = typed.eval_slots(&values, &mut scratch);
                     out_row[k] = Value::from_f64(result, plan.out_dtype).as_f64();
                     k += 1;
+                } else if row_interior && k >= lo_k && k + LANES <= hi_k {
+                    // Lane-batched interior run: gather each slot's lanes
+                    // from its contiguous innermost-dimension window.
+                    for (s, slot) in plan.slots.iter().enumerate() {
+                        if slot.scalar {
+                            continue;
+                        }
+                        let stride = slot.coeffs[rank - 1];
+                        let base = (rowbase[s] + k as i64 * stride) as usize;
+                        let lanes = &mut lane_values[s];
+                        if stride == 1 {
+                            lanes.copy_from_slice(&self.grid_data[slot.grid][base..base + LANES]);
+                        } else {
+                            *lanes = [self.grid_data[slot.grid][base]; LANES];
+                        }
+                    }
+                    let result = typed.eval_lanes(&lane_values, &mut lane_scratch);
+                    round_lanes(&result, plan.out_dtype, &mut out_row[k..k + LANES]);
+                    k += LANES;
+                } else {
+                    // Lane-batched halo (or mixed halo/interior) run: gather
+                    // each slot lane by lane with per-cell bounds checks and
+                    // boundary conditions — identical loads to the scalar
+                    // halo sweep, batched through one eval_lanes pass.
+                    for (s, slot) in plan.slots.iter().enumerate() {
+                        if slot.scalar {
+                            continue;
+                        }
+                        let lanes = &mut lane_values[s];
+                        for (lane, value) in lanes.iter_mut().enumerate() {
+                            let cell = k + lane;
+                            if row_interior && cell >= lo_k && cell < hi_k {
+                                let stride = slot.coeffs[rank - 1];
+                                let flat = (rowbase[s] + cell as i64 * stride) as usize;
+                                *value = self.grid_data[slot.grid][flat];
+                            } else {
+                                index[rank - 1] = cell;
+                                *value = halo_slot_raw(
+                                    plan,
+                                    &self.grid_data,
+                                    s,
+                                    slot,
+                                    &index,
+                                    &rowbase,
+                                    cell,
+                                );
+                            }
+                        }
+                    }
+                    if plan.shrink {
+                        for (lane, mask_cell) in mask_row[k..k + LANES].iter_mut().enumerate() {
+                            let cell = k + lane;
+                            if !(row_interior && cell >= lo_k && cell < hi_k) {
+                                index[rank - 1] = cell;
+                                *mask_cell = halo_mask_valid(plan, &index);
+                            }
+                        }
+                    }
+                    let result = typed.eval_lanes(&lane_values, &mut lane_scratch);
+                    round_lanes(&result, plan.out_dtype, &mut out_row[k..k + LANES]);
+                    k += LANES;
                 }
             }
         }

@@ -8,7 +8,7 @@ use stencilflow_program::{BoundaryCondition, StencilProgram, StencilProgramBuild
 use stencilflow_reference::{generate_inputs, Grid, ReferenceExecutor};
 use stencilflow_workloads::{
     chain_program, diffusion2d, diffusion3d, horizontal_diffusion, jacobi2d, jacobi3d,
-    listing1::listing1_with_shape, ChainSpec, HorizontalDiffusionSpec,
+    listing1::listing1_with_shape, upwind3d, upwind3d_typed, ChainSpec, HorizontalDiffusionSpec,
 };
 
 /// Run all four executor paths — tree-walking interpreter, dynamically
@@ -297,6 +297,57 @@ fn lane_batched_sweep_is_engaged_on_jacobi() {
     assert_eq!(jacobi.lane_stencil_count(), jacobi.stencil_count());
     let diffusion = executor.prepare(&diffusion2d(2, &[16, 16], 1)).unwrap();
     assert!(diffusion.lane_stencil_count() > 0);
+}
+
+#[test]
+fn branchy_upwind_matches_bitwise_and_lane_batches() {
+    // The branchy workload: data-dependent ternaries that only lane-batch
+    // because the if-conversion pass lowers their diamonds to selects.
+    // Every tier (interpreter, Value bytecode, scalar typed, lane-batched)
+    // must agree bitwise, and the lane tier must actually engage.
+    for dtype in [DataType::Float32, DataType::Float64] {
+        let program = upwind3d_typed(2, &[7, 9, 11], 1, dtype);
+        assert_bit_identical(&program, 61);
+        let executor = ReferenceExecutor::new();
+        let compiled = executor.prepare(&program).unwrap();
+        assert_eq!(
+            compiled.lane_stencil_count(),
+            compiled.stencil_count(),
+            "if-converted upwind kernels must dispatch to the lane tier"
+        );
+    }
+}
+
+#[test]
+fn branchy_upwind_matches_on_remainder_widths() {
+    // Innermost extents straddling the lane width, exercising the halo
+    // lane path and the scalar row remainder on a select-carrying kernel.
+    for width in [1usize, 2, 3, 7, 8, 9, 11, 16, 20] {
+        let program = upwind3d(1, &[4, 5, width], 1);
+        assert_bit_identical(&program, 70 + width as u64);
+    }
+}
+
+#[test]
+fn halo_lane_path_matches_on_wide_halos() {
+    // Deep halos on both ends of the innermost dimension with mixed
+    // boundary conditions: whole batches land in the halo (and in the
+    // halo/interior transition), driving the lane-batched halo gather
+    // rather than the per-cell fallback.
+    let program = StencilProgramBuilder::new("deep_halo", &[5, 24])
+        .input("a", DataType::Float32, &["i", "j"])
+        .input("b", DataType::Float32, &["i", "j"])
+        .stencil(
+            "s",
+            "x = a[i,j-9] + a[i,j+9] + b[i-1,j]; x > 0.0 ? x * b[i,j] : a[i,j]",
+        )
+        .boundary("s", "a", BoundaryCondition::Constant(0.75))
+        .boundary("s", "b", BoundaryCondition::Copy)
+        .shrink("s")
+        .output("s")
+        .build()
+        .unwrap();
+    assert_bit_identical(&program, 83);
 }
 
 #[test]

@@ -622,6 +622,59 @@ mod tests {
     }
 
     #[test]
+    fn branchy_kernels_lane_batch_after_if_conversion() {
+        // A data-dependent ternary used to force the scalar path
+        // (`supports_lanes` rejected the jump diamond); the if-conversion
+        // pass lowers it to a select, so the unit's lane mode engages — and
+        // the produced stream must still match the scalar unit bit for bit.
+        let program = StencilProgramBuilder::new("p", &[4, 19])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil(
+                "s",
+                "d = a[i,j] - a[i,j-1]; d > 0.0 ? d * a[i,j+1] : -d * a[i,j]",
+            )
+            .boundary("s", "a", BoundaryCondition::Constant(0.25))
+            .output("s")
+            .build()
+            .unwrap();
+        let stencil = program.stencil("s").unwrap();
+        let total = program.space().num_cells();
+        let data: Vec<f64> = (0..total)
+            .map(|v| ((v as f64 * 0.61 - 11.0) as f32) as f64)
+            .collect();
+        let mut outputs: Vec<Vec<f64>> = Vec::new();
+        for lane_batching in [false, true] {
+            let mut channels = vec![Fifo::new("a->s", 1024), Fifo::new("s->out", 1024)];
+            let wiring: BTreeMap<String, usize> = [("a".to_string(), 0)].into_iter().collect();
+            let mut unit = StencilUnitSim::new(&program, stencil, &wiring, vec![1])
+                .with_lane_batching(lane_batching);
+            assert!(
+                unit.lane_capable,
+                "if-converted ternary kernels must support lanes"
+            );
+            let mut fed = 0usize;
+            for cycle in 0..10_000u64 {
+                for c in channels.iter_mut() {
+                    c.begin_cycle();
+                }
+                while fed < data.len() && channels[0].can_push() {
+                    channels[0].push(cycle, data[fed]);
+                    fed += 1;
+                }
+                unit.step(cycle, &mut channels);
+                if unit.done() {
+                    break;
+                }
+            }
+            assert!(unit.done());
+            outputs.push((0..total).map(|_| channels[1].pop(1_000_000)).collect());
+        }
+        for (cell, (a, b)) in outputs[0].iter().zip(outputs[1].iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "cell {cell}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
     fn unit_stalls_without_input_and_counts_it() {
         let program = simple_program();
         let stencil = program.stencil("s").unwrap();

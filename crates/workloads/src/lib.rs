@@ -14,6 +14,9 @@
 //! * [`mod@horizontal_diffusion`] — the COSMO horizontal-diffusion stencil
 //!   program with Smagorinsky diffusion (§IX), the full-complexity
 //!   application study.
+//! * [`upwind`] — first-order upwind advection, the branchy
+//!   (data-dependent-select) workload gating if-conversion and the
+//!   lane-batched evaluation of ternary kernels.
 
 pub mod chain;
 pub mod diffusion;
@@ -21,6 +24,7 @@ pub mod horizontal_diffusion;
 pub mod jacobi;
 pub mod listing1;
 pub mod membench;
+pub mod upwind;
 
 pub use chain::{chain_program, ChainSpec};
 pub use diffusion::{diffusion2d, diffusion3d};
@@ -28,6 +32,7 @@ pub use horizontal_diffusion::{horizontal_diffusion, HorizontalDiffusionSpec};
 pub use jacobi::{jacobi2d, jacobi3d, jacobi3d_typed};
 pub use listing1::listing1;
 pub use membench::{membench_program, MembenchSpec};
+pub use upwind::{upwind3d, upwind3d_typed};
 
 #[cfg(test)]
 mod tests {
@@ -49,5 +54,6 @@ mod tests {
         horizontal_diffusion(&HorizontalDiffusionSpec::default())
             .validate()
             .unwrap();
+        upwind3d(2, &[8, 8, 8], 1).validate().unwrap();
     }
 }

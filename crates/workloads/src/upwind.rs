@@ -1,0 +1,94 @@
+//! First-order upwind advection — the branchy (data-dependent-select)
+//! workload.
+//!
+//! Every cell chooses its finite-difference direction from the sign of the
+//! local velocity, one ternary per spatial dimension:
+//!
+//! ```text
+//! fx = u[i,j,k] > 0.0 ? c[i,j,k] - c[i-1,j,k] : c[i+1,j,k] - c[i,j,k]
+//! ```
+//!
+//! These data-dependent branches are exactly what the paper's language
+//! permits (§II) and what, before the if-conversion pass, forced the
+//! reference executor's lane-batched (SIMD) tier to bail out to the scalar
+//! typed kernel. With the pass pipeline the ternaries lower to branch-free
+//! selects, so this program exercises — and the benchmark floors gate —
+//! lane batching of branchy kernels end to end.
+
+use stencilflow_expr::DataType;
+use stencilflow_program::{StencilProgram, StencilProgramBuilder};
+
+/// A chain of `timesteps` first-order upwind advection steps on a 3D
+/// domain (`float32` fields; see [`upwind3d_typed`] for other element
+/// types). The velocity field `u` is shared by all steps; each step
+/// advects the previous concentration field `c{t-1}` into `c{t}`.
+pub fn upwind3d(timesteps: usize, shape: &[usize; 3], vectorization: usize) -> StencilProgram {
+    upwind3d_typed(timesteps, shape, vectorization, DataType::Float32)
+}
+
+/// [`upwind3d`] with a custom element type for every field. Both ternary
+/// arms of each directional difference are pure field arithmetic of the
+/// field's own type, so the kernel type-specializes — and, once the
+/// ternaries are if-converted to selects, lane-batches.
+pub fn upwind3d_typed(
+    timesteps: usize,
+    shape: &[usize; 3],
+    vectorization: usize,
+    dtype: DataType,
+) -> StencilProgram {
+    assert!(timesteps > 0, "at least one timestep is required");
+    let mut builder = StencilProgramBuilder::new("upwind3d", shape)
+        .vectorization(vectorization)
+        .input("u", dtype, &["i", "j", "k"])
+        .input("c0", dtype, &["i", "j", "k"]);
+    for t in 1..=timesteps {
+        let prev = format!("c{}", t - 1);
+        let name = format!("c{t}");
+        builder = builder
+            .stencil(
+                &name,
+                &format!(
+                    "fx = u[i,j,k] > 0.0 ? {prev}[i,j,k] - {prev}[i-1,j,k] \
+                     : {prev}[i+1,j,k] - {prev}[i,j,k]; \
+                     fy = u[i,j,k] > 0.0 ? {prev}[i,j,k] - {prev}[i,j-1,k] \
+                     : {prev}[i,j+1,k] - {prev}[i,j,k]; \
+                     fz = u[i,j,k] > 0.0 ? {prev}[i,j,k] - {prev}[i,j,k-1] \
+                     : {prev}[i,j,k+1] - {prev}[i,j,k]; \
+                     {prev}[i,j,k] - u[i,j,k] * (fx + fy + fz)"
+                ),
+            )
+            .output_type(&name, dtype)
+            .shrink(&name);
+    }
+    builder
+        .output(&format!("c{timesteps}"))
+        .build()
+        .expect("generated upwind programs are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upwind3d_counts_its_branches() {
+        let program = upwind3d(1, &[8, 8, 8], 1);
+        let ops = program.ops_per_cell();
+        // Three data-dependent ternaries per step, with three comparisons.
+        assert_eq!(ops.branches, 3);
+        assert_eq!(ops.comparisons, 3);
+        // Six subtractions inside the arms (both arms instantiated), one
+        // trailing subtraction, two adds, one multiply.
+        assert!(ops.additions >= 6);
+        assert_eq!(ops.multiplications, 1);
+    }
+
+    #[test]
+    fn upwind3d_chains_and_validates() {
+        upwind3d(3, &[8, 8, 8], 1).validate().unwrap();
+        upwind3d(1, &[8, 8, 8], 8).validate().unwrap();
+        let program = upwind3d_typed(2, &[8, 8, 8], 1, DataType::Float64);
+        assert_eq!(program.field_type("u"), Some(DataType::Float64));
+        assert_eq!(program.field_type("c2"), Some(DataType::Float64));
+    }
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Mirror of the CI gates (.github/workflows/ci.yml) so local runs and CI
+# cannot drift: the workflow invokes this script, and a local
+# `scripts/verify.sh` run reproduces exactly what CI enforces.
+#
+# Gates, in order:
+#   1. cargo fmt --check          — formatting
+#   2. cargo build --release     — the build the benchmarks and examples use
+#   3. cargo test -q             — tier-1 tests (incl. golden equivalence
+#                                  and the in-crate speedup floors)
+#   4. cargo clippy -D warnings  — lints
+#   5. cargo doc -D warnings     — documentation (intra-doc links included)
+#   6. examples                  — compile-and-run every example
+#   7. bench_eval --quick + report --quick
+#                                — the benchmark smoke run; writes the JSON
+#                                  document the floor gate checks
+#   8. bench_eval --check-floors — kernel-tier speedup floors (compiled /
+#                                  typed / simd on jacobi3d, and the
+#                                  if-conversion lane floor on upwind3d)
+#
+# The quick-mode JSON lands in $BENCH_JSON (default: bench_eval_ci.json in
+# the repository root); CI uploads it as an artifact.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_JSON="${BENCH_JSON:-bench_eval_ci.json}"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> examples"
+cargo run --release --example quickstart
+cargo run --release --example horizontal_diffusion
+cargo run --release --example multi_device
+cargo run --release --example deadlock_buffers
+
+echo "==> bench smoke run (quick mode) -> ${BENCH_JSON}"
+cargo run --release --bin bench_eval -- --quick "${BENCH_JSON}"
+cargo run --release --bin report -- --quick
+
+echo "==> kernel-tier speedup floors"
+cargo run --release --bin bench_eval -- --check-floors "${BENCH_JSON}"
+
+echo "verify.sh: all gates passed"
