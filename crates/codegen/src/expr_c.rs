@@ -17,7 +17,7 @@
 //! kernel's element type, so `double` kernels are not silently truncated
 //! through `float` constants.
 
-use stencilflow_expr::ast::{Expr, MathFn, Program, UnOp};
+use stencilflow_expr::ast::{BinOp, Expr, MathFn, Program, UnOp};
 use stencilflow_expr::{CompiledKernel, DataType, Op, Value};
 
 /// How [`kernel_to_c`] renders an [`Op::Select`].
@@ -141,15 +141,105 @@ pub fn expr_to_c(expr: &Expr, access: &impl Fn(&str, &[i64]) -> String, dtype: D
     }
 }
 
+/// Structural summary of a stack entry tracked by [`kernel_to_c`] to
+/// recognize clamp patterns at [`Op::Select`] sites.
+#[derive(Debug, Clone, PartialEq)]
+enum Shape {
+    /// A finite floating-point literal.
+    Literal(f64),
+    /// An ordering comparison with its operands' rendered C expressions
+    /// (and, when literal, their values).
+    Compare {
+        op: BinOp,
+        lhs: String,
+        rhs: String,
+        lhs_literal: Option<f64>,
+        rhs_literal: Option<f64>,
+    },
+    /// Anything else.
+    Other,
+}
+
+/// Try to fuse `cond ? then : otherwise` into `fmin` / `fmax`.
+///
+/// Only the bit-faithful orientations fuse: the *else* arm must be a
+/// finite **non-zero** literal `c` and the *then* arm the other compared
+/// operand `x` (`x < c ? x : c`, `x > c ? x : c`, `c < x ? x : c`,
+/// `c > x ? x : c`). A NaN `x` fails the comparison and selects `c` —
+/// exactly what IEEE `fmin`/`fmax` return against a NaN operand — and
+/// with `c` non-zero a numeric tie (`x == c`) implies identical bits, so
+/// the fused form agrees with the ternary on *every* input. Zero
+/// literals are excluded: `x = ∓0.0` ties against `c = ±0.0` with
+/// different bits, and `fmin`/`fmax` may return either zero where the
+/// ternary's pick is fixed by the comparison. The mirrored orientation
+/// with the literal in the then-arm (`x > c ? c : x`) propagates a NaN
+/// where `fmin` would return `c`, so it deliberately stays a select.
+fn fuse_clamp(
+    cond: &Shape,
+    then: &str,
+    otherwise: &Shape,
+    otherwise_str: &str,
+    dtype: DataType,
+    style: SelectStyle,
+) -> Option<String> {
+    let Shape::Compare {
+        op,
+        lhs,
+        rhs,
+        lhs_literal,
+        rhs_literal,
+    } = cond
+    else {
+        return None;
+    };
+    let Shape::Literal(c) = otherwise else {
+        return None;
+    };
+    if !c.is_finite() || *c == 0.0 {
+        return None;
+    }
+    // `x` is whichever compared operand the then-arm repeats; the else
+    // arm must be the other (literal) operand.
+    let (x, pick_smaller) = if then == lhs && otherwise_str == rhs && rhs_literal.is_some() {
+        // x OP c ? x : c
+        match op {
+            BinOp::Lt | BinOp::Le => (lhs, true),
+            BinOp::Gt | BinOp::Ge => (lhs, false),
+            _ => return None,
+        }
+    } else if then == rhs && otherwise_str == lhs && lhs_literal.is_some() {
+        // c OP x ? x : c
+        match op {
+            BinOp::Lt | BinOp::Le => (rhs, false),
+            BinOp::Gt | BinOp::Ge => (rhs, true),
+            _ => return None,
+        }
+    } else {
+        return None;
+    };
+    // OpenCL C has no `fminf`/`fmaxf` — only the overloaded `fmin`/`fmax`
+    // builtins — so the OpenCL style always uses the unsuffixed spelling.
+    let func = match (pick_smaller, style) {
+        (true, SelectStyle::OpenClSelect) => "fmin".to_string(),
+        (false, SelectStyle::OpenClSelect) => "fmax".to_string(),
+        (true, SelectStyle::Ternary) => mathfn_c(MathFn::Min, dtype),
+        (false, SelectStyle::Ternary) => mathfn_c(MathFn::Max, dtype),
+    };
+    Some(format!("{func}({x}, {otherwise_str})"))
+}
+
 /// Emit C statements from a compiled (optimized) kernel's bytecode.
 ///
 /// The instruction stream is symbolically executed with a stack of C
 /// expression strings: slot reads render through `access`, CSE-introduced
 /// registers become `const` temporaries (`t0`, `t1`, ...), and
 /// [`Op::Select`] renders per `style` — a C ternary or the OpenCL `select`
-/// builtin. Returns `None` when the kernel still carries control flow
-/// (jump diamonds that resisted if-conversion need the lazy AST walk,
-/// [`program_to_c`]).
+/// builtin — except for **clamp patterns**, which fuse into
+/// `fmin`/`fmax` calls when (and only when) the fused form is bit-faithful
+/// to the ternary on every input, NaNs and signed zeros included (see the
+/// `fuse_clamp` helper). Returns `None` when the kernel
+/// still carries control flow (jump diamonds that resisted if-conversion
+/// need the lazy AST walk, [`program_to_c`]).
 pub fn kernel_to_c(
     kernel: &CompiledKernel,
     access: &impl Fn(&str, &[i64]) -> String,
@@ -157,68 +247,103 @@ pub fn kernel_to_c(
     style: SelectStyle,
 ) -> Option<Vec<String>> {
     let mut lines = Vec::new();
-    let mut stack: Vec<String> = Vec::new();
+    let mut stack: Vec<(String, Shape)> = Vec::new();
     let mut locals: Vec<Option<String>> = vec![None; kernel.local_count()];
     for op in kernel.ops() {
         match op {
             Op::Const(v) => stack.push(match v {
-                Value::I32(x) => format!("{x}"),
-                Value::I64(x) => format!("{x}"),
-                Value::Bool(b) => if *b { "1" } else { "0" }.to_string(),
-                Value::F32(x) => float_literal(*x as f64, dtype),
-                Value::F64(x) => float_literal(*x, dtype),
+                Value::I32(x) => (format!("{x}"), Shape::Other),
+                Value::I64(x) => (format!("{x}"), Shape::Other),
+                Value::Bool(b) => (if *b { "1" } else { "0" }.to_string(), Shape::Other),
+                Value::F32(x) => (float_literal(*x as f64, dtype), Shape::Literal(*x as f64)),
+                Value::F64(x) => (float_literal(*x, dtype), Shape::Literal(*x)),
             }),
             Op::Slot(ix) => {
                 let slot = &kernel.slots()[*ix as usize];
                 // Scalar symbols are bare parameters, not buffer taps —
                 // exactly like the AST walk's `Expr::Var` arm.
-                stack.push(if slot.is_scalar() {
+                let rendered = if slot.is_scalar() {
                     slot.field.clone()
                 } else {
                     access(&slot.field, &slot.offsets)
-                });
+                };
+                stack.push((rendered, Shape::Other));
             }
-            Op::Local(ix) => stack.push(locals[*ix as usize].clone()?),
+            Op::Local(ix) => stack.push((locals[*ix as usize].clone()?, Shape::Other)),
             Op::Store(ix) => {
-                let value = stack.pop()?;
+                let (value, _) = stack.pop()?;
                 let name = format!("t{ix}");
                 lines.push(format!("const {} {name} = {value};", c_type(dtype)));
                 locals[*ix as usize] = Some(name);
             }
             Op::Pop => {
-                let value = stack.pop()?;
+                let (value, _) = stack.pop()?;
                 lines.push(format!("(void)({value});"));
             }
             Op::Unary(op) => {
-                let inner = stack.pop()?;
-                stack.push(match op {
-                    UnOp::Neg => format!("(-{inner})"),
-                    UnOp::Not => format!("(!{inner})"),
-                });
+                let (inner, _) = stack.pop()?;
+                stack.push((
+                    match op {
+                        UnOp::Neg => format!("(-{inner})"),
+                        UnOp::Not => format!("(!{inner})"),
+                    },
+                    Shape::Other,
+                ));
             }
             Op::Binary(op) => {
-                let r = stack.pop()?;
-                let l = stack.pop()?;
-                stack.push(format!("({l} {} {r})", op.symbol()));
+                let (r, r_shape) = stack.pop()?;
+                let (l, l_shape) = stack.pop()?;
+                let rendered = format!("({l} {} {r})", op.symbol());
+                let shape = match op {
+                    BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => Shape::Compare {
+                        op: *op,
+                        lhs_literal: match l_shape {
+                            Shape::Literal(v) => Some(v),
+                            _ => None,
+                        },
+                        rhs_literal: match r_shape {
+                            Shape::Literal(v) => Some(v),
+                            _ => None,
+                        },
+                        lhs: l,
+                        rhs: r,
+                    },
+                    _ => Shape::Other,
+                };
+                stack.push((rendered, shape));
             }
             Op::Call1(func) => {
-                let a = stack.pop()?;
-                stack.push(format!("{}({a})", mathfn_c(*func, dtype)));
+                let (a, _) = stack.pop()?;
+                stack.push((format!("{}({a})", mathfn_c(*func, dtype)), Shape::Other));
             }
             Op::Call2(func) => {
-                let b = stack.pop()?;
-                let a = stack.pop()?;
-                stack.push(format!("{}({a}, {b})", mathfn_c(*func, dtype)));
+                let (b, _) = stack.pop()?;
+                let (a, _) = stack.pop()?;
+                stack.push((
+                    format!("{}({a}, {b})", mathfn_c(*func, dtype)),
+                    Shape::Other,
+                ));
             }
             Op::ToBool => {
-                let a = stack.pop()?;
-                stack.push(format!("({a} != 0)"));
+                let (a, _) = stack.pop()?;
+                stack.push((format!("({a} != 0)"), Shape::Other));
             }
             Op::Select => {
-                let otherwise = stack.pop()?;
-                let then = stack.pop()?;
-                let cond = stack.pop()?;
-                stack.push(match style {
+                let (otherwise, otherwise_shape) = stack.pop()?;
+                let (then, _) = stack.pop()?;
+                let (cond, cond_shape) = stack.pop()?;
+                if let Some(fused) = fuse_clamp(
+                    &cond_shape,
+                    &then,
+                    &otherwise_shape,
+                    &otherwise,
+                    dtype,
+                    style,
+                ) {
+                    stack.push((fused, Shape::Other));
+                    continue;
+                }
+                let rendered = match style {
                     SelectStyle::Ternary => format!("({cond} ? {then} : {otherwise})"),
                     SelectStyle::OpenClSelect => {
                         // OpenCL `select(a, b, c)` picks `b` where `c` is
@@ -234,7 +359,8 @@ pub fn kernel_to_c(
                         let zero = float_literal(0.0, dtype);
                         format!("select({otherwise}, {then}, ({cond_type})({cond} != {zero}))")
                     }
-                });
+                };
+                stack.push((rendered, Shape::Other));
             }
             // Control flow cannot be expressed as a C expression DAG; the
             // caller falls back to the AST walk with native ternaries.
@@ -243,7 +369,7 @@ pub fn kernel_to_c(
             }
         }
     }
-    let result = stack.pop()?;
+    let (result, _) = stack.pop()?;
     if !stack.is_empty() {
         return None;
     }
@@ -402,6 +528,130 @@ mod tests {
         assert_eq!(body.matches('+').count(), 1, "add not shared in:\n{body}");
         assert!(body.contains("const float t0 ="));
         assert!(body.contains("(t0 * t0)"));
+    }
+
+    #[test]
+    fn clamp_selects_fuse_into_min_max() {
+        // NaN-faithful orientations: the else-arm is the literal, so a
+        // NaN input selects the literal in both the ternary and the
+        // IEEE fmin/fmax rendering.
+        for (code, expected) in [
+            ("a[i] < 4.0 ? a[i] : 4.0", "fminf(buf_a[0], 4.0f)"),
+            ("a[i] <= 4.0 ? a[i] : 4.0", "fminf(buf_a[0], 4.0f)"),
+            ("a[i] > 0.125 ? a[i] : 0.125", "fmaxf(buf_a[0], 0.125f)"),
+            ("0.5 > a[i] ? a[i] : 0.5", "fminf(buf_a[0], 0.5f)"),
+            ("0.5 < a[i] ? a[i] : 0.5", "fmaxf(buf_a[0], 0.5f)"),
+        ] {
+            let program = parse_program(code).unwrap();
+            let kernel = CompiledKernel::compile(&program).unwrap();
+            let body = kernel_to_c(
+                &kernel,
+                &simple_access,
+                DataType::Float32,
+                SelectStyle::Ternary,
+            )
+            .unwrap()
+            .join("\n");
+            assert!(
+                body.contains(expected),
+                "`{code}` should fuse to `{expected}`:\n{body}"
+            );
+            assert!(!body.contains('?'), "select not fused in:\n{body}");
+            // The OpenCL flavor has no suffixed fminf/fmaxf builtins: the
+            // fused spelling must be the overloaded fmin/fmax.
+            let opencl = kernel_to_c(
+                &kernel,
+                &simple_access,
+                DataType::Float32,
+                SelectStyle::OpenClSelect,
+            )
+            .unwrap()
+            .join("\n");
+            let unsuffixed = expected
+                .replace("fminf(", "fmin(")
+                .replace("fmaxf(", "fmax(");
+            assert!(
+                opencl.contains(&unsuffixed)
+                    && !opencl.contains("fminf")
+                    && !opencl.contains("fmaxf"),
+                "`{code}` should fuse to `{unsuffixed}` under OpenCL:\n{opencl}"
+            );
+            assert!(
+                !opencl.contains("select("),
+                "select not fused in:\n{opencl}"
+            );
+        }
+        // Double kernels use the double-flavored functions.
+        let program = parse_program("a[i] < 4.0 ? a[i] : 4.0").unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let body = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float64,
+            SelectStyle::Ternary,
+        )
+        .unwrap()
+        .join("\n");
+        assert!(body.contains("fmin(buf_a[0], 4.0)"), "{body}");
+    }
+
+    #[test]
+    fn clamp_chains_fuse_through_cse_temporaries() {
+        // A two-sided clamp built from chained ternaries: the shared
+        // subexpression lands in a temporary and both selects fuse.
+        let code = "x = a[i] > 0.25 ? a[i] : 0.25; x < 1.0 ? x : 1.0";
+        let program = parse_program(code).unwrap();
+        let kernel = CompiledKernel::compile(&program).unwrap();
+        let body = kernel_to_c(
+            &kernel,
+            &simple_access,
+            DataType::Float32,
+            SelectStyle::Ternary,
+        )
+        .unwrap()
+        .join("\n");
+        assert!(
+            body.contains("fmaxf(buf_a[0], 0.25f)"),
+            "inner clamp not fused in:\n{body}"
+        );
+        assert!(body.contains("fminf("), "outer clamp not fused in:\n{body}");
+        assert!(!body.contains('?'), "clamp chain kept a ternary:\n{body}");
+    }
+
+    #[test]
+    fn nan_divergent_clamp_orientations_stay_selects() {
+        // `x > c ? c : x` propagates a NaN `x` where fminf would return
+        // `c`: the then-arm literal orientation must not fuse. (This is
+        // the horizontal-diffusion limiter shape — correctness over
+        // aesthetics.)
+        for code in [
+            "a[i] > 4.0 ? 4.0 : a[i]",
+            "a[i] < 4.0 ? 4.0 : a[i]",
+            // Non-literal bound: NaN-safety cannot be established.
+            "a[i] < b[i] ? a[i] : b[i]",
+            // Zero bound (relu): x = -0.0 ties against +0.0 with
+            // different bits, and fmax may return either zero where the
+            // ternary's pick is fixed — signed-zero faithfulness forbids
+            // the fusion.
+            "a[i] > 0.0 ? a[i] : 0.0",
+            "a[i] < 0.0 ? a[i] : 0.0",
+        ] {
+            let program = parse_program(code).unwrap();
+            let kernel = CompiledKernel::compile(&program).unwrap();
+            let body = kernel_to_c(
+                &kernel,
+                &simple_access,
+                DataType::Float32,
+                SelectStyle::Ternary,
+            )
+            .unwrap()
+            .join("\n");
+            assert!(body.contains('?'), "`{code}` must stay a select:\n{body}");
+            assert!(
+                !body.contains("fminf") && !body.contains("fmaxf"),
+                "`{code}` fused unsafely:\n{body}"
+            );
+        }
     }
 
     #[test]

@@ -544,6 +544,23 @@ impl CompiledKernel {
         if !live || stack.is_empty() {
             return None;
         }
+        // Statically-typed if-conversion: the untyped pass keeps any
+        // diamond whose arm contains a division (it cannot rule out the
+        // fallible integer variant), but every op of this stream is now
+        // proven float-typed — float division is IEEE-total — so the
+        // remaining diamonds convert to branch-free selects here,
+        // unlocking lane batching for division-heavy ternaries.
+        if crate::opt::typed_if_convert(&mut ops) {
+            // Both arms now evaluate unconditionally: the jump-based
+            // stack bound no longer covers the select form.
+            let max_stack = crate::opt::typed_max_stack_of(&ops);
+            return Some(TypedKernel {
+                ops,
+                slot_count: self.slots.len(),
+                local_count: self.local_count,
+                max_stack,
+            });
+        }
         Some(TypedKernel {
             ops,
             slot_count: self.slots.len(),
@@ -704,11 +721,26 @@ pub struct TypedScratch {
     locals: Vec<f64>,
 }
 
-/// Lane width used by the lane-batched consumers of [`TypedKernel`] (the
-/// reference executor's interior sweep and the simulator's batched window
-/// taps). Eight `f64` lanes fill one 512-bit vector register and still map
-/// cleanly onto two 256-bit (AVX) or four 128-bit (SSE/NEON) operations.
+/// Default lane width used by the lane-batched consumers of [`TypedKernel`]
+/// (the reference executor's interior sweep and the simulator's batched
+/// window taps). Eight `f64` lanes fill one 512-bit vector register and
+/// still map cleanly onto two 256-bit (AVX) or four 128-bit (SSE/NEON)
+/// operations.
 pub const KERNEL_LANES: usize = 8;
+
+/// Wide lane width for kernels whose every operation rounds through `f32`
+/// (see the reference executor's width dispatch): each `f32`-rounding op
+/// appends a double `f64 ↔ f32` conversion to the dependency chain, so
+/// narrow batches of such kernels are *latency*-bound — widening the batch
+/// gives the conversion chain independent work to overlap with. Measured
+/// on the Jacobi/chain kernels, 16 lanes run the f32 variants ~1.4-1.6x
+/// faster per cell than 8 (and the once-proposed *narrowing* to 4 lanes
+/// for f64 kernels measures strictly slower at every width below 8: lanes
+/// are `f64`-typed regardless of the element type, so shrinking the batch
+/// only sheds dispatch amortization). Wide batches only pay off when rows
+/// are long enough that full batches dominate; the dispatch in
+/// `stencilflow_reference` guards on the row length.
+pub const KERNEL_LANES_WIDE: usize = 16;
 
 /// Reusable scratch space for [`TypedKernel::eval_lanes`]; one per worker
 /// thread.
@@ -923,6 +955,26 @@ impl TypedKernel {
         scratch: &mut LaneScratch<LANES>,
     ) -> [f64; LANES] {
         debug_assert_eq!(slot_values.len(), self.slot_count);
+        self.eval_lanes_with(|ix| slot_values[ix], scratch)
+    }
+
+    /// [`TypedKernel::eval_lanes`] with the slot gather supplied as a
+    /// callback: `load(i)` returns the lane batch of slot `i`, letting
+    /// consumers that hold slot data in contiguous storage (the fused
+    /// tile sweep) construct each batch directly on the operand stack
+    /// instead of staging it through a slot-value array. `load` may be
+    /// called several times for the same slot (CSE re-emits leaf taps);
+    /// it must be pure.
+    ///
+    /// # Panics
+    ///
+    /// The kernel must be branch-free ([`TypedKernel::supports_lanes`]);
+    /// control-flow instructions panic.
+    pub fn eval_lanes_with<const LANES: usize>(
+        &self,
+        load: impl Fn(usize) -> [f64; LANES],
+        scratch: &mut LaneScratch<LANES>,
+    ) -> [f64; LANES] {
         #[inline]
         fn finish<const LANES: usize>(v: &mut [f64; LANES], round: bool) {
             if round {
@@ -941,7 +993,7 @@ impl TypedKernel {
         for op in &self.ops {
             match *op {
                 TypedOp::Const(v) => stack.push([v; LANES]),
-                TypedOp::Slot(ix) => stack.push(slot_values[ix as usize]),
+                TypedOp::Slot(ix) => stack.push(load(ix as usize)),
                 TypedOp::Local(ix) => stack.push(locals[ix as usize]),
                 TypedOp::Store(ix) => {
                     locals[ix as usize] = stack.pop().expect("stack underflow: Store");
@@ -1536,9 +1588,13 @@ mod tests {
 
     #[test]
     fn control_flow_blocks_lane_support() {
-        // Jump-based diamonds (the unoptimized lowering) block lane
-        // batching; the if-converted form of the same kernels is
-        // branch-free and admits it.
+        // Jump-based diamonds survive in the *untyped* bytecode of the
+        // unoptimized lowering, but `specialize` runs the statically-typed
+        // if-conversion regardless of the untyped pipeline: once every op
+        // is proven float-typed, no diamond of the expression language can
+        // resist conversion, so every specialized kernel is branch-free
+        // and lane-ready. (Kernels that cannot specialize at all — the
+        // integer cases — remain on the jump-based `Value` path.)
         for code in [
             "a[i] > 0.0 ? a[i] : -a[i]",
             "b[i] != 0.0 && a[i] > 0.0 ? a[i] : a[i-1]",
@@ -1546,14 +1602,23 @@ mod tests {
         ] {
             let program = parse_program(code).unwrap();
             let kernel = CompiledKernel::compile_unoptimized(&program).unwrap();
+            assert!(
+                kernel
+                    .ops()
+                    .iter()
+                    .any(|op| matches!(op, Op::Jump(_) | Op::JumpIfFalse(_))
+                        || matches!(op, Op::AndShortCircuit(_) | Op::OrShortCircuit(_))),
+                "unoptimized `{code}` should keep its jumps in the Value bytecode"
+            );
             let slot_types: Vec<DataType> =
                 kernel.slots().iter().map(|_| DataType::Float64).collect();
             let typed = kernel
                 .specialize(&slot_types)
                 .unwrap_or_else(|| panic!("`{code}` should specialize"));
             assert!(
-                !typed.supports_lanes(),
-                "`{code}` lowers to jumps and must not claim lane support"
+                typed.supports_lanes(),
+                "typed if-conversion should flatten `{code}` even without \
+                 the untyped pass"
             );
             let optimized = CompiledKernel::compile(&program).unwrap();
             let typed = optimized
@@ -1564,12 +1629,74 @@ mod tests {
                 "if-converted `{code}` should lane-batch"
             );
         }
-        // A division in an arm resists if-conversion: the optimized kernel
-        // keeps its jumps and the scalar path.
+        // A division in an arm resists the *untyped* pass (the `Value`
+        // bytecode keeps its jumps), but specialization proves the
+        // division float — infallible — and the statically-typed
+        // if-conversion flattens the diamond, so the typed kernel is
+        // branch-free and lane-ready.
         let program = parse_program("a[i] > 0.0 ? a[i] / b[i] : a[i]").unwrap();
         let kernel = CompiledKernel::compile(&program).unwrap();
+        assert!(kernel
+            .ops()
+            .iter()
+            .any(|op| matches!(op, Op::Jump(_) | Op::JumpIfFalse(_))));
         let typed = kernel.specialize(&[DataType::Float64; 2]).unwrap();
-        assert!(!typed.supports_lanes());
+        assert!(typed.supports_lanes());
+    }
+
+    #[test]
+    fn typed_if_conversion_flattens_division_diamonds() {
+        // Division-carrying ternaries: the untyped bytecode must stay
+        // lazy (integer division could error), the typed stream converts
+        // to selects — and stays bit-identical to the jump-based `Value`
+        // evaluation, division-by-zero arms (quiet inf/NaN) included.
+        let mut r = MapResolver::new();
+        r.insert_access("a", &[0], Value::F32(3.5));
+        r.insert_access("a", &[-1], Value::F32(-1.25));
+        r.insert_access("b", &[0], Value::F32(0.0));
+        r.insert_scalar("dt", Value::F32(0.25));
+        for code in [
+            "a[i] > 0.0 ? a[i] / b[i] : a[i]",
+            "b[i] > 0.0 ? a[i] / b[i] : a[i]",
+            "a[i] / (b[i] != 0.0 ? b[i] : dt)",
+            "u = a[i] > 0.0 ? a[i-1] / dt : dt / a[i]; u + a[i]",
+            "b[i] != 0.0 && a[i] / b[i] > 1.0 ? 1.5 : 2.5",
+            "a[i] > 0.0 || a[i] / b[i] > 1.0 ? 1.5 : 2.5",
+        ] {
+            for dtype in [DataType::Float32, DataType::Float64] {
+                check_typed_matches_value_path(code, dtype, &r);
+                let kernel = compile(code);
+                let slot_types: Vec<DataType> = kernel.slots().iter().map(|_| dtype).collect();
+                let typed = kernel
+                    .specialize(&slot_types)
+                    .unwrap_or_else(|| panic!("`{code}` should specialize"));
+                assert!(
+                    typed.supports_lanes(),
+                    "`{code}` should be branch-free after typed if-conversion"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn typed_if_conversion_recomputes_the_stack_bound() {
+        // The select form evaluates both arms before selecting: the
+        // jump-based bound (arms never coexist) would under-reserve.
+        let code = "a[i] > 0.0 ? (a[i] + a[i-1]) / (b[i] + dt) : a[i] / b[i]";
+        let kernel = compile(code);
+        let typed = kernel.specialize(&[DataType::Float32; 4]).unwrap();
+        assert!(typed.supports_lanes());
+        // cond + both arms' peak operands live together.
+        assert!(typed.max_stack >= 4);
+        // Deep nesting still evaluates correctly through the recomputed
+        // reservation (exercises eval_slots and eval_lanes).
+        let raw = vec![2.0, 1.0, 3.0, 0.5];
+        let scalar = typed.eval_slots(&raw, &mut TypedScratch::default());
+        let lanes: Vec<[f64; 4]> = raw.iter().map(|&v| [v; 4]).collect();
+        let batched = typed.eval_lanes(&lanes, &mut LaneScratch::<4>::default());
+        for lane in batched {
+            assert_eq!(lane.to_bits(), scalar.to_bits());
+        }
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub use access::{AccessExtractor, FieldAccesses};
 pub use ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
 pub use compile::{
     AccessSlot, CompiledKernel, EvalScratch, LaneScratch, Op, TypedKernel, TypedOp, TypedScratch,
-    KERNEL_LANES,
+    KERNEL_LANES, KERNEL_LANES_WIDE,
 };
 pub use error::{ExprError, Result};
 pub use eval::{AccessResolver, Evaluator, MapResolver};

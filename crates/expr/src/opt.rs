@@ -55,7 +55,7 @@
 //! the stream unchanged, which is always legal.
 
 use crate::ast::BinOp;
-use crate::compile::{local_count_of, Op};
+use crate::compile::{local_count_of, Op, TypedOp};
 use crate::types::DataType;
 use crate::value::Value;
 use std::collections::HashMap;
@@ -695,6 +695,265 @@ fn emit_node(
         out.push(Op::Local(register));
         registers[node] = Some(register);
     }
+}
+
+/// Whether a typed instruction is pure and infallible — safe to evaluate
+/// speculatively during typed if-conversion. Unlike the untyped pass
+/// ([`pure_infallible`]), **division speculates freely**: a [`TypedOp`]
+/// stream exists only for statically float-typed kernels, and float
+/// division is IEEE-total (a zero divisor yields ±inf/NaN, never an
+/// error), so the one obstacle that forces the untyped pass to keep a
+/// diamond — a possibly-integer division in a lazily-skipped arm —
+/// cannot occur here.
+fn typed_pure_infallible(op: &TypedOp) -> bool {
+    match op {
+        TypedOp::Const(_)
+        | TypedOp::Slot(_)
+        | TypedOp::Local(_)
+        | TypedOp::Neg { .. }
+        | TypedOp::Not
+        | TypedOp::Add { .. }
+        | TypedOp::Sub { .. }
+        | TypedOp::Mul { .. }
+        | TypedOp::Div { .. }
+        | TypedOp::Compare(_)
+        | TypedOp::Call1(..)
+        | TypedOp::Call2(..)
+        | TypedOp::ToBool
+        | TypedOp::Select => true,
+        TypedOp::Store(_)
+        | TypedOp::Pop
+        | TypedOp::Jump(_)
+        | TypedOp::JumpIfFalse(_)
+        | TypedOp::AndFalse(_)
+        | TypedOp::OrTrue(_) => false,
+    }
+}
+
+/// Operand/result arity of a pure typed instruction (`None` for impure
+/// ops); the typed counterpart of [`pure_arity`].
+fn typed_pure_arity(op: &TypedOp) -> Option<(usize, usize)> {
+    if !typed_pure_infallible(op) {
+        return None;
+    }
+    Some(match op {
+        TypedOp::Const(_) | TypedOp::Slot(_) | TypedOp::Local(_) => (0, 1),
+        TypedOp::Neg { .. } | TypedOp::Not | TypedOp::Call1(..) | TypedOp::ToBool => (1, 1),
+        TypedOp::Add { .. }
+        | TypedOp::Sub { .. }
+        | TypedOp::Mul { .. }
+        | TypedOp::Div { .. }
+        | TypedOp::Compare(_)
+        | TypedOp::Call2(..) => (2, 1),
+        TypedOp::Select => (3, 1),
+        _ => unreachable!("pure ops only"),
+    })
+}
+
+/// Typed analogue of [`produces_one_pure_value`]: a pure, infallible typed
+/// region that consumes nothing below its own stack frame and leaves
+/// exactly one value.
+fn typed_produces_one_pure_value(ops: &[TypedOp]) -> bool {
+    let mut depth = 0i64;
+    for op in ops {
+        let Some((pops, pushes)) = typed_pure_arity(op) else {
+            return false;
+        };
+        depth -= pops as i64;
+        if depth < 0 {
+            return false;
+        }
+        depth += pushes as i64;
+    }
+    depth == 1
+}
+
+/// Jump target of a typed control-flow op, if any.
+fn typed_jump_target(op: &TypedOp) -> Option<usize> {
+    match op {
+        TypedOp::Jump(t) | TypedOp::JumpIfFalse(t) | TypedOp::AndFalse(t) | TypedOp::OrTrue(t) => {
+            Some(*t as usize)
+        }
+        _ => None,
+    }
+}
+
+/// See [`region_is_isolated`]; same rule over the typed stream.
+fn typed_region_is_isolated(ops: &[TypedOp], removed: &[usize], lo: usize, hi: usize) -> bool {
+    ops.iter().enumerate().all(|(ix, op)| {
+        removed.contains(&ix)
+            || typed_jump_target(op).is_none_or(|target| target <= lo || target >= hi)
+    })
+}
+
+/// Find the first typed rewrite, scanning left to right (innermost
+/// diamonds first, exactly like [`find_rewrite`]).
+fn typed_find_rewrite(ops: &[TypedOp]) -> Option<Rewrite> {
+    for (ix, op) in ops.iter().enumerate() {
+        match op {
+            TypedOp::JumpIfFalse(else_target) => {
+                let else_start = *else_target as usize;
+                if else_start < ix + 2 || else_start > ops.len() {
+                    continue;
+                }
+                let TypedOp::Jump(end) = ops[else_start - 1] else {
+                    continue;
+                };
+                let end = end as usize;
+                if end < else_start || end > ops.len() {
+                    continue;
+                }
+                let then_arm = &ops[ix + 1..else_start - 1];
+                let else_arm = &ops[else_start..end];
+                if typed_produces_one_pure_value(then_arm)
+                    && typed_produces_one_pure_value(else_arm)
+                    && typed_region_is_isolated(ops, &[ix, else_start - 1], ix, end)
+                {
+                    return Some(Rewrite::Ternary {
+                        jif: ix,
+                        jump: else_start - 1,
+                        end,
+                    });
+                }
+            }
+            TypedOp::AndFalse(target) | TypedOp::OrTrue(target) => {
+                let end = *target as usize;
+                if end <= ix + 1 || end > ops.len() {
+                    continue;
+                }
+                let rhs = &ops[ix + 1..end];
+                if typed_produces_one_pure_value(rhs)
+                    && typed_region_is_isolated(ops, &[ix], ix, end)
+                {
+                    return Some(match op {
+                        TypedOp::AndFalse(_) => Rewrite::And { sc: ix, end },
+                        _ => Rewrite::Or { sc: ix, end },
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splice one typed rewrite into the stream and remap remaining jump
+/// targets; mirrors [`apply_rewrite`] with `0.0` / `1.0` standing in for
+/// the boolean constants (exactly [`crate::Value::as_f64`] of them).
+fn typed_apply_rewrite(ops: &mut Vec<TypedOp>, rewrite: Rewrite) {
+    let old = std::mem::take(ops);
+    let (new, lo, hi, shift): (Vec<TypedOp>, usize, usize, i64) = match rewrite {
+        Rewrite::Ternary { jif, jump, end } => {
+            let mut new = Vec::with_capacity(old.len() - 1);
+            new.extend_from_slice(&old[..jif]);
+            new.extend_from_slice(&old[jif + 1..jump]);
+            new.extend_from_slice(&old[jump + 1..end]);
+            new.push(TypedOp::Select);
+            new.extend_from_slice(&old[end..]);
+            (new, jif, end, -1)
+        }
+        Rewrite::And { sc, end } => {
+            let mut new = Vec::with_capacity(old.len() + 1);
+            new.extend_from_slice(&old[..sc]);
+            new.extend_from_slice(&old[sc + 1..end]);
+            new.push(TypedOp::Const(0.0));
+            new.push(TypedOp::Select);
+            new.extend_from_slice(&old[end..]);
+            (new, sc, end, 1)
+        }
+        Rewrite::Or { sc, end } => {
+            let mut new = Vec::with_capacity(old.len() + 1);
+            new.extend_from_slice(&old[..sc]);
+            new.push(TypedOp::Const(1.0));
+            new.extend_from_slice(&old[sc + 1..end]);
+            new.push(TypedOp::Select);
+            new.extend_from_slice(&old[end..]);
+            (new, sc, end, 1)
+        }
+    };
+    *ops = new;
+    for op in ops.iter_mut() {
+        let remap = |target: u32| -> u32 {
+            let t = target as usize;
+            if t <= lo {
+                target
+            } else {
+                debug_assert!(t >= hi, "jump into a converted region");
+                (t as i64 + shift) as u32
+            }
+        };
+        match op {
+            TypedOp::Jump(t)
+            | TypedOp::JumpIfFalse(t)
+            | TypedOp::AndFalse(t)
+            | TypedOp::OrTrue(t) => {
+                *t = remap(*t);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Statically-typed if-conversion: rewrite the jump diamonds of a
+/// specialized ([`TypedOp`]) instruction stream into branch-free
+/// [`TypedOp::Select`]s, to a fixpoint.
+///
+/// The untyped [`IfConversion`] pass must keep any diamond whose arm
+/// contains a division: on untyped bytecode a division may be the integer
+/// variant, whose division-by-zero error lazy evaluation would have
+/// skipped. After [`CompiledKernel::specialize`](crate::CompiledKernel::specialize)
+/// has proven every instruction float-typed, that obstacle is gone —
+/// float division is IEEE-total — so this pass converts the diamonds the
+/// untyped pass left behind, unlocking lane batching
+/// ([`TypedKernel::supports_lanes`](crate::TypedKernel::supports_lanes))
+/// for division-heavy ternaries.
+///
+/// Bit-identity argument: the arms' instructions are kept verbatim (their
+/// static `f32`-rounding flags included), only the jumps around them are
+/// removed; both arms evaluate unconditionally — every typed op is total,
+/// so the discarded arm can only produce an unobserved value (quiet
+/// NaNs/infs included), never an error — and the select returns exactly
+/// the value the taken branch computes. Returns whether anything changed.
+pub(crate) fn typed_if_convert(ops: &mut Vec<TypedOp>) -> bool {
+    let mut changed = false;
+    while let Some(rewrite) = typed_find_rewrite(ops) {
+        typed_apply_rewrite(ops, rewrite);
+        changed = true;
+    }
+    changed
+}
+
+/// Upper bound of the operand-stack depth of a typed instruction stream
+/// (linear scan; jumps only ever skip pushes, as in
+/// [`crate::compile::max_stack_of`]). Recomputed after typed
+/// if-conversion, which deepens the stack by evaluating both arms.
+pub(crate) fn typed_max_stack_of(ops: &[TypedOp]) -> usize {
+    let mut depth = 0i64;
+    let mut max = 0i64;
+    for op in ops {
+        depth += match op {
+            TypedOp::Const(_) | TypedOp::Slot(_) | TypedOp::Local(_) => 1,
+            TypedOp::Store(_)
+            | TypedOp::Pop
+            | TypedOp::Add { .. }
+            | TypedOp::Sub { .. }
+            | TypedOp::Mul { .. }
+            | TypedOp::Div { .. }
+            | TypedOp::Compare(_)
+            | TypedOp::Call2(..)
+            | TypedOp::JumpIfFalse(_) => -1,
+            TypedOp::Neg { .. }
+            | TypedOp::Not
+            | TypedOp::Call1(..)
+            | TypedOp::Jump(_)
+            | TypedOp::ToBool
+            | TypedOp::AndFalse(_)
+            | TypedOp::OrTrue(_) => 0,
+            TypedOp::Select => -2,
+        };
+        max = max.max(depth);
+    }
+    max.max(1) as usize
 }
 
 #[cfg(test)]

@@ -364,6 +364,87 @@ impl StencilDag {
     }
 }
 
+/// Per-edge access footprints of a stencil program over the
+/// **iteration-space dimensions**.
+///
+/// For every `(consumer stencil, consumed field)` pair this records the
+/// per-space-dimension `(min, max)` offset extent of the consumer's
+/// accesses to that field — the halo the consumer needs around any region
+/// of the producer. This is the geometric core of the paper's buffering
+/// analysis (§IV) expressed in iteration-space coordinates, and it drives
+/// the reference executor's tile-fused tier: a tile of a consumer's output
+/// requires each producer over the tile *dilated* by this footprint, and
+/// chaining the dilation along the DAG yields the per-stage halo growth of
+/// a fused tile sweep.
+///
+/// Dimensions a field access does not index contribute `(0, 0)` (reading a
+/// lower-dimensional field broadcasts along the missing dimensions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessFootprints {
+    /// `(consumer stencil, field)` → per-space-dimension offset extents.
+    extents: BTreeMap<(String, String), Vec<(i64, i64)>>,
+    rank: usize,
+}
+
+impl AccessFootprints {
+    /// Compute the footprints of every access edge of `program`.
+    pub fn of_program(program: &StencilProgram) -> Self {
+        let space = program.space();
+        let rank = space.rank();
+        let mut extents: BTreeMap<(String, String), Vec<(i64, i64)>> = BTreeMap::new();
+        for stencil in program.stencils() {
+            for (field, info) in stencil.accesses.iter() {
+                if info.index_vars.is_empty() {
+                    // Scalar symbol: no geometry, no footprint edge.
+                    continue;
+                }
+                let entry = extents
+                    .entry((stencil.name.clone(), field.to_string()))
+                    .or_insert_with(|| vec![(0, 0); rank]);
+                for offsets in &info.offsets {
+                    for (var, &off) in info.index_vars.iter().zip(offsets.iter()) {
+                        if let Some(dim) = space.dim_index(var) {
+                            entry[dim].0 = entry[dim].0.min(off);
+                            entry[dim].1 = entry[dim].1.max(off);
+                        }
+                    }
+                }
+            }
+        }
+        AccessFootprints { extents, rank }
+    }
+
+    /// Iteration-space rank the footprints are expressed in.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// The `(min, max)` offset extent per space dimension of `consumer`'s
+    /// accesses to `field`, or `None` if the consumer does not read it.
+    pub fn extent(&self, consumer: &str, field: &str) -> Option<&[(i64, i64)]> {
+        self.extents
+            .get(&(consumer.to_string(), field.to_string()))
+            .map(Vec::as_slice)
+    }
+
+    /// Iterate over every `(consumer, field)` edge with its extents.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, &[(i64, i64)])> {
+        self.extents
+            .iter()
+            .map(|((consumer, field), ext)| (consumer.as_str(), field.as_str(), ext.as_slice()))
+    }
+
+    /// All consumers of `field` with their extents.
+    pub fn consumers_of<'a>(
+        &'a self,
+        field: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a [(i64, i64)])> + 'a {
+        self.extents.iter().filter_map(move |((consumer, f), ext)| {
+            (f == field).then_some((consumer.as_str(), ext.as_slice()))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,5 +534,48 @@ mod tests {
     #[test]
     fn output_node_naming() {
         assert_eq!(StencilDag::output_node_name("b4"), "b4__out");
+    }
+
+    #[test]
+    fn access_footprints_report_space_dim_extents() {
+        use crate::program::StencilProgramBuilder;
+        use stencilflow_expr::DataType;
+        let program = StencilProgramBuilder::new("fp", &[8, 9, 10])
+            .input("u", DataType::Float32, &["i", "j", "k"])
+            .input("surf", DataType::Float32, &["i", "k"])
+            .scalar("dt", DataType::Float32)
+            .stencil(
+                "s",
+                "u[i-2,j,k] + u[i+1,j,k] + u[i,j,k-3] + surf[i,k+1] * dt",
+            )
+            .stencil("t", "s[i,j-1,k] + s[i,j+2,k]")
+            .output("t")
+            .build()
+            .unwrap();
+        let footprints = AccessFootprints::of_program(&program);
+        assert_eq!(footprints.rank(), 3);
+        // `s` reads `u` at i in [-2, 1], j exactly 0, k in [-3, 0].
+        assert_eq!(
+            footprints.extent("s", "u").unwrap(),
+            &[(-2, 1), (0, 0), (-3, 0)]
+        );
+        // The lower-dimensional `surf` access contributes (0,0) for the
+        // missing j dimension and its own k offset.
+        assert_eq!(
+            footprints.extent("s", "surf").unwrap(),
+            &[(0, 0), (0, 0), (0, 1)]
+        );
+        // Scalars never appear as footprint edges.
+        assert!(footprints.extent("s", "dt").is_none());
+        // `t` reads `s` only along j.
+        assert_eq!(
+            footprints.extent("t", "s").unwrap(),
+            &[(0, 0), (-1, 2), (0, 0)]
+        );
+        assert!(footprints.extent("t", "u").is_none());
+        // Consumers-of view inverts the edge map.
+        let consumers: Vec<&str> = footprints.consumers_of("s").map(|(c, _)| c).collect();
+        assert_eq!(consumers, vec!["t"]);
+        assert_eq!(footprints.edges().count(), 3);
     }
 }

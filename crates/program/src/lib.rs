@@ -61,7 +61,7 @@ pub mod stencil;
 pub use boundary::{BoundaryCondition, BoundarySpec};
 pub use error::{ProgramError, Result};
 pub use field::{FieldDecl, IterationSpace};
-pub use graph::{DagEdge, DagNode, NodeKind, StencilDag};
+pub use graph::{AccessFootprints, DagEdge, DagNode, NodeKind, StencilDag};
 pub use json::{from_json, to_json};
 pub use program::{StencilProgram, StencilProgramBuilder};
 pub use stencil::StencilNode;

@@ -66,6 +66,28 @@ impl ExecutionResult {
         self.cells_evaluated
     }
 
+    /// Assemble a result from its parts (used by the fused tier, which
+    /// builds output grids directly).
+    pub(crate) fn from_parts(
+        fields: BTreeMap<String, Grid>,
+        valid_masks: BTreeMap<String, Vec<bool>>,
+        cells_evaluated: usize,
+    ) -> ExecutionResult {
+        ExecutionResult {
+            fields,
+            valid_masks,
+            cells_evaluated,
+        }
+    }
+
+    /// Restrict the result to the given field names (the fused tier's
+    /// outputs-only contract, applied to fallback results for
+    /// consistency).
+    pub(crate) fn retain_fields(&mut self, keep: &[String]) {
+        self.fields.retain(|name, _| keep.contains(name));
+        self.valid_masks.retain(|name, _| keep.contains(name));
+    }
+
     /// Compare a field against another grid, only at valid cells, with the
     /// given relative tolerance. Returns the maximum relative error seen.
     pub fn compare_field(&self, name: &str, other: &Grid) -> Option<f64> {
@@ -112,6 +134,9 @@ pub struct CompiledProgram {
     inputs: Vec<InputSpec>,
     outputs: Vec<String>,
     stencils: Vec<CompiledStencil>,
+    /// Tile-fusion analysis: the fused tier's plan, or the reason the
+    /// program stays on the materializing path.
+    fuse: std::result::Result<crate::fuse::FusePlan, String>,
 }
 
 impl std::fmt::Debug for CompiledProgram {
@@ -147,6 +172,43 @@ impl CompiledProgram {
         self.stencils.iter().filter(|s| s.is_lane_ready()).count()
     }
 
+    /// Whether the tile-fused tier can execute this program directly
+    /// (see `docs/evaluation.md`; ineligible programs transparently fall
+    /// back to the materializing path).
+    pub fn fused_tier_supported(&self) -> bool {
+        self.fuse.is_ok()
+    }
+
+    /// Why the fused tier falls back to the materializing path, if it
+    /// does.
+    pub fn fused_fallback_reason(&self) -> Option<&str> {
+        self.fuse.as_ref().err().map(String::as_str)
+    }
+
+    /// Whether the fused *time stepper* can run (fused-tier eligibility
+    /// plus a derivable feedback pairing with compatible pad constants).
+    pub fn fused_steps_supported(&self) -> bool {
+        self.fuse
+            .as_ref()
+            .map(|plan| plan.supports_steps())
+            .unwrap_or(false)
+    }
+
+    /// The compiled stencils in topological order (fused-tier internal).
+    pub(crate) fn stencil_plans(&self) -> &[CompiledStencil] {
+        &self.stencils
+    }
+
+    /// Number of lane-ready stencils that dispatch to the wide
+    /// ([`stencilflow_expr::KERNEL_LANES_WIDE`]) lane width — all-`f32`
+    /// kernels on rows long enough that full wide batches dominate.
+    pub fn wide_lane_stencil_count(&self) -> usize {
+        self.stencils
+            .iter()
+            .filter(|s| s.is_lane_ready() && s.lane_width() == stencilflow_expr::KERNEL_LANES_WIDE)
+            .count()
+    }
+
     /// The output-to-input feedback pairing used by time stepping. A
     /// single-output program pairs with its single full-rank input
     /// directly. A multi-field system must *name* the correspondence: each
@@ -160,7 +222,7 @@ impl CompiledProgram {
     /// exactly one full-rank input per output, if a multi-field pairing is
     /// not derivable by prefix (or two outputs claim the same input), or
     /// if an output's element type differs from the input it would feed.
-    fn feedback_pairs(&self) -> Result<Vec<(String, String)>> {
+    pub(crate) fn feedback_pairs(&self) -> Result<Vec<(String, String)>> {
         let feedback: Vec<&InputSpec> = self.inputs.iter().filter(|i| i.full_rank).collect();
         if feedback.len() != self.outputs.len() {
             return Err(ProgramError::Invalid {
@@ -248,11 +310,24 @@ pub struct ReferenceExecutor {
     use_typed: bool,
     /// Whether typed sweeps may batch interior cells into lanes.
     use_lanes: bool,
+    /// Whether lane-batched sweeps may use the wide per-dtype lane width
+    /// (disabling pins the default `KERNEL_LANES` width for differential
+    /// tests and benchmarks).
+    use_wide_lanes: bool,
+    /// Upper bound on the number of time steps the fused tier blocks into
+    /// one temporal window.
+    fusion_window: usize,
+    /// Explicit fused tile height (outermost-dimension slices); `None`
+    /// picks a cache-budget heuristic.
+    fusion_tile_rows: Option<usize>,
     /// Compiled programs keyed by a structural fingerprint; hits skip
     /// compilation entirely.
     cache: Mutex<BTreeMap<String, Arc<CompiledProgram>>>,
     /// Number of program compilations performed (cache misses).
     compiles: AtomicUsize,
+    /// Reusable scratch/state buffers for the fused tier: steady-state
+    /// `run_steps_fused` calls allocate nothing once the pool is warm.
+    pool: Mutex<BufferPool>,
 }
 
 impl Default for ReferenceExecutor {
@@ -261,8 +336,12 @@ impl Default for ReferenceExecutor {
             max_threads: None,
             use_typed: true,
             use_lanes: true,
+            use_wide_lanes: true,
+            fusion_window: crate::fuse::DEFAULT_FUSION_WINDOW,
+            fusion_tile_rows: None,
             cache: Mutex::new(BTreeMap::new()),
             compiles: AtomicUsize::new(0),
+            pool: Mutex::new(BufferPool::default()),
         }
     }
 }
@@ -273,8 +352,13 @@ impl Clone for ReferenceExecutor {
             max_threads: self.max_threads,
             use_typed: self.use_typed,
             use_lanes: self.use_lanes,
+            use_wide_lanes: self.use_wide_lanes,
+            fusion_window: self.fusion_window,
+            fusion_tile_rows: self.fusion_tile_rows,
             cache: Mutex::new(self.cache.lock().expect("executor cache poisoned").clone()),
             compiles: AtomicUsize::new(self.compiles.load(Ordering::Relaxed)),
+            // Buffer pools hold no semantic state; clones warm up their own.
+            pool: Mutex::new(BufferPool::default()),
         }
     }
 }
@@ -288,6 +372,54 @@ const PARALLEL_THRESHOLD_CELL_ACCESSES: usize = 1 << 18;
 /// Compiled-program cache entries kept per executor before the cache is
 /// reset (a safety valve for program-generating loops, not a tuned policy).
 const COMPILED_CACHE_CAPACITY: usize = 64;
+
+/// Buffers kept in the fused tier's pool before further releases are
+/// dropped (a safety valve, not a tuned policy: one fused `run_steps`
+/// needs a handful of buffers per worker).
+const BUFFER_POOL_CAPACITY: usize = 64;
+
+/// A best-fit pool of reusable `f64` buffers backing the fused tier's
+/// scratch tiles and window-boundary state grids. Acquire picks the
+/// smallest pooled buffer whose capacity suffices, so a steady state of
+/// identical requests is allocation-free; the miss counter (exposed as
+/// [`ReferenceExecutor::pool_miss_count`]) increments only when an
+/// allocation was unavoidable.
+#[derive(Debug, Default)]
+pub(crate) struct BufferPool {
+    buffers: Vec<Vec<f64>>,
+    pub(crate) acquires: usize,
+    pub(crate) misses: usize,
+}
+
+impl BufferPool {
+    pub(crate) fn acquire(&mut self, len: usize) -> Vec<f64> {
+        self.acquires += 1;
+        let best = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(ix, _)| ix);
+        match best {
+            Some(ix) => {
+                let mut buf = self.buffers.swap_remove(ix);
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    pub(crate) fn release(&mut self, buf: Vec<f64>) {
+        if self.buffers.len() < BUFFER_POOL_CAPACITY && buf.capacity() > 0 {
+            self.buffers.push(buf);
+        }
+    }
+}
 
 impl ReferenceExecutor {
     /// Create a reference executor.
@@ -320,12 +452,82 @@ impl ReferenceExecutor {
         self
     }
 
+    /// Enable or disable the width-aware (wide) lane dispatch (enabled by
+    /// default; disabling pins every lane-batched sweep to the default
+    /// [`stencilflow_expr::KERNEL_LANES`] width, the baseline the wide
+    /// dispatch is benchmarked and differentially tested against). Has no
+    /// effect when typed kernels or lane batching are disabled.
+    pub fn with_wide_lanes(mut self, enabled: bool) -> Self {
+        self.use_wide_lanes = enabled;
+        self
+    }
+
+    /// Bound the number of time steps [`ReferenceExecutor::run_steps_fused`]
+    /// blocks into one temporal window (default
+    /// `4`; `1` disables temporal blocking). Larger windows save full-grid
+    /// state round-trips between windows but grow the overlapped recompute
+    /// at tile edges linearly per step.
+    pub fn with_fusion_window(mut self, window: usize) -> Self {
+        self.fusion_window = window.max(1);
+        self
+    }
+
+    /// Pin the fused tile height (outermost-dimension slices per tile)
+    /// instead of the cache-budget heuristic. Mostly useful for tests that
+    /// must exercise multi-tile execution on small domains.
+    pub fn with_fusion_tile_rows(mut self, rows: usize) -> Self {
+        self.fusion_tile_rows = if rows == 0 { None } else { Some(rows) };
+        self
+    }
+
     /// Number of program compilations this executor has performed. Cache
     /// hits in [`ReferenceExecutor::prepare`] (and therefore in repeated
     /// [`ReferenceExecutor::run`] / [`ReferenceExecutor::run_steps`] calls)
     /// do not increase this counter.
     pub fn compile_count(&self) -> usize {
         self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Number of buffer allocations the fused tier's pool has performed
+    /// (pool misses). Steady-state fused runs over the same program and
+    /// shapes reuse pooled buffers and do not increase this counter.
+    pub fn pool_miss_count(&self) -> usize {
+        self.pool.lock().expect("buffer pool poisoned").misses
+    }
+
+    /// Number of buffer acquisitions the fused tier has made (hits and
+    /// misses).
+    pub fn pool_acquire_count(&self) -> usize {
+        self.pool.lock().expect("buffer pool poisoned").acquires
+    }
+
+    pub(crate) fn fusion_window(&self) -> usize {
+        self.fusion_window
+    }
+
+    pub(crate) fn fusion_tile_rows(&self) -> Option<usize> {
+        self.fusion_tile_rows
+    }
+
+    pub(crate) fn pool_acquire(&self, len: usize) -> Vec<f64> {
+        self.pool.lock().expect("buffer pool poisoned").acquire(len)
+    }
+
+    pub(crate) fn pool_release(&self, buf: Vec<f64>) {
+        self.pool.lock().expect("buffer pool poisoned").release(buf);
+    }
+
+    /// Worker-thread count for a sweep of `cells` cells with
+    /// `accesses_per_cell` reads each, at most `rows` independent work
+    /// units (shared by the materializing row sweep and the fused tile
+    /// sweep).
+    pub(crate) fn sweep_workers(
+        &self,
+        rows: usize,
+        cells: usize,
+        accesses_per_cell: usize,
+    ) -> usize {
+        self.worker_threads(rows, cells, accesses_per_cell)
     }
 
     fn check_inputs(compiled: &CompiledProgram, inputs: &BTreeMap<String, Grid>) -> Result<()> {
@@ -417,7 +619,7 @@ impl ReferenceExecutor {
                 full_rank: decl.dims == space.dims,
             })
             .collect();
-        Ok(CompiledProgram {
+        let mut compiled = CompiledProgram {
             name: program.name().to_string(),
             dims: space.dims.clone(),
             shape: space.shape.clone(),
@@ -425,7 +627,10 @@ impl ReferenceExecutor {
             inputs,
             outputs: program.outputs().to_vec(),
             stencils,
-        })
+            fuse: Err("fusion analysis pending".to_string()),
+        };
+        compiled.fuse = crate::fuse::FusePlan::build(program, &compiled);
+        Ok(compiled)
     }
 
     /// Run `program` on the given input grids through compiled execution
@@ -478,7 +683,13 @@ impl ReferenceExecutor {
                 source,
             };
             let bound = plan
-                .bind(inputs, &computed, self.use_typed, self.use_lanes)
+                .bind(
+                    inputs,
+                    &computed,
+                    self.use_typed,
+                    self.use_lanes,
+                    self.use_wide_lanes,
+                )
                 .map_err(code_error)?;
             let mut output = Grid::zeros(&dim_refs, &compiled.shape, plan.out_dtype());
             let mut mask = vec![true; compiled.num_cells];
@@ -594,6 +805,112 @@ impl ReferenceExecutor {
             }
         }
         unreachable!("steps >= 1 always returns from the loop")
+    }
+
+    /// Run `program` through the **tile-fused tier**: the iteration space
+    /// is partitioned into cache-sized tiles and each tile is swept
+    /// through all stencils of the program before the next tile is
+    /// touched, with intermediates held in pooled per-worker scratch
+    /// buffers instead of full grids (see `crate::fuse` and
+    /// `docs/evaluation.md`).
+    ///
+    /// The result contains **only the program outputs** (plus their
+    /// validity masks) — intermediates are deliberately never
+    /// materialized; every output cell is bit-identical to
+    /// [`ReferenceExecutor::run_interpreted`]. Programs the fused tier
+    /// cannot express (see [`CompiledProgram::fused_fallback_reason`])
+    /// transparently run the materializing path, restricted to the same
+    /// outputs-only shape.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run`].
+    pub fn run_fused(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<ExecutionResult> {
+        let compiled = self.prepare(program)?;
+        self.run_fused_compiled(&compiled, inputs)
+    }
+
+    /// [`ReferenceExecutor::run_fused`] over an already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run`].
+    pub fn run_fused_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<ExecutionResult> {
+        Self::check_inputs(compiled, inputs)?;
+        match &compiled.fuse {
+            Ok(plan) => crate::fuse::execute(self, compiled, plan, inputs, 1),
+            Err(_) => {
+                let mut result = self.run_compiled(compiled, inputs)?;
+                result.retain_fields(&compiled.outputs);
+                Ok(result)
+            }
+        }
+    }
+
+    /// Time-step `program` through the fused tier: tiles stream through a
+    /// bounded window of time steps (temporal blocking) with the state
+    /// fields ping-ponging between pooled scratch buffers, so the steady
+    /// state allocates nothing (see
+    /// [`ReferenceExecutor::pool_miss_count`]). Feedback pairing and all
+    /// other semantics match [`ReferenceExecutor::run_steps`]; the result
+    /// holds the final step's program outputs, bit-identical to the
+    /// materializing time stepper, with
+    /// [`ExecutionResult::cells_evaluated`] counting every fused cell
+    /// evaluation (tile-overlap recompute included).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_steps`].
+    pub fn run_steps_fused(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+    ) -> Result<ExecutionResult> {
+        let compiled = self.prepare(program)?;
+        self.run_steps_fused_compiled(&compiled, inputs, steps)
+    }
+
+    /// [`ReferenceExecutor::run_steps_fused`] over an already-compiled
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_steps`].
+    pub fn run_steps_fused_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+    ) -> Result<ExecutionResult> {
+        if steps == 0 {
+            return Err(ProgramError::Invalid {
+                message: "run_steps requires at least one time step".into(),
+            });
+        }
+        Self::check_inputs(compiled, inputs)?;
+        match &compiled.fuse {
+            Ok(plan) if steps == 1 || plan.supports_steps() => {
+                // Validate the pairing exactly like the materializing
+                // stepper — even for a single step (dtype mismatches and
+                // ambiguity are rejected, never silently fused).
+                compiled.feedback_pairs()?;
+                crate::fuse::execute(self, compiled, plan, inputs, steps)
+            }
+            _ => {
+                let mut result = self.run_steps_compiled(compiled, inputs, steps)?;
+                result.retain_fields(&compiled.outputs);
+                Ok(result)
+            }
+        }
     }
 
     /// Run `program` through the tree-walking evaluator (the semantic

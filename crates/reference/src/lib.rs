@@ -23,6 +23,7 @@
 //!   tests and benchmarks.
 
 pub mod executor;
+mod fuse;
 pub mod grid;
 pub mod input_data;
 mod plan;

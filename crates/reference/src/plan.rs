@@ -33,13 +33,15 @@ use crate::grid::Grid;
 use std::collections::{BTreeMap, BTreeSet};
 use stencilflow_expr::{
     CompiledKernel, DataType, EvalScratch, ExprError, LaneScratch, TypedKernel, TypedScratch,
-    Value, KERNEL_LANES,
+    Value, KERNEL_LANES, KERNEL_LANES_WIDE,
 };
 use stencilflow_program::{BoundaryCondition, IterationSpace, StencilNode, StencilProgram};
 
-/// Lane width of the batched interior sweep (one bytecode pass evaluates
-/// this many innermost-dimension cells).
-const LANES: usize = KERNEL_LANES;
+/// Rows must be at least this many multiples of the wide lane width before
+/// a stencil dispatches to the wide sweep: wide batches only fire where a
+/// full batch fits, so short rows would spend most cells in the mixed-batch
+/// and scalar-remainder paths and lose the amortization the width buys.
+const WIDE_ROW_MULTIPLE: usize = 4;
 
 /// Expand a field's declared dimension names into its dense row-major shape
 /// over the iteration space (dimensions the space does not know contribute
@@ -95,6 +97,11 @@ pub(crate) struct CompiledStencil {
     /// with a unit stride (contiguous run) or a zero stride (broadcast from
     /// a field that does not span the innermost dimension).
     lane_ready: bool,
+    /// Lane width of the batched sweep, chosen per stencil at compile time
+    /// (dtype-driven const dispatch): all-`f32` kernels on long rows take
+    /// [`KERNEL_LANES_WIDE`] — their per-op `f32` rounding makes narrow
+    /// batches latency-bound — everything else stays at [`KERNEL_LANES`].
+    lane_width: usize,
     fields: Vec<FieldRef>,
     slots: Vec<SlotTemplate>,
     /// All syntactic `(dimension, offset)` access checks of the stencil
@@ -235,11 +242,30 @@ impl CompiledStencil {
             && slots
                 .iter()
                 .all(|s| s.scalar || matches!(s.coeffs[rank - 1], 0 | 1));
+        // Width-aware lane counts: all-f32 kernels on long rows batch wide
+        // (their per-op f32 rounding chains are latency-bound at narrow
+        // widths); f64-involving kernels keep the default width — the
+        // once-proposed narrowing to 4 lanes for f64 measured strictly
+        // slower (lanes are f64-typed regardless of element type, so
+        // narrowing only sheds dispatch amortization; see KERNEL_LANES_WIDE).
+        let row_len = *space
+            .shape
+            .last()
+            .expect("iteration spaces are never empty");
+        let all_f32 = slot_types.iter().all(|&t| t == DataType::Float32)
+            && stencil.output_type == DataType::Float32;
+        let lane_width =
+            if lane_ready && all_f32 && row_len >= WIDE_ROW_MULTIPLE * KERNEL_LANES_WIDE {
+                KERNEL_LANES_WIDE
+            } else {
+                KERNEL_LANES
+            };
         Ok(CompiledStencil {
             name: stencil.name.clone(),
             kernel,
             typed,
             lane_ready,
+            lane_width,
             fields,
             slots,
             mask_checks: mask_checks.into_iter().collect(),
@@ -306,6 +332,7 @@ impl CompiledStencil {
         computed: &'g BTreeMap<String, Grid>,
         use_typed: bool,
         use_lanes: bool,
+        use_wide_lanes: bool,
     ) -> Result<BoundStencil<'g, 'p>, ExprError> {
         let mut grid_data: Vec<&'g [f64]> = Vec::with_capacity(self.fields.len());
         for field in &self.fields {
@@ -341,7 +368,40 @@ impl CompiledStencil {
             typed_template,
             use_typed: use_typed && self.typed.is_some(),
             use_lanes: use_typed && use_lanes && self.lane_ready,
+            lane_width: if use_wide_lanes {
+                self.lane_width
+            } else {
+                KERNEL_LANES
+            },
         })
+    }
+
+    /// Lane width the batched sweep dispatches to for this stencil (one of
+    /// [`KERNEL_LANES`] / [`KERNEL_LANES_WIDE`]; meaningful only when the
+    /// stencil is lane-ready).
+    pub fn lane_width(&self) -> usize {
+        self.lane_width
+    }
+
+    /// The type-specialized kernel, when the slot types allowed one.
+    pub(crate) fn typed_kernel(&self) -> Option<&TypedKernel> {
+        self.typed.as_ref()
+    }
+
+    /// The slot-resolved `Value` bytecode kernel.
+    pub(crate) fn compiled_kernel(&self) -> &CompiledKernel {
+        &self.kernel
+    }
+
+    /// The deduplicated `(dimension, offset)` checks driving the shrink
+    /// mask (see the field documentation).
+    pub(crate) fn shrink_mask_checks(&self) -> &[(usize, i64)] {
+        &self.mask_checks
+    }
+
+    /// Whether the stencil has the `shrink` boundary flag.
+    pub(crate) fn is_shrink(&self) -> bool {
+        self.shrink
     }
 }
 
@@ -356,6 +416,9 @@ pub(crate) struct BoundStencil<'g, 'p> {
     use_typed: bool,
     /// Whether the interior sweep runs lane-batched (implies `use_typed`).
     use_lanes: bool,
+    /// Effective lane width of this binding (the plan's width, or
+    /// [`KERNEL_LANES`] when the executor pins the default width).
+    lane_width: usize,
 }
 
 /// One kernel tier driving the generic sweep: how slot values are
@@ -505,7 +568,11 @@ fn halo_mask_valid(plan: &CompiledStencil, index: &[usize]) -> bool {
 /// type into `out` — per lane exactly `Value::from_f64(v, dtype).as_f64()`,
 /// the rounding every scalar path applies on store.
 #[inline]
-fn round_lanes(values: &[f64; LANES], dtype: DataType, out: &mut [f64]) {
+pub(crate) fn round_lanes<const LANES: usize>(
+    values: &[f64; LANES],
+    dtype: DataType,
+    out: &mut [f64],
+) {
     match dtype {
         DataType::Float32 => {
             for (cell, &v) in out.iter_mut().zip(values.iter()) {
@@ -541,7 +608,14 @@ impl BoundStencil<'_, '_> {
     ) -> Result<(), ExprError> {
         match (self.use_typed, &self.plan.typed) {
             (true, Some(typed)) if self.use_lanes => {
-                self.sweep_lanes(typed, row_start, row_end, out, mask);
+                // Dtype-driven const dispatch on the per-stencil lane
+                // width (see `CompiledStencil::lane_width`).
+                match self.lane_width {
+                    KERNEL_LANES_WIDE => {
+                        self.sweep_lanes::<KERNEL_LANES_WIDE>(typed, row_start, row_end, out, mask)
+                    }
+                    _ => self.sweep_lanes::<KERNEL_LANES>(typed, row_start, row_end, out, mask),
+                }
                 Ok(())
             }
             (true, Some(typed)) => self.sweep(
@@ -585,8 +659,10 @@ impl BoundStencil<'_, '_> {
     ///   row) falls back to the scalar typed kernel.
     ///
     /// Bit-identical to [`BoundStencil::sweep`] because each lane applies
-    /// the identical per-cell loads and computation.
-    fn sweep_lanes(
+    /// the identical per-cell loads and computation — for any lane width
+    /// (the width only changes how cells are grouped into batches, never
+    /// what any one lane computes).
+    fn sweep_lanes<const LANES: usize>(
         &self,
         typed: &TypedKernel,
         row_start: usize,
@@ -670,33 +746,47 @@ impl BoundStencil<'_, '_> {
                     round_lanes(&result, plan.out_dtype, &mut out_row[k..k + LANES]);
                     k += LANES;
                 } else {
-                    // Lane-batched halo (or mixed halo/interior) run: gather
-                    // each slot lane by lane with per-cell bounds checks and
-                    // boundary conditions — identical loads to the scalar
-                    // halo sweep, batched through one eval_lanes pass.
+                    // Lane-batched halo (or mixed halo/interior) run. The
+                    // interior cells of a batch form one contiguous lane
+                    // interval, so the gather splits into a bulk interior
+                    // load (contiguous copy or broadcast, exactly like the
+                    // interior batch) plus per-lane bounds-checked edge
+                    // lanes — identical loads to the scalar halo sweep,
+                    // batched through one eval_lanes pass.
+                    let (int_start, int_end) = if row_interior {
+                        let start = lo_k.clamp(k, k + LANES);
+                        (start, hi_k.clamp(start, k + LANES))
+                    } else {
+                        (k, k)
+                    };
                     for (s, slot) in plan.slots.iter().enumerate() {
                         if slot.scalar {
                             continue;
                         }
                         let lanes = &mut lane_values[s];
-                        for (lane, value) in lanes.iter_mut().enumerate() {
-                            let cell = k + lane;
-                            if row_interior && cell >= lo_k && cell < hi_k {
-                                let stride = slot.coeffs[rank - 1];
-                                let flat = (rowbase[s] + cell as i64 * stride) as usize;
-                                *value = self.grid_data[slot.grid][flat];
-                            } else {
-                                index[rank - 1] = cell;
-                                *value = halo_slot_raw(
-                                    plan,
-                                    &self.grid_data,
-                                    s,
-                                    slot,
-                                    &index,
-                                    &rowbase,
-                                    cell,
+                        if int_start < int_end {
+                            let stride = slot.coeffs[rank - 1];
+                            let base = (rowbase[s] + int_start as i64 * stride) as usize;
+                            let span = &mut lanes[int_start - k..int_end - k];
+                            if stride == 1 {
+                                span.copy_from_slice(
+                                    &self.grid_data[slot.grid][base..base + (int_end - int_start)],
                                 );
+                            } else {
+                                span.fill(self.grid_data[slot.grid][base]);
                             }
+                        }
+                        for cell in (k..int_start).chain(int_end..k + LANES) {
+                            index[rank - 1] = cell;
+                            lanes[cell - k] = halo_slot_raw(
+                                plan,
+                                &self.grid_data,
+                                s,
+                                slot,
+                                &index,
+                                &rowbase,
+                                cell,
+                            );
                         }
                     }
                     if plan.shrink {

@@ -289,6 +289,44 @@ fn random_small_dags_match_bitwise() {
 }
 
 #[test]
+fn wide_lane_dispatch_is_bit_identical_and_engages_on_f32() {
+    // The width-aware lane dispatch: all-f32 kernels on long rows batch
+    // 16 wide, f64 kernels and short rows keep the default width — and
+    // every width produces identical bits (a lane computes the same ops
+    // regardless of how cells are grouped into batches).
+    let executor = ReferenceExecutor::new();
+    let f32_long = jacobi3d(2, &[20, 10, 64], 1);
+    let compiled = executor.prepare(&f32_long).unwrap();
+    assert_eq!(compiled.wide_lane_stencil_count(), compiled.stencil_count());
+    let f64_long = stencilflow_workloads::jacobi3d_typed(2, &[20, 10, 64], 1, DataType::Float64);
+    let compiled = executor.prepare(&f64_long).unwrap();
+    assert_eq!(compiled.wide_lane_stencil_count(), 0);
+    assert_eq!(compiled.lane_stencil_count(), compiled.stencil_count());
+    let f32_short = jacobi3d(2, &[20, 20, 32], 1);
+    let compiled = executor.prepare(&f32_short).unwrap();
+    assert_eq!(compiled.wide_lane_stencil_count(), 0);
+
+    let narrow_executor = ReferenceExecutor::new().with_wide_lanes(false);
+    for (program, seed) in [(&f32_long, 91u64), (&f64_long, 92), (&f32_short, 93)] {
+        assert_bit_identical(program, seed);
+        let inputs = generate_inputs(program, seed);
+        let wide = executor.run(program, &inputs).unwrap();
+        let narrow = narrow_executor.run(program, &inputs).unwrap();
+        for (name, grid) in wide.fields() {
+            let baseline = narrow.field(name).unwrap();
+            for (a, b) in grid.as_slice().iter().zip(baseline.as_slice().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "wide/narrow mismatch in `{name}`");
+            }
+        }
+    }
+
+    // Odd row lengths drive the wide mixed-batch and remainder paths.
+    for width in [64usize, 65, 71, 79] {
+        assert_bit_identical(&jacobi3d(1, &[6, 5, width], 1), 94 + width as u64);
+    }
+}
+
+#[test]
 fn lane_batched_sweep_is_engaged_on_jacobi() {
     // The lane tier must actually dispatch (not silently fall back to the
     // scalar typed kernel) on the flagship workloads.

@@ -63,6 +63,33 @@ impl HorizontalDiffusionSpec {
             vectorization: 1,
         }
     }
+
+    /// A throughput-benchmark domain sized so the lane tier is measured
+    /// fairly. The [`HorizontalDiffusionSpec::small`] domain understates
+    /// lane batching structurally: its 8-cell vertical rows fit exactly
+    /// one default-width batch which — with `shrink` halos reaching into
+    /// every row — is always a *mixed* halo batch, the 19200-cell sweep
+    /// sits below the row-parallelism threshold, and per-sweep fixed
+    /// costs amortize over only 800 cells per stencil. This domain's
+    /// 64-cell rows give every lane-ready stencil real interior batches
+    /// (and the wide f32 lane width) while staying small enough for CI.
+    ///
+    /// Measuring it also exposed the *dominant* limiter on this program,
+    /// which no domain size fixes: half of its 24 stencils cannot
+    /// type-specialize at all, because the flux/update limiter ternaries
+    /// (`delta > 4.0 ? 4.0 : delta`) mix an `f64` literal arm with an
+    /// `f32` expression arm — the kernel's dynamic result type is
+    /// data-dependent, which no static tier can represent, so those
+    /// stencils evaluate on the tagged `Value` path and cap the
+    /// program-level lane speedup by Amdahl's law. (Rewriting the
+    /// limiters as `min`/`max` would specialize, but would change the
+    /// §IX-A branch inventory this reconstruction pins.)
+    pub fn bench() -> Self {
+        HorizontalDiffusionSpec {
+            shape: [24, 24, 64],
+            vectorization: 1,
+        }
+    }
 }
 
 /// Build the horizontal-diffusion stencil program.

@@ -15,8 +15,10 @@
 #                                — the benchmark smoke run; writes the JSON
 #                                  document the floor gate checks
 #   8. bench_eval --check-floors — kernel-tier speedup floors (compiled /
-#                                  typed / simd on jacobi3d, and the
-#                                  if-conversion lane floor on upwind3d)
+#                                  typed / simd on jacobi3d, the
+#                                  if-conversion lane floor on upwind3d,
+#                                  and the fused-tier floors on the chain
+#                                  and time-stepping rows)
 #
 # The quick-mode JSON lands in $BENCH_JSON (default: bench_eval_ci.json in
 # the repository root); CI uploads it as an artifact.
