@@ -58,7 +58,9 @@ fn main() {
     }
     let rows = stencilflow_bench::eval_throughput(quick);
     print!("{}", stencilflow_bench::format_throughput(&rows));
-    let json = stencilflow_bench::throughput_json(&rows, quick);
+    let sharded = stencilflow_bench::sharded_throughput(quick);
+    print!("{}", stencilflow_bench::format_sharded(&sharded));
+    let json = stencilflow_bench::throughput_json(&rows, Some(&sharded), quick);
     match path {
         Some(path) => {
             std::fs::write(&path, format!("{json}\n")).expect("write benchmark JSON");

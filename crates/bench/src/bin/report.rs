@@ -34,4 +34,8 @@ fn main() {
         "{}",
         stencilflow_bench::format_throughput(&stencilflow_bench::eval_throughput(quick))
     );
+    print!(
+        "{}",
+        stencilflow_bench::format_sharded(&stencilflow_bench::sharded_throughput(quick))
+    );
 }

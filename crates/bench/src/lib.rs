@@ -707,6 +707,186 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
     rows
 }
 
+/// The sharded-execution measurement attached to the evaluation-throughput
+/// document: zero-fault overhead of the sharded runtime against the
+/// single-process fused tier on the jacobi3d time loop, plus the measured
+/// halo traffic that benchmark reports compare against the
+/// `stencilflow_hwmodel` link/roofline prediction.
+#[derive(Debug, Clone)]
+pub struct ShardedThroughput {
+    /// Workload name (the jacobi3d time-stepping row).
+    pub workload: String,
+    /// Stencil-cell evaluations per run (iteration-space cells × steps).
+    pub cells: usize,
+    /// `std::thread::available_parallelism()` of the measuring host. The
+    /// 4-shard floor is conditioned on this: shards can only run
+    /// concurrently when the host actually has cores for them.
+    pub host_threads: usize,
+    /// Single-process fused-tier baseline (`run_steps_fused`) in cells/s.
+    pub fused_cells_per_s: f64,
+    /// Sharded runtime at 1 shard (no boundaries, no halo traffic).
+    pub sharded1_cells_per_s: f64,
+    /// Sharded runtime at 4 shards (three boundaries of halo traffic).
+    pub sharded4_cells_per_s: f64,
+    /// Halo payload bytes sent over one whole 4-shard run.
+    pub halo_bytes_per_run: f64,
+    /// Measured aggregate halo bandwidth of the 4-shard run in bytes/s.
+    pub measured_halo_bytes_per_s: f64,
+    /// Bytes touched per cell by the workload (for the roofline model).
+    pub bytes_per_cell: f64,
+    /// Operations per cell (for the roofline model).
+    pub ops_per_cell: f64,
+}
+
+impl ShardedThroughput {
+    /// Zero-fault overhead of the sharded runtime at 1 shard, as a
+    /// fraction of the single-process fused tier.
+    pub fn sharded1_ratio(&self) -> f64 {
+        self.sharded1_cells_per_s / self.fused_cells_per_s
+    }
+
+    /// 4-shard throughput as a fraction of the single-process fused tier
+    /// (> 1 means the shards scale; < 1 on hosts without 4 cores, where
+    /// the shards time-slice and pay the halo/dilation tax).
+    pub fn sharded4_ratio(&self) -> f64 {
+        self.sharded4_cells_per_s / self.fused_cells_per_s
+    }
+
+    /// The `stencilflow_hwmodel` prediction this measurement is compared
+    /// against: per-shard bandwidth/roofline bound at 4 shards plus the
+    /// halo-link bandwidth of the paper's testbed.
+    pub fn model_prediction(&self) -> stencilflow_hwmodel::ShardPrediction {
+        stencilflow_hwmodel::ShardModel::paper_defaults().predict(
+            4,
+            self.bytes_per_cell,
+            self.ops_per_cell,
+            self.halo_bytes_per_run,
+        )
+    }
+}
+
+/// Measure the sharded runtime (`ReferenceExecutor::run_steps_sharded`)
+/// against the single-process fused tier on the jacobi3d time loop — the
+/// zero-fault overhead measurement behind the `--check-floors` sharded
+/// gates — and capture the halo traffic of a 4-shard run for the
+/// predicted-vs-measured bandwidth comparison in reports.
+pub fn sharded_throughput(quick: bool) -> ShardedThroughput {
+    use stencilflow_reference::{generate_inputs, ReferenceExecutor, ShardConfig};
+    let jacobi_shape: [usize; 3] = if quick { [32, 32, 32] } else { [64, 64, 64] };
+    let steps = if quick { 4 } else { 8 };
+    let program = jacobi3d(1, &jacobi_shape, 1);
+    let inputs = generate_inputs(&program, 17);
+    let cells = program.space().num_cells() * steps;
+    let executor = ReferenceExecutor::new();
+    let fused = measure_cells_per_s(cells, || {
+        let result = executor.run_steps_fused(&program, &inputs, steps).unwrap();
+        std::hint::black_box(&result);
+    });
+    let config1 = ShardConfig::shards(1);
+    let sharded1 = measure_cells_per_s(cells, || {
+        let outcome = executor
+            .run_steps_sharded(&program, &inputs, steps, &config1)
+            .unwrap();
+        std::hint::black_box(&outcome);
+    });
+    let config4 = ShardConfig::shards(4);
+    // One plain run first to harvest the halo-traffic report (and to make
+    // sure the measured path is the genuine sharded runtime, not the
+    // degraded fallback).
+    let probe = executor
+        .run_steps_sharded(&program, &inputs, steps, &config4)
+        .unwrap();
+    assert!(
+        !probe.report.degraded,
+        "4-shard probe degraded: {:?}",
+        probe.report.degrade_reason
+    );
+    let halo_bytes = probe.report.halo_bytes_sent() as f64;
+    let elapsed = probe.report.elapsed.as_secs_f64();
+    let sharded4 = measure_cells_per_s(cells, || {
+        let outcome = executor
+            .run_steps_sharded(&program, &inputs, steps, &config4)
+            .unwrap();
+        std::hint::black_box(&outcome);
+    });
+    ShardedThroughput {
+        workload: format!("jacobi3d {0}^3 x{steps} steps", jacobi_shape[0]),
+        cells,
+        host_threads: probe.report.host_threads,
+        fused_cells_per_s: fused,
+        sharded1_cells_per_s: sharded1,
+        sharded4_cells_per_s: sharded4,
+        halo_bytes_per_run: halo_bytes,
+        measured_halo_bytes_per_s: if elapsed > 0.0 {
+            halo_bytes / elapsed
+        } else {
+            0.0
+        },
+        // jacobi3d f32, radius 1: one 4-byte read + one 4-byte write per
+        // cell (neighbours hit cache), ~8 flops per 7-point update.
+        bytes_per_cell: 8.0,
+        ops_per_cell: 8.0,
+    }
+}
+
+/// Render the sharded-execution measurement, including the
+/// predicted-vs-measured per-shard bandwidth comparison against the
+/// `stencilflow_hwmodel` sharding model.
+pub fn format_sharded(sharded: &ShardedThroughput) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "== Sharded execution (tier 3\u{00bd}): zero-fault overhead and hwmodel comparison ==\n",
+    );
+    out.push_str(&format!("{:<28} {}\n", "workload", sharded.workload));
+    out.push_str(&format!(
+        "{:<28} {}\n",
+        "host threads", sharded.host_threads
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12.3e}\n",
+        "fused (1 process) c/s", sharded.fused_cells_per_s
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12.3e}  ({:.2}x fused)\n",
+        "sharded x1 c/s",
+        sharded.sharded1_cells_per_s,
+        sharded.sharded1_ratio()
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12.3e}  ({:.2}x fused)\n",
+        "sharded x4 c/s",
+        sharded.sharded4_cells_per_s,
+        sharded.sharded4_ratio()
+    ));
+    let prediction = sharded.model_prediction();
+    let measured_per_shard = sharded.sharded4_cells_per_s / prediction.shards as f64;
+    out.push_str(&format!(
+        "{:<28} {:>12.3e} B/s predicted ({} shards), {:>10.3e} B/s measured halo traffic\n",
+        "per-boundary link bandwidth",
+        prediction.link_bytes_per_s,
+        prediction.shards,
+        sharded.measured_halo_bytes_per_s
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12.3e} B/s per shard ({})\n",
+        "hwmodel per-shard bandwidth",
+        prediction.per_shard_bandwidth_bytes_per_s,
+        if prediction.memory_bound {
+            "memory-bound"
+        } else {
+            "compute-bound"
+        }
+    ));
+    out.push_str(&format!(
+        "{:<28} {:>12.3e} c/s bound, {:>10.3e} c/s measured per shard ({:.1}% of bound)\n",
+        "hwmodel per-shard roofline",
+        prediction.per_shard_cells_per_s,
+        measured_per_shard,
+        100.0 * prediction.measured_fraction(measured_per_shard)
+    ));
+    out
+}
+
 /// Render the evaluation-throughput comparison.
 pub fn format_throughput(rows: &[ThroughputRow]) -> String {
     let mut out = String::new();
@@ -746,9 +926,16 @@ pub fn format_throughput(rows: &[ThroughputRow]) -> String {
     out
 }
 
-/// Serialize throughput rows as a pretty-printed JSON document — the
-/// format of the `BENCH_eval.json` baseline tracked in the repository.
-pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
+/// Serialize throughput rows (and the sharded-execution measurement, when
+/// present) as a pretty-printed JSON document — the format of the
+/// `BENCH_eval.json` baseline tracked in the repository. `check_floors`
+/// requires the sharded section, so production documents should always
+/// pass `Some`.
+pub fn throughput_json(
+    rows: &[ThroughputRow],
+    sharded: Option<&ShardedThroughput>,
+    quick: bool,
+) -> String {
     use stencilflow_json::Json;
     let rows_json: Vec<Json> = rows
         .iter()
@@ -789,15 +976,75 @@ pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
             ])
         })
         .collect();
-    Json::Object(vec![
+    let mut document = vec![
         (
             "benchmark".to_string(),
             Json::String("eval_throughput".to_string()),
         ),
         ("quick".to_string(), Json::Bool(quick)),
         ("rows".to_string(), Json::Array(rows_json)),
-    ])
-    .to_string_pretty()
+    ];
+    if let Some(sharded) = sharded {
+        let prediction = sharded.model_prediction();
+        document.push((
+            "sharded".to_string(),
+            Json::Object(vec![
+                (
+                    "workload".to_string(),
+                    Json::String(sharded.workload.clone()),
+                ),
+                (
+                    "cells_per_run".to_string(),
+                    Json::Number(sharded.cells as f64),
+                ),
+                (
+                    "host_threads".to_string(),
+                    Json::Number(sharded.host_threads as f64),
+                ),
+                (
+                    "fused_cells_per_s".to_string(),
+                    Json::Number(sharded.fused_cells_per_s),
+                ),
+                (
+                    "sharded1_cells_per_s".to_string(),
+                    Json::Number(sharded.sharded1_cells_per_s),
+                ),
+                (
+                    "sharded4_cells_per_s".to_string(),
+                    Json::Number(sharded.sharded4_cells_per_s),
+                ),
+                (
+                    "sharded1_ratio".to_string(),
+                    Json::Number(sharded.sharded1_ratio()),
+                ),
+                (
+                    "sharded4_ratio".to_string(),
+                    Json::Number(sharded.sharded4_ratio()),
+                ),
+                (
+                    "halo_bytes_per_run".to_string(),
+                    Json::Number(sharded.halo_bytes_per_run),
+                ),
+                (
+                    "measured_halo_bytes_per_s".to_string(),
+                    Json::Number(sharded.measured_halo_bytes_per_s),
+                ),
+                (
+                    "predicted_link_bytes_per_s".to_string(),
+                    Json::Number(prediction.link_bytes_per_s),
+                ),
+                (
+                    "predicted_per_shard_bandwidth_bytes_per_s".to_string(),
+                    Json::Number(prediction.per_shard_bandwidth_bytes_per_s),
+                ),
+                (
+                    "predicted_per_shard_cells_per_s".to_string(),
+                    Json::Number(prediction.per_shard_cells_per_s),
+                ),
+            ]),
+        ));
+    }
+    Json::Object(document).to_string_pretty()
 }
 
 /// Check the kernel-tier speedup floors recorded in a `bench_eval` JSON
@@ -812,6 +1059,13 @@ pub fn throughput_json(rows: &[ThroughputRow], quick: bool) -> String {
 /// structurally lane-hostile and documents why; the larger row measures
 /// the tier fairly). Quick-mode documents (small domains on noisy shared
 /// CI runners) use looser floors than full-mode baselines.
+///
+/// The `sharded` section gates the zero-fault overhead of the sharded
+/// runtime: 1-shard throughput must stay within a constant factor of the
+/// single-process fused tier, and the 4-shard floor is conditioned on the
+/// recorded `host_threads` — on a 4+-core host the shards must actually
+/// scale (≥ 1.5x full mode), while on a smaller host they time-slice and
+/// only the bounded overhead floor applies.
 ///
 /// # Errors
 ///
@@ -902,6 +1156,51 @@ pub fn check_floors(json_text: &str) -> Result<String, String> {
     }
     if fused_checked < 2 {
         return Err("benchmark JSON is missing the fused-tier rows (chain and steps)".to_string());
+    }
+    // The sharded-runtime zero-fault overhead gates.
+    let sharded = parsed
+        .get("sharded")
+        .ok_or("benchmark JSON is missing the `sharded` section")?;
+    let host_threads = sharded
+        .get("host_threads")
+        .and_then(|v| v.as_usize())
+        .ok_or("sharded section is missing `host_threads`")?;
+    // Healthy 1-shard runs measure ~1.0x the fused tier (the acceptance
+    // criterion is >= 0.9x); the floors sit below that by the same noise
+    // margin the kernel-tier floors use, so jitter on shared runners does
+    // not trip them but a runtime regression that taxes every run does.
+    let sharded1_floor = if quick { 0.6 } else { 0.8 };
+    let sharded4_floor = if host_threads >= 4 {
+        // Enough cores for real concurrency: the shards must scale.
+        if quick {
+            1.2
+        } else {
+            1.5
+        }
+    } else {
+        // Time-sliced host: only the bounded halo/dilation overhead floor
+        // applies (window drops to 1, so temporal blocking is lost too).
+        if quick {
+            0.25
+        } else {
+            0.4
+        }
+    };
+    for (key, floor) in [
+        ("sharded1_ratio", sharded1_floor),
+        ("sharded4_ratio", sharded4_floor),
+    ] {
+        match sharded.get(key).and_then(|v| v.as_f64()) {
+            Some(value) if value >= floor => {
+                summary.push_str(&format!(
+                    "ok: sharded ({host_threads} host threads): {key} {value:.2} >= {floor:.2}\n"
+                ));
+            }
+            Some(value) => failures.push(format!(
+                "sharded ({host_threads} host threads): {key} {value:.2} below floor {floor:.2}"
+            )),
+            None => failures.push(format!("sharded: missing `{key}`")),
+        }
     }
     if failures.is_empty() {
         Ok(summary)
@@ -1102,6 +1401,19 @@ mod tests {
 
     #[test]
     fn check_floors_accepts_healthy_and_rejects_regressed_documents() {
+        let sharded = |host_threads: usize, s1: f64, s4: f64| ShardedThroughput {
+            workload: "jacobi3d 32^3 x4 steps".to_string(),
+            cells: 1 << 17,
+            host_threads,
+            fused_cells_per_s: 32.0e6,
+            sharded1_cells_per_s: 32.0e6 * s1,
+            sharded4_cells_per_s: 32.0e6 * s4,
+            halo_bytes_per_run: 1.0e6,
+            measured_halo_bytes_per_s: 5.0e8,
+            bytes_per_cell: 8.0,
+            ops_per_cell: 8.0,
+        };
+        let healthy_sharded = sharded(1, 0.95, 0.6);
         let document = |jacobi_simd: f64, upwind_simd: f64, chain_fused: f64, steps_fused: f64| {
             let rows = vec![
                 ThroughputRow {
@@ -1141,7 +1453,7 @@ mod tests {
                     fused_cells_per_s: 32.0e6 * steps_fused,
                 },
             ];
-            throughput_json(&rows, true)
+            throughput_json(&rows, Some(&healthy_sharded), true)
         };
         assert!(check_floors(&document(2.0, 1.8, 1.6, 1.3)).is_ok());
         let err = check_floors(&document(1.0, 1.8, 1.6, 1.3)).unwrap_err();
@@ -1176,10 +1488,82 @@ mod tests {
                 simd_cells_per_s: 32.0e6,
                 fused_cells_per_s: 32.0e6,
             }],
+            Some(&healthy_sharded),
             true,
         );
         assert!(check_floors(&jacobi_only).unwrap_err().contains("upwind3d"));
         assert!(check_floors("not json").is_err());
+    }
+
+    #[test]
+    fn check_floors_gates_the_sharded_section() {
+        let sharded = |host_threads: usize, s1: f64, s4: f64| ShardedThroughput {
+            workload: "jacobi3d 32^3 x4 steps".to_string(),
+            cells: 1 << 17,
+            host_threads,
+            fused_cells_per_s: 32.0e6,
+            sharded1_cells_per_s: 32.0e6 * s1,
+            sharded4_cells_per_s: 32.0e6 * s4,
+            halo_bytes_per_run: 1.0e6,
+            measured_halo_bytes_per_s: 5.0e8,
+            bytes_per_cell: 8.0,
+            ops_per_cell: 8.0,
+        };
+        let healthy_rows = vec![
+            ThroughputRow {
+                workload: "jacobi3d 32^3 f32".to_string(),
+                cells: 1 << 15,
+                interpreted_cells_per_s: 1.0e6,
+                compiled_cells_per_s: 8.0e6,
+                typed_cells_per_s: 16.0e6,
+                simd_cells_per_s: 32.0e6,
+                fused_cells_per_s: 32.0e6,
+            },
+            ThroughputRow {
+                workload: "upwind3d 32^3 f32".to_string(),
+                cells: 1 << 15,
+                interpreted_cells_per_s: 1.0e6,
+                compiled_cells_per_s: 7.0e6,
+                typed_cells_per_s: 12.0e6,
+                simd_cells_per_s: 21.6e6,
+                fused_cells_per_s: 21.6e6,
+            },
+            ThroughputRow {
+                workload: "chain 8x8op [96,32,32]".to_string(),
+                cells: 1 << 15,
+                interpreted_cells_per_s: 1.0e6,
+                compiled_cells_per_s: 7.0e6,
+                typed_cells_per_s: 14.0e6,
+                simd_cells_per_s: 20.0e6,
+                fused_cells_per_s: 32.0e6,
+            },
+            ThroughputRow {
+                workload: "jacobi3d 32^3 x4 steps".to_string(),
+                cells: 1 << 17,
+                interpreted_cells_per_s: 1.0e6,
+                compiled_cells_per_s: 8.0e6,
+                typed_cells_per_s: 16.0e6,
+                simd_cells_per_s: 32.0e6,
+                fused_cells_per_s: 41.6e6,
+            },
+        ];
+        let document = |sh: &ShardedThroughput| throughput_json(&healthy_rows, Some(sh), true);
+        // Healthy single-core document passes under the time-sliced floor.
+        assert!(check_floors(&document(&sharded(1, 0.95, 0.6))).is_ok());
+        // Missing section is an error, not a silent pass.
+        let err = check_floors(&throughput_json(&healthy_rows, None, true)).unwrap_err();
+        assert!(err.contains("sharded"), "unexpected error: {err}");
+        // A regressed 1-shard overhead trips its gate.
+        let err = check_floors(&document(&sharded(1, 0.5, 0.6))).unwrap_err();
+        assert!(err.contains("sharded1_ratio"), "unexpected error: {err}");
+        // On a single-core host, 0.35x at 4 shards passes (time-sliced
+        // floor) ...
+        assert!(check_floors(&document(&sharded(1, 0.95, 0.35))).is_ok());
+        // ... but the same ratio on a 8-core host violates the scaling
+        // floor: with real cores the shards must actually scale.
+        let err = check_floors(&document(&sharded(8, 0.95, 0.35))).unwrap_err();
+        assert!(err.contains("sharded4_ratio"), "unexpected error: {err}");
+        assert!(check_floors(&document(&sharded(8, 0.95, 1.4))).is_ok());
     }
 
     #[test]
@@ -1334,9 +1718,38 @@ mod tests {
             simd_cells_per_s: 3.0e7,
             fused_cells_per_s: 4.5e7,
         }];
-        let text = throughput_json(&rows, true);
+        let sharded = ShardedThroughput {
+            workload: "jacobi3d 8^3 x4 steps".to_string(),
+            cells: 2048,
+            host_threads: 1,
+            fused_cells_per_s: 4.0e7,
+            sharded1_cells_per_s: 3.8e7,
+            sharded4_cells_per_s: 2.4e7,
+            halo_bytes_per_run: 4096.0,
+            measured_halo_bytes_per_s: 1.0e6,
+            bytes_per_cell: 8.0,
+            ops_per_cell: 8.0,
+        };
+        let text = throughput_json(&rows, Some(&sharded), true);
         let parsed = stencilflow_json::parse(&text).unwrap();
         assert_eq!(parsed.get("quick").and_then(|v| v.as_bool()), Some(true));
+        let sharded_json = parsed.get("sharded").unwrap();
+        assert_eq!(
+            sharded_json.get("host_threads").and_then(|v| v.as_usize()),
+            Some(1)
+        );
+        let ratio = sharded_json
+            .get("sharded1_ratio")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((ratio - 0.95).abs() < 1e-9);
+        // The hwmodel prediction rides along for the report comparison:
+        // 4 words/cycle x 2 links x 300 MHz x 4 B = 9.6 GB/s.
+        let link = sharded_json
+            .get("predicted_link_bytes_per_s")
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!((link - 9.6e9).abs() < 1e6);
         let row = &parsed.get("rows").unwrap().as_array().unwrap()[0];
         assert_eq!(
             row.get("workload").and_then(|v| v.as_str()),

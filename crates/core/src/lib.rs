@@ -51,6 +51,7 @@
 //! ```
 
 pub mod buffers;
+pub mod channel;
 pub mod config;
 pub mod delay;
 pub mod error;
@@ -60,11 +61,12 @@ pub mod perf;
 pub mod vectorization;
 
 pub use buffers::{InternalBufferAnalysis, StencilBuffers};
+pub use channel::{ChannelError, Fifo};
 pub use config::AnalysisConfig;
 pub use delay::{ChannelDepth, DelayBufferAnalysis};
 pub use error::{CoreError, Result};
 pub use mapping::{Channel, ChannelEndpoint, HardwareMapping, MemoryAccessKind, StencilUnit};
-pub use partition::{DevicePartition, MultiDevicePlan, PartitionConfig};
+pub use partition::{DevicePartition, MultiDevicePlan, PartitionConfig, SlabPartition, SlabRange};
 pub use perf::{expected_cycles, expected_runtime_seconds, PerformanceEstimate};
 pub use vectorization::VectorizationInfo;
 

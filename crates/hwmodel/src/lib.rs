@@ -17,6 +17,9 @@
 //! * [`roofline`] — arithmetic intensity / roofline bounds (Eq. 2–4).
 //! * [`comparators`] — roofline-style performance models of the CPU and GPU
 //!   baselines of Tab. II.
+//! * [`sharding`] — predicted per-shard bandwidth/roofline bounds for the
+//!   sharded host runtime, compared against measured per-shard throughput
+//!   in the benchmark reports.
 //! * [`silicon`] — the silicon-efficiency metric of §IX-C.
 
 pub mod bandwidth;
@@ -25,6 +28,7 @@ pub mod device;
 pub mod frequency;
 pub mod resources;
 pub mod roofline;
+pub mod sharding;
 pub mod silicon;
 
 pub use bandwidth::BandwidthModel;
@@ -33,6 +37,7 @@ pub use device::{Device, DeviceKind, ResourcePool};
 pub use frequency::FrequencyModel;
 pub use resources::{estimate_resources, ResourceEstimate};
 pub use roofline::{Roofline, RooflinePoint};
+pub use sharding::{ShardModel, ShardPrediction};
 pub use silicon::silicon_efficiency;
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! Predicted per-shard bandwidth and throughput for sharded execution.
+//!
+//! The paper's multi-device evaluation (§IX-B) splits one dataflow graph
+//! across FPGAs connected by 40 Gbit/s links; the reproduction's sharded
+//! runtime (`stencilflow_reference::shard`) splits the *iteration space*
+//! across host worker threads connected by FIFO halo channels. This module
+//! prices both sides of that analogy with the same machinery: the
+//! multi-device link parameters ([`stencilflow_core::PartitionConfig`]'s
+//! words-per-cycle × links × frequency) give a predicted halo-exchange
+//! bandwidth, and a per-shard [`Roofline`] — the host's memory bandwidth
+//! divided across shards against the workload's arithmetic intensity —
+//! gives the per-shard throughput bound that benchmark reports compare
+//! against measured values.
+
+use crate::roofline::Roofline;
+
+/// Analytical model of a sharded run: link parameters for halo traffic and
+/// a host roofline shared by the shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardModel {
+    /// Bandwidth of one halo link in words per cycle (paper default: a
+    /// 40 Gbit/s QSFP link at ~300 MHz moves ~4 32-bit words per cycle).
+    pub link_words_per_cycle: f64,
+    /// Parallel links per shard boundary (the testbed has two).
+    pub links_per_boundary: usize,
+    /// Link clock in Hz.
+    pub frequency_hz: f64,
+    /// Bytes per transferred word.
+    pub word_bytes: f64,
+    /// Aggregate memory bandwidth of the executing host in bytes/s,
+    /// divided evenly across shards for the per-shard roofline.
+    pub memory_bandwidth_bytes_per_s: f64,
+    /// Compute roof of one shard in GOp/s.
+    pub compute_gops_per_shard: f64,
+}
+
+impl ShardModel {
+    /// The paper's testbed parameters: 4 words/cycle per link, two links
+    /// per boundary, ~300 MHz, 4-byte words, and the 520N board's
+    /// 76.8 GB/s of aggregate DDR4 bandwidth.
+    pub fn paper_defaults() -> Self {
+        ShardModel {
+            link_words_per_cycle: 4.0,
+            links_per_boundary: 2,
+            frequency_hz: 300e6,
+            word_bytes: 4.0,
+            memory_bandwidth_bytes_per_s: 76.8e9,
+            compute_gops_per_shard: 210.5,
+        }
+    }
+
+    /// Predicted halo-exchange bandwidth across one shard boundary in
+    /// bytes per second: words/cycle × links × frequency × bytes/word.
+    pub fn predicted_link_bytes_per_s(&self) -> f64 {
+        self.link_words_per_cycle
+            * self.links_per_boundary as f64
+            * self.frequency_hz
+            * self.word_bytes
+    }
+
+    /// Predicted time to move one halo exchange of `halo_bytes` across a
+    /// boundary.
+    pub fn halo_transfer_seconds(&self, halo_bytes: f64) -> f64 {
+        if halo_bytes <= 0.0 {
+            return 0.0;
+        }
+        halo_bytes / self.predicted_link_bytes_per_s()
+    }
+
+    /// The roofline one shard sees: an even share of the host memory
+    /// bandwidth against the shard compute roof.
+    pub fn per_shard_roofline(&self, shards: usize) -> Roofline {
+        let shards = shards.max(1) as f64;
+        Roofline::new(
+            self.memory_bandwidth_bytes_per_s / shards,
+            self.compute_gops_per_shard,
+        )
+    }
+
+    /// Predict one run: per-shard bandwidth and throughput bounds plus the
+    /// halo tax, for a workload touching `bytes_per_cell` and performing
+    /// `ops_per_cell` at every cell.
+    pub fn predict(
+        &self,
+        shards: usize,
+        bytes_per_cell: f64,
+        ops_per_cell: f64,
+        halo_bytes_per_exchange: f64,
+    ) -> ShardPrediction {
+        let roofline = self.per_shard_roofline(shards);
+        let intensity = if bytes_per_cell > 0.0 {
+            ops_per_cell / bytes_per_cell
+        } else {
+            f64::INFINITY
+        };
+        let point = roofline.evaluate(intensity);
+        let cells_per_s = if ops_per_cell > 0.0 {
+            point.attainable_gops * 1e9 / ops_per_cell
+        } else {
+            f64::INFINITY
+        };
+        ShardPrediction {
+            shards: shards.max(1),
+            per_shard_bandwidth_bytes_per_s: roofline.bandwidth_bytes_per_s,
+            per_shard_cells_per_s: cells_per_s,
+            memory_bound: point.memory_bound,
+            link_bytes_per_s: self.predicted_link_bytes_per_s(),
+            halo_seconds_per_exchange: self.halo_transfer_seconds(halo_bytes_per_exchange),
+        }
+    }
+}
+
+/// Prediction for one sharded run, compared against measured per-shard
+/// throughput in benchmark reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPrediction {
+    /// Effective shard count.
+    pub shards: usize,
+    /// Predicted memory bandwidth available to one shard in bytes/s.
+    pub per_shard_bandwidth_bytes_per_s: f64,
+    /// Predicted per-shard throughput bound in cells/s.
+    pub per_shard_cells_per_s: f64,
+    /// Whether the per-shard bound is memory-set.
+    pub memory_bound: bool,
+    /// Predicted halo-link bandwidth across one boundary in bytes/s.
+    pub link_bytes_per_s: f64,
+    /// Predicted transfer time of one halo exchange.
+    pub halo_seconds_per_exchange: f64,
+}
+
+impl ShardPrediction {
+    /// Ratio of a measured per-shard throughput to the predicted bound
+    /// (> 1 means the measurement beats the model, e.g. cache residency).
+    pub fn measured_fraction(&self, measured_cells_per_s: f64) -> f64 {
+        if self.per_shard_cells_per_s == 0.0 || !self.per_shard_cells_per_s.is_finite() {
+            return 0.0;
+        }
+        measured_cells_per_s / self.per_shard_cells_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_bandwidth_matches_testbed_arithmetic() {
+        // 4 words/cycle × 2 links × 300 MHz × 4 B = 9.6 GB/s.
+        let model = ShardModel::paper_defaults();
+        assert!((model.predicted_link_bytes_per_s() - 9.6e9).abs() < 1e6);
+        // A 1 MiB halo then takes ~109 µs.
+        let t = model.halo_transfer_seconds(1024.0 * 1024.0);
+        assert!((t - 1048576.0 / 9.6e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_shard_roofline_splits_memory_bandwidth() {
+        let model = ShardModel::paper_defaults();
+        let one = model.per_shard_roofline(1);
+        let four = model.per_shard_roofline(4);
+        assert!((one.bandwidth_bytes_per_s / four.bandwidth_bytes_per_s - 4.0).abs() < 1e-12);
+        assert_eq!(one.compute_gops, four.compute_gops);
+    }
+
+    #[test]
+    fn prediction_scales_down_with_shards_when_memory_bound() {
+        let model = ShardModel::paper_defaults();
+        // Low intensity (jacobi-like): memory bound, so per-shard cells/s
+        // shrinks linearly with the shard count.
+        let p1 = model.predict(1, 16.0, 8.0, 0.0);
+        let p4 = model.predict(4, 16.0, 8.0, 0.0);
+        assert!(p1.memory_bound && p4.memory_bound);
+        assert!((p1.per_shard_cells_per_s / p4.per_shard_cells_per_s - 4.0).abs() < 1e-9);
+        assert_eq!(p4.shards, 4);
+        // measured_fraction is measured / predicted.
+        assert!((p4.measured_fraction(p4.per_shard_cells_per_s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_shards_and_degenerate_workloads_are_clamped() {
+        let model = ShardModel::paper_defaults();
+        let p = model.predict(0, 0.0, 0.0, 0.0);
+        assert_eq!(p.shards, 1);
+        assert_eq!(p.halo_seconds_per_exchange, 0.0);
+        assert_eq!(p.measured_fraction(1e9), 0.0);
+    }
+}

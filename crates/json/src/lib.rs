@@ -230,6 +230,7 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     parser.skip_ws();
     let value = parser.value()?;
@@ -240,9 +241,18 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     Ok(value)
 }
 
+/// Maximum container nesting depth accepted by [`parse`].
+///
+/// The parser is recursive-descent, so every `[` or `{` consumes stack; a
+/// bound turns pathological inputs like `[[[[…` into a normal [`JsonError`]
+/// instead of a stack overflow. 128 is far beyond any document this crate's
+/// consumers produce.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -283,8 +293,8 @@ impl Parser<'_> {
 
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::String(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -293,6 +303,21 @@ impl Parser<'_> {
             Some(_) => Err(self.error("expected a JSON value")),
             None => Err(self.error("unexpected end of input")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<Json, JsonError>,
+    ) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error(&format!(
+                "nesting deeper than {MAX_DEPTH} levels is not supported"
+            )));
+        }
+        self.depth += 1;
+        let result = inner(self);
+        self.depth -= 1;
+        result
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
@@ -473,6 +498,23 @@ mod tests {
         assert_eq!(parse("3.5").unwrap(), Json::Number(3.5));
         assert_eq!(parse("-2e3").unwrap(), Json::Number(-2000.0));
         assert_eq!(parse(r#""hi""#).unwrap(), Json::String("hi".into()));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_a_stack_overflow() {
+        // Regression: the recursive-descent parser used to recurse once per
+        // `[`/`{`, so a few hundred kilobytes of brackets overflowed the
+        // stack. Depth is now bounded by MAX_DEPTH.
+        let deep = "[".repeat(100_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting deeper"));
+        let deep_obj = "{\"k\":".repeat(100_000);
+        assert!(parse(&deep_obj).is_err());
+        // Depth right at the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse(&ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(129), "]".repeat(129));
+        assert!(parse(&too_deep).is_err());
     }
 
     #[test]

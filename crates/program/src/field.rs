@@ -97,6 +97,24 @@ impl IterationSpace {
                 message: "dimension extents must be non-zero".into(),
             });
         }
+        // Reject shapes whose cell count (or byte size for the widest scalar
+        // type) overflows usize: every downstream size computation —
+        // `num_cells`, `strides`, `field_bytes` — multiplies these extents
+        // and would otherwise overflow. All extents are non-zero here, so
+        // guarding the full product also covers every stride suffix product.
+        let cells = shape
+            .iter()
+            .try_fold(1usize, |acc, &extent| acc.checked_mul(extent))
+            .and_then(|cells| cells.checked_mul(8).map(|_| cells));
+        if cells.is_none() {
+            return Err(ProgramError::InvalidShape {
+                message: format!(
+                    "iteration space shape {shape:?} overflows the addressable \
+                     byte count on this platform; split the domain before \
+                     building the program"
+                ),
+            });
+        }
         Ok(IterationSpace {
             dims: dims.iter().map(|d| d.to_string()).collect(),
             shape: shape.to_vec(),
@@ -258,6 +276,16 @@ mod tests {
         assert!(IterationSpace::new(&["i"], &[1, 2]).is_err());
         assert!(IterationSpace::new(&["i", "j", "k", "l"], &[1, 1, 1, 1]).is_err());
         assert!(IterationSpace::new(&["i"], &[0]).is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_cell_counts() {
+        let huge = 1usize << 40;
+        let err = IterationSpace::new(&["i", "j", "k"], &[huge, huge, huge]).unwrap_err();
+        assert!(err.to_string().contains("overflows"));
+        // The cell count fits but the byte size (×8) does not.
+        assert!(IterationSpace::new(&["i", "j"], &[1 << 32, 1 << 31]).is_err());
+        assert!(IterationSpace::new(&["i"], &[usize::MAX]).is_err());
     }
 
     #[test]

@@ -80,6 +80,19 @@ impl ExecutionResult {
         }
     }
 
+    /// Decompose the result into its parts (used by the sharded runtime,
+    /// which reassembles global grids from shard interiors).
+    pub(crate) fn into_parts(self) -> (BTreeMap<String, Grid>, BTreeMap<String, Vec<bool>>, usize) {
+        (self.fields, self.valid_masks, self.cells_evaluated)
+    }
+
+    /// Remove and return a computed field (used by the sharded runtime to
+    /// feed a window's output back as the next window's input without a
+    /// copy).
+    pub(crate) fn take_field(&mut self, name: &str) -> Option<Grid> {
+        self.fields.remove(name)
+    }
+
     /// Restrict the result to the given field names (the fused tier's
     /// outputs-only contract, applied to fallback results for
     /// consistency).
@@ -911,6 +924,48 @@ impl ReferenceExecutor {
                 Ok(result)
             }
         }
+    }
+
+    /// Apply `program` once through the fault-tolerant sharded runtime:
+    /// the iteration space is partitioned along the outermost dimension
+    /// across `config.shards` worker threads, each running the fused tier
+    /// on its slab (see [`crate::shard`]). The assembled outputs are
+    /// bitwise identical to [`ReferenceExecutor::run`] under every
+    /// recoverable fault schedule, and the run degrades to the
+    /// single-shard fused tier (still bit-identical) when a fault exceeds
+    /// the retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run`], plus invalid
+    /// shard configurations (zero shards).
+    pub fn run_sharded(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+        config: &crate::shard::ShardConfig,
+    ) -> Result<crate::shard::ShardedOutcome> {
+        crate::shard::run_sharded(self, program, inputs, 1, false, config)
+    }
+
+    /// Time-step `program` through the fault-tolerant sharded runtime,
+    /// exchanging halo slabs between shards every exchange window.
+    /// Results are bitwise identical to [`ReferenceExecutor::run_steps`]
+    /// under every recoverable fault schedule; unrecoverable faults
+    /// degrade to the single-shard fused tier.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_steps`], plus
+    /// invalid shard configurations (zero shards).
+    pub fn run_steps_sharded(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+        config: &crate::shard::ShardConfig,
+    ) -> Result<crate::shard::ShardedOutcome> {
+        crate::shard::run_sharded(self, program, inputs, steps, true, config)
     }
 
     /// Run `program` through the tree-walking evaluator (the semantic

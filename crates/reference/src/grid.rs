@@ -22,21 +22,70 @@ impl Grid {
     ///
     /// # Panics
     ///
-    /// Panics if `dims` and `shape` have different lengths.
+    /// Panics if `dims` and `shape` have different lengths, or if the
+    /// dimension product overflows `usize` (see [`Grid::try_zeros`] for the
+    /// non-panicking ingest-path variant).
     pub fn zeros(dims: &[&str], shape: &[usize], dtype: DataType) -> Self {
-        assert_eq!(dims.len(), shape.len(), "dims/shape rank mismatch");
+        match Grid::try_zeros(dims, shape, dtype) {
+            Ok(grid) => grid,
+            Err(message) => panic!("{message}"),
+        }
+    }
+
+    /// Create a zero-initialized grid, reporting invalid shapes as an error
+    /// instead of panicking.
+    ///
+    /// Untrusted program descriptions reach grid allocation before any
+    /// workload runs, so a hostile or corrupt shape like
+    /// `[2^40, 2^40, 2^40]` must surface as an actionable error here — not
+    /// as a `usize` overflow panic (or an absurd allocation attempt) deep
+    /// inside the executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the problem when `dims` and `shape`
+    /// disagree in rank, or when the element count (dimension product,
+    /// including the byte size of the backing `f64` storage) overflows
+    /// `usize`.
+    pub fn try_zeros(dims: &[&str], shape: &[usize], dtype: DataType) -> Result<Self, String> {
+        if dims.len() != shape.len() {
+            return Err(format!(
+                "dims/shape rank mismatch: {} dimension names for shape of rank {}",
+                dims.len(),
+                shape.len()
+            ));
+        }
+        let overflow = || {
+            format!(
+                "grid shape {shape:?} overflows the addressable element count \
+                 on this platform; reject or split the domain before allocating"
+            )
+        };
+        let mut len: usize = 1;
+        for &extent in shape {
+            len = len.checked_mul(extent).ok_or_else(overflow)?;
+        }
+        // The backing store holds f64 words: the byte size must be
+        // addressable too, or `vec!` aborts instead of erroring.
+        len.checked_mul(std::mem::size_of::<f64>())
+            .ok_or_else(overflow)?;
+        let len = len.max(1);
+        // Suffix products can overflow even when the full product does not
+        // (a zero extent masks arbitrarily large trailing dimensions), so
+        // the stride computation is checked as well.
         let mut strides = vec![1usize; shape.len()];
         for d in (0..shape.len().saturating_sub(1)).rev() {
-            strides[d] = strides[d + 1] * shape[d + 1];
+            strides[d] = strides[d + 1]
+                .checked_mul(shape[d + 1])
+                .ok_or_else(overflow)?;
         }
-        let len: usize = shape.iter().product::<usize>().max(1);
-        Grid {
+        Ok(Grid {
             dims: dims.iter().map(|d| d.to_string()).collect(),
             shape: shape.to_vec(),
             strides,
             dtype,
             data: vec![0.0; len],
-        }
+        })
     }
 
     /// Create a rank-0 (scalar) grid holding one value.
@@ -307,6 +356,37 @@ mod tests {
             let flat = g.flat_index(index);
             assert!(flat < 4);
         }
+    }
+
+    #[test]
+    fn overflowing_shapes_are_rejected_with_an_actionable_error() {
+        // The element-count product of these extents exceeds usize::MAX on
+        // every supported platform.
+        let huge = 1usize << 40;
+        let err =
+            Grid::try_zeros(&["i", "j", "k"], &[huge, huge, huge], DataType::Float32).unwrap_err();
+        assert!(err.contains("overflows"), "unexpected message: {err}");
+        assert!(
+            err.contains("1099511627776"),
+            "message names the shape: {err}"
+        );
+        // The byte size of the f64 backing store is guarded too: an element
+        // count that fits usize but whose 8x byte size does not is rejected.
+        let err = Grid::try_zeros(
+            &["i", "j"],
+            &[1usize << 32, 1usize << 31],
+            DataType::Float64,
+        )
+        .unwrap_err();
+        assert!(err.contains("overflows"), "unexpected message: {err}");
+        // A zero extent must not let arbitrarily large trailing dimensions
+        // overflow the stride computation.
+        assert!(Grid::try_zeros(&["i", "j", "k"], &[0, huge, huge], DataType::Float32).is_err());
+        // Rank mismatches surface as errors on the fallible path.
+        assert!(Grid::try_zeros(&["i"], &[2, 2], DataType::Float32).is_err());
+        // Ordinary shapes are unaffected.
+        let grid = Grid::try_zeros(&["i", "j"], &[3, 4], DataType::Float32).unwrap();
+        assert_eq!(grid.len(), 12);
     }
 
     #[test]

@@ -27,10 +27,12 @@ mod fuse;
 pub mod grid;
 pub mod input_data;
 mod plan;
+pub mod shard;
 
 pub use executor::{CompiledProgram, ExecutionResult, ReferenceExecutor};
 pub use grid::Grid;
 pub use input_data::{generate_inputs, InputGenerator};
+pub use shard::{FaultPlan, ShardConfig, ShardReport, ShardStats, ShardedOutcome, WatchdogReport};
 
 #[cfg(test)]
 mod tests {

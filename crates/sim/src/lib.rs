@@ -23,14 +23,17 @@
 //! reconvergent DAG with insufficient channel depths stalls permanently,
 //! while the analysis-computed depths stream to completion.
 
-pub mod channel;
+// The channel layer moved to `stencilflow-core` so the sharded runtime in
+// `stencilflow-reference` (a dependency of this crate) can reuse it; the
+// historical `sim::channel` path keeps working through this re-export.
+pub use stencilflow_core::channel;
 pub mod config;
 pub mod memory;
 pub mod report;
 pub mod simulator;
 pub mod unit;
 
-pub use channel::Fifo;
+pub use channel::{ChannelError, Fifo};
 pub use config::{NetworkParams, SimConfig};
 pub use memory::MemoryModel;
 pub use report::{SimOutcome, SimReport};

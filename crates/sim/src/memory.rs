@@ -134,7 +134,9 @@ impl ReaderUnit {
         }
         let value = self.values[self.produced];
         for &c in &self.out_channels {
-            channels[c].push(now, value);
+            channels[c]
+                .push(now, value)
+                .expect("output space reserved by the can_push check above");
         }
         self.produced += 1;
         true
@@ -186,7 +188,9 @@ impl WriterUnit {
             self.stall_cycles += 1;
             return false;
         }
-        let value = channels[self.in_channel].pop(now);
+        let value = channels[self.in_channel]
+            .pop(now)
+            .expect("word availability established by the can_pop check above");
         self.values.push(value);
         true
     }
@@ -233,7 +237,7 @@ mod tests {
             assert!(reader.step(0, &mut channels, &mut memory));
         }
         assert!(reader.done());
-        let streamed: Vec<f64> = (0..6).map(|_| channels[0].pop(0)).collect();
+        let streamed: Vec<f64> = (0..6).map(|_| channels[0].pop(0).unwrap()).collect();
         assert_eq!(streamed, vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]);
     }
 
@@ -243,8 +247,8 @@ mod tests {
         channels[0].begin_cycle();
         let mut memory = MemoryModel::new(None);
         memory.begin_cycle();
-        channels[0].push(0, 1.5);
-        channels[0].push(0, 2.5);
+        channels[0].push(0, 1.5).unwrap();
+        channels[0].push(0, 2.5).unwrap();
         let mut writer = WriterUnit::new("out", 0, 2);
         assert!(writer.step(0, &mut channels, &mut memory));
         assert!(writer.step(0, &mut channels, &mut memory));
@@ -266,6 +270,6 @@ mod tests {
         assert!(reader.step(0, &mut channels, &mut memory));
         assert!(!reader.step(0, &mut channels, &mut memory)); // channel full
         assert_eq!(reader.stall_cycles, 1);
-        assert_eq!(channels[0].pop(0), 7.0);
+        assert_eq!(channels[0].pop(0).unwrap(), 7.0);
     }
 }

@@ -275,16 +275,21 @@ impl StencilUnitSim {
                 self.total_cells
             };
             if port.consumed < required {
-                if channels[port.channel].can_pop(now) {
-                    let value = channels[port.channel].pop(now);
-                    if port.window.is_empty() {
-                        port.window_base = port.consumed as i64;
+                // A failed pop is back-pressure (word not produced yet or
+                // still in network flight), not a bug: record the stall and
+                // retry next cycle.
+                match channels[port.channel].pop(now) {
+                    Ok(value) => {
+                        if port.window.is_empty() {
+                            port.window_base = port.consumed as i64;
+                        }
+                        port.window.push_back(value);
+                        port.consumed += 1;
+                        progress = true;
                     }
-                    port.window.push_back(value);
-                    port.consumed += 1;
-                    progress = true;
-                } else {
-                    missing_input = true;
+                    Err(_) => {
+                        missing_input = true;
+                    }
                 }
             }
         }
@@ -361,7 +366,9 @@ impl StencilUnitSim {
         };
         self.typed_values = raw_values;
         for &c in &self.out_channels {
-            channels[c].push(now, value);
+            channels[c]
+                .push(now, value)
+                .expect("output space reserved by the can_push check above");
         }
         self.produced += 1;
         // Prune windows to their steady-state size.
@@ -415,10 +422,9 @@ impl StencilUnitSim {
         for port in &mut self.ports {
             let required = port.required_consumed(cell + L - 1, self.total_cells);
             while port.consumed < required {
-                if !channels[port.channel].can_pop(now) {
+                let Ok(value) = channels[port.channel].pop(now) else {
                     return false;
-                }
-                let value = channels[port.channel].pop(now);
+                };
                 if port.window.is_empty() {
                     port.window_base = port.consumed as i64;
                 }
@@ -457,7 +463,9 @@ impl StencilUnitSim {
         self.lane_values = lanes;
         for &c in &self.out_channels {
             for &value in &result {
-                channels[c].push(now, Value::from_f64(value, dtype).as_f64());
+                channels[c]
+                    .push(now, Value::from_f64(value, dtype).as_f64())
+                    .expect("batch space reserved by the can_push_n check above");
             }
         }
         self.produced += L;
@@ -511,7 +519,7 @@ mod tests {
                 c.begin_cycle();
             }
             if fed < data.len() && channels[0].can_push() {
-                channels[0].push(cycle, data[fed]);
+                channels[0].push(cycle, data[fed]).unwrap();
                 fed += 1;
             }
             unit.step(cycle, &mut channels);
@@ -520,7 +528,7 @@ mod tests {
             }
         }
         assert!(unit.done());
-        let outputs: Vec<f64> = (0..8).map(|_| channels[1].pop(1000)).collect();
+        let outputs: Vec<f64> = (0..8).map(|_| channels[1].pop(1000).unwrap()).collect();
         // s[i] = a[i-1] + a[i+1] with constant-0 boundaries.
         assert_eq!(outputs, vec![1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 6.0]);
     }
@@ -556,7 +564,7 @@ mod tests {
                     c.begin_cycle();
                 }
                 if fed < data.len() && channels[0].can_push() {
-                    channels[0].push(cycle, data[fed]);
+                    channels[0].push(cycle, data[fed]).unwrap();
                     fed += 1;
                 }
                 unit.step(cycle, &mut channels);
@@ -565,7 +573,7 @@ mod tests {
                 }
             }
             assert!(unit.done());
-            outputs.push((0..8).map(|_| channels[1].pop(1000)).collect());
+            outputs.push((0..8).map(|_| channels[1].pop(1000).unwrap()).collect());
         }
         for (a, b) in outputs[0].iter().zip(outputs[1].iter()) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -604,7 +612,7 @@ mod tests {
                 }
                 // Feed eagerly so the lane path has whole batches buffered.
                 while fed < data.len() && channels[0].can_push() {
-                    channels[0].push(cycle, data[fed]);
+                    channels[0].push(cycle, data[fed]).unwrap();
                     fed += 1;
                 }
                 unit.step(cycle, &mut channels);
@@ -614,7 +622,11 @@ mod tests {
             }
             assert!(unit.done());
             assert_eq!(unit.produced, total);
-            outputs.push((0..total).map(|_| channels[1].pop(1_000_000)).collect());
+            outputs.push(
+                (0..total)
+                    .map(|_| channels[1].pop(1_000_000).unwrap())
+                    .collect(),
+            );
         }
         for (cell, (a, b)) in outputs[0].iter().zip(outputs[1].iter()).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "cell {cell}: {a:?} vs {b:?}");
@@ -658,7 +670,7 @@ mod tests {
                     c.begin_cycle();
                 }
                 while fed < data.len() && channels[0].can_push() {
-                    channels[0].push(cycle, data[fed]);
+                    channels[0].push(cycle, data[fed]).unwrap();
                     fed += 1;
                 }
                 unit.step(cycle, &mut channels);
@@ -667,7 +679,11 @@ mod tests {
                 }
             }
             assert!(unit.done());
-            outputs.push((0..total).map(|_| channels[1].pop(1_000_000)).collect());
+            outputs.push(
+                (0..total)
+                    .map(|_| channels[1].pop(1_000_000).unwrap())
+                    .collect(),
+            );
         }
         for (cell, (a, b)) in outputs[0].iter().zip(outputs[1].iter()).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "cell {cell}: {a:?} vs {b:?}");
@@ -702,7 +718,7 @@ mod tests {
                 c.begin_cycle();
             }
             if channels[0].can_push() {
-                channels[0].push(cycle, cycle as f64);
+                channels[0].push(cycle, cycle as f64).unwrap();
             }
             unit.step(cycle, &mut channels);
         }

@@ -11,22 +11,32 @@
 #   4. cargo clippy -D warnings  — lints
 #   5. cargo doc -D warnings     — documentation (intra-doc links included)
 #   6. examples                  — compile-and-run every example
-#   7. bench_eval --quick + report --quick
+#   7. fault_sweep               — the sharded fault-injection suite: every
+#                                  (seed x fault schedule) run must stay
+#                                  bitwise identical to the interpreter;
+#                                  seeds extend via STENCILFLOW_FAULT_SEEDS
+#                                  (comma-separated), and the fault-log JSON
+#                                  lands next to the bench JSON
+#   8. bench_eval --quick + report --quick
 #                                — the benchmark smoke run; writes the JSON
 #                                  document the floor gate checks
-#   8. bench_eval --check-floors — kernel-tier speedup floors (compiled /
+#   9. bench_eval --check-floors — kernel-tier speedup floors (compiled /
 #                                  typed / simd on jacobi3d, the
 #                                  if-conversion lane floor on upwind3d,
-#                                  and the fused-tier floors on the chain
-#                                  and time-stepping rows)
+#                                  the fused-tier floors on the chain
+#                                  and time-stepping rows, and the sharded
+#                                  zero-fault overhead floors conditioned
+#                                  on the recorded host thread count)
 #
 # The quick-mode JSON lands in $BENCH_JSON (default: bench_eval_ci.json in
-# the repository root); CI uploads it as an artifact.
+# the repository root) and the fault log in $FAULT_JSON (default:
+# fault_sweep_ci.json); CI uploads both as artifacts.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_JSON="${BENCH_JSON:-bench_eval_ci.json}"
+FAULT_JSON="${FAULT_JSON:-fault_sweep_ci.json}"
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
@@ -48,6 +58,9 @@ cargo run --release --example quickstart
 cargo run --release --example horizontal_diffusion
 cargo run --release --example multi_device
 cargo run --release --example deadlock_buffers
+
+echo "==> sharded fault-injection sweep -> ${FAULT_JSON}"
+cargo run --release --bin fault_sweep -- --out "${FAULT_JSON}"
 
 echo "==> bench smoke run (quick mode) -> ${BENCH_JSON}"
 cargo run --release --bin bench_eval -- --quick "${BENCH_JSON}"
