@@ -1,0 +1,33 @@
+//! Static verification layer for the StencilFlow reproduction.
+//!
+//! The paper's central promise is that a stencil program's behavior is
+//! decidable *before* it runs: buffer sizes, deadlock freedom, and
+//! performance all fall out of static analysis (§III–IV). This crate
+//! extends that discipline from the dataflow graph down to the expression
+//! bytecode and up to the sharded runtime:
+//!
+//! * [`analyze_program`] — structural, type, and kernel checks over a
+//!   [`StencilProgram`](stencilflow_program::StencilProgram): cycle
+//!   detection with a named path, dead-stencil and unused-input liveness,
+//!   narrowing-edge and footprint-vs-extent checks, and per-stencil
+//!   bytecode verification (via `stencilflow_expr::verify`) including the
+//!   error-reachability judgment.
+//! * [`analyze_sharding`] — the fig04 buffer-sizing argument applied to
+//!   halo-exchange links: predicts the undersized-link deadlock the
+//!   runtime watchdog can only detect live.
+//! * [`Diagnostic`]/[`AnalysisReport`] — the structured findings both
+//!   emit: severity, stable `SFxxxx` code, location, rendered text, JSON.
+//!
+//! The `analyze` binary (in `stencilflow-bench`) sweeps every workload
+//! through both analyzers and gates CI on error-severity findings. See
+//! `docs/analysis.md` for the diagnostic code registry.
+
+#![forbid(unsafe_code)]
+
+mod diag;
+mod program;
+mod shard;
+
+pub use diag::{AnalysisReport, Diagnostic, Severity};
+pub use program::analyze_program;
+pub use shard::analyze_sharding;

@@ -1,0 +1,330 @@
+//! The program/DAG analyzer: structural and type checks over a
+//! [`StencilProgram`] that predict runtime misbehavior before anything
+//! executes.
+//!
+//! Checks and their codes:
+//!
+//! * **SF0201** (error) — the stencil graph is cyclic; the message names
+//!   the cycle path.
+//! * **SF0202** (warning) — a stencil computes values no output depends
+//!   on (dead compute that still costs area/time in a mapped design).
+//! * **SF0203** (warning) — a declared input no live stencil reads.
+//! * **SF0204** (warning) — an edge silently narrows: a stencil's
+//!   declared output type is narrower than the promoted type of the
+//!   fields it reads, so every value crossing the edge is rounded.
+//! * **SF0205** (error) — an access footprint reaches at least as far as
+//!   the iteration-space extent in some dimension, so every cell of the
+//!   sweep reads out of domain.
+//! * **SF0206** (warning) — a runtime error (integer division by zero,
+//!   the language's only one) is reachable in a stencil kernel, judged by
+//!   the bytecode verifier with the stencil's real slot types.
+//! * **SF0207** (error) — a stencil expression fails to compile to
+//!   bytecode at all.
+//! * **SF0101–SF0109** (error) — the compiled kernel fails bytecode
+//!   verification; the code is the verifier's own.
+
+use crate::diag::{AnalysisReport, Diagnostic, Severity};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use stencilflow_expr::{verify_kernel, CompiledKernel, DataType};
+use stencilflow_program::{AccessFootprints, StencilProgram};
+
+/// Run every program-level check on `program`.
+pub fn analyze_program(program: &StencilProgram) -> AnalysisReport {
+    let mut report = AnalysisReport {
+        program: program.name().to_string(),
+        diagnostics: Vec::new(),
+    };
+    check_cycles(program, &mut report);
+    check_liveness(program, &mut report);
+    check_edge_types(program, &mut report);
+    check_footprints(program, &mut report);
+    check_kernels(program, &mut report);
+    report
+}
+
+fn location(program: &StencilProgram, node: &str) -> String {
+    format!("{}/{}", program.name(), node)
+}
+
+/// Stencil-to-stencil adjacency: `reads[s]` is every *stencil* field `s`
+/// reads (inputs are excluded — they cannot take part in a cycle).
+fn stencil_reads(program: &StencilProgram) -> BTreeMap<String, Vec<String>> {
+    program
+        .stencils()
+        .map(|stencil| {
+            let reads = stencil
+                .read_fields()
+                .into_iter()
+                .filter(|f| program.is_stencil(f))
+                .map(str::to_string)
+                .collect();
+            (stencil.name.clone(), reads)
+        })
+        .collect()
+}
+
+/// SF0201: cycle detection with a named path, by iterative DFS with an
+/// explicit color map (white/gray/black). Only the first cycle found is
+/// reported — one is enough to make every downstream analysis undefined.
+fn check_cycles(program: &StencilProgram, report: &mut AnalysisReport) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let reads = stencil_reads(program);
+    let mut color: BTreeMap<&str, Color> =
+        reads.keys().map(|k| (k.as_str(), Color::White)).collect();
+
+    for start in reads.keys() {
+        if color[start.as_str()] != Color::White {
+            continue;
+        }
+        // Stack of (node, next-neighbor-index); `path` mirrors the gray
+        // chain so a back edge can name the whole cycle.
+        let mut stack: Vec<(&str, usize)> = vec![(start.as_str(), 0)];
+        color.insert(start.as_str(), Color::Gray);
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let neighbors = &reads[node];
+            if *next >= neighbors.len() {
+                color.insert(node, Color::Black);
+                stack.pop();
+                continue;
+            }
+            let neighbor = neighbors[*next].as_str();
+            *next += 1;
+            match color[neighbor] {
+                Color::White => {
+                    color.insert(neighbor, Color::Gray);
+                    stack.push((neighbor, 0));
+                }
+                Color::Gray => {
+                    let from = stack.iter().position(|&(n, _)| n == neighbor).unwrap_or(0);
+                    let mut path: Vec<&str> = stack[from..].iter().map(|&(n, _)| n).collect();
+                    path.push(neighbor);
+                    report.diagnostics.push(Diagnostic::new(
+                        Severity::Error,
+                        "SF0201",
+                        location(program, neighbor),
+                        format!("stencil graph is cyclic: {}", path.join(" -> ")),
+                    ));
+                    return;
+                }
+                Color::Black => {}
+            }
+        }
+    }
+}
+
+/// SF0202 + SF0203: reverse reachability from the outputs. A stencil no
+/// output depends on is dead; an input no live stencil reads is unused.
+fn check_liveness(program: &StencilProgram, report: &mut AnalysisReport) {
+    let reads = stencil_reads(program);
+    let mut live: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = program
+        .outputs()
+        .iter()
+        .map(String::as_str)
+        .filter(|o| reads.contains_key(*o))
+        .collect();
+    while let Some(node) = queue.pop_front() {
+        if !live.insert(node) {
+            continue;
+        }
+        for upstream in &reads[node] {
+            if !live.contains(upstream.as_str()) {
+                queue.push_back(upstream);
+            }
+        }
+    }
+    for stencil in program.stencils() {
+        if !live.contains(stencil.name.as_str()) {
+            report.diagnostics.push(Diagnostic::new(
+                Severity::Warning,
+                "SF0202",
+                location(program, &stencil.name),
+                "dead stencil: no output depends on it".to_string(),
+            ));
+        }
+    }
+    for (input, _) in program.inputs() {
+        let read_by_live = program
+            .stencils()
+            .any(|s| live.contains(s.name.as_str()) && s.reads(input));
+        if !read_by_live {
+            report.diagnostics.push(Diagnostic::new(
+                Severity::Warning,
+                "SF0203",
+                location(program, input),
+                "unused input: no live stencil reads it".to_string(),
+            ));
+        }
+    }
+}
+
+/// SF0204: an edge narrows when a stencil's declared output type cannot
+/// represent the promoted type of what it reads — every value leaving the
+/// stencil is rounded. The natural type is the promotion over the *field*
+/// types read (never over literals, which are always parsed wide).
+fn check_edge_types(program: &StencilProgram, report: &mut AnalysisReport) {
+    for stencil in program.stencils() {
+        let natural = stencil
+            .read_fields()
+            .into_iter()
+            .filter_map(|f| program.field_type(f))
+            .reduce(DataType::promote);
+        let Some(natural) = natural else { continue };
+        let declared = stencil.output_type;
+        if natural.promote(declared) != declared {
+            report.diagnostics.push(Diagnostic::new(
+                Severity::Warning,
+                "SF0204",
+                location(program, &stencil.name),
+                format!(
+                    "narrowing edge: reads promote to {natural:?} but the output is \
+                     declared {declared:?}, so every value is rounded"
+                ),
+            ));
+        }
+    }
+}
+
+/// SF0205: a footprint that reaches at least the iteration-space extent
+/// in some dimension makes *every* access in that dimension touch a
+/// boundary cell — the stencil computes from boundary padding alone.
+fn check_footprints(program: &StencilProgram, report: &mut AnalysisReport) {
+    let footprints = AccessFootprints::of_program(program);
+    let shape = &program.space().shape;
+    for (consumer, field, extents) in footprints.edges() {
+        for (dim, &(lo, hi)) in extents.iter().enumerate() {
+            let reach = lo.unsigned_abs().max(hi.unsigned_abs()) as usize;
+            if reach >= shape[dim] {
+                report.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    "SF0205",
+                    format!("{}/{} -> {}", program.name(), field, consumer),
+                    format!(
+                        "footprint [{lo}, {hi}] exceeds the extent {} of dimension \
+                         {dim}: every access is out of domain",
+                        shape[dim]
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// SF0206/SF0207 + SF01xx: compile every stencil kernel and run the
+/// bytecode verifier over it with the stencil's real slot types — the
+/// same judgment the runtime makes at bind time, but across the whole
+/// program at once.
+fn check_kernels(program: &StencilProgram, report: &mut AnalysisReport) {
+    for stencil in program.stencils() {
+        let kernel = match CompiledKernel::compile(&stencil.program) {
+            Ok(kernel) => kernel,
+            Err(e) => {
+                report.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    "SF0207",
+                    location(program, &stencil.name),
+                    format!("stencil expression does not compile: {e}"),
+                ));
+                continue;
+            }
+        };
+        let slot_types: Option<Vec<DataType>> = kernel
+            .slots()
+            .iter()
+            .map(|slot| program.field_type(&slot.field))
+            .collect();
+        match verify_kernel(&kernel, slot_types.as_deref()) {
+            Err(e) => {
+                report.diagnostics.push(Diagnostic::new(
+                    Severity::Error,
+                    e.code(),
+                    location(program, &stencil.name),
+                    format!("kernel fails bytecode verification: {e}"),
+                ));
+            }
+            Ok(judgment) if !judgment.infallible => {
+                report.diagnostics.push(Diagnostic::new(
+                    Severity::Warning,
+                    "SF0206",
+                    location(program, &stencil.name),
+                    "a runtime error is reachable: integer division whose divisor \
+                     may be zero"
+                        .to_string(),
+                ));
+            }
+            Ok(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_program::StencilProgramBuilder;
+
+    fn clean_program() -> StencilProgram {
+        StencilProgramBuilder::new("clean", &[16, 16])
+            .dims(&["i", "j"])
+            .input("a", DataType::Float32, &["i", "j"])
+            .stencil("b", "0.25 * (a[i-1,j] + a[i+1,j] + a[i,j-1] + a[i,j+1])")
+            .output("b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let report = analyze_program(&clean_program());
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn liveness_flags_dead_stencil_and_unused_input() {
+        let program = StencilProgramBuilder::new("deadwood", &[16, 16])
+            .dims(&["i", "j"])
+            .input("a", DataType::Float32, &["i", "j"])
+            .input("ghost", DataType::Float32, &["i", "j"])
+            .stencil("b", "a[i,j] + 1.0")
+            .stencil("orphan", "ghost[i,j] * 2.0")
+            .output("b")
+            .build()
+            .unwrap();
+        let report = analyze_program(&program);
+        assert_eq!(report.with_code("SF0202").len(), 1);
+        assert_eq!(report.with_code("SF0203").len(), 1);
+        assert!(report.is_clean(), "liveness findings are warnings");
+    }
+
+    #[test]
+    fn narrowing_edge_is_flagged() {
+        let program = StencilProgramBuilder::new("narrow", &[16, 16])
+            .dims(&["i", "j"])
+            .input("a", DataType::Float64, &["i", "j"])
+            .stencil("b", "a[i,j] + 1.0") // defaults to Float32 output
+            .output("b")
+            .build()
+            .unwrap();
+        let report = analyze_program(&program);
+        assert_eq!(report.with_code("SF0204").len(), 1);
+    }
+
+    #[test]
+    fn integer_division_is_error_reachable() {
+        let program = StencilProgramBuilder::new("intdiv", &[16, 16])
+            .dims(&["i", "j"])
+            .input("a", DataType::Int32, &["i", "j"])
+            .input("b", DataType::Int32, &["i", "j"])
+            .stencil("q", "a[i,j] / b[i,j]")
+            .output_type("q", DataType::Int32)
+            .output("q")
+            .build()
+            .unwrap();
+        let report = analyze_program(&program);
+        assert_eq!(report.with_code("SF0206").len(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Shard-link sizing diagnostics: the fig04 deadlock-freedom argument
+//! applied to a concrete [`ShardLinkSpec`], reported as diagnostics.
+//!
+//! * **SF0301** (error) — the configured link capacity cannot hold one
+//!   halo frame: the exchange deadlocks (the runtime watchdog would trip
+//!   and degrade; this predicts it before anything runs).
+//! * **SF0302** (error) — no feasible slab partition exists at all for
+//!   the requested geometry.
+//! * **SF0303** (info) — the planner had to shrink the requested window
+//!   or shard count to make the slab partition feasible.
+
+use crate::diag::{Diagnostic, Severity};
+use stencilflow_core::{analyze_shard_links, CoreError, ShardLinkRequirement, ShardLinkSpec};
+use stencilflow_program::StencilProgram;
+
+/// Statically size the halo links of `spec` and report findings. Returns
+/// the requirement alongside the diagnostics so callers (and tests) can
+/// compare the predicted numbers against the runtime watchdog's report.
+pub fn analyze_sharding(
+    program: &StencilProgram,
+    spec: &ShardLinkSpec,
+) -> (Option<ShardLinkRequirement>, Vec<Diagnostic>) {
+    let mut diagnostics = Vec::new();
+    let requirement = match analyze_shard_links(program, spec) {
+        Ok(requirement) => requirement,
+        Err(CoreError::Partition { message }) => {
+            diagnostics.push(Diagnostic::new(
+                Severity::Error,
+                "SF0302",
+                program.name().to_string(),
+                format!("no feasible slab partition: {message}"),
+            ));
+            return (None, diagnostics);
+        }
+        Err(e) => {
+            diagnostics.push(Diagnostic::new(
+                Severity::Error,
+                "SF0302",
+                program.name().to_string(),
+                format!("shard-link analysis failed: {e}"),
+            ));
+            return (None, diagnostics);
+        }
+    };
+    if requirement.deadlock_predicted {
+        diagnostics.push(Diagnostic::new(
+            Severity::Error,
+            "SF0301",
+            format!("{}/halo-links", program.name()),
+            format!(
+                "undersized halo link: configured capacity {} words cannot hold one \
+                 frame of {} words ({} header + {} payload = radius {} x window {} x \
+                 {} row words); the exchange deadlocks",
+                requirement.configured_capacity_words,
+                requirement.required_frame_words,
+                stencilflow_core::FRAME_HEADER_WORDS,
+                requirement.payload_words,
+                requirement.radius,
+                requirement.window,
+                requirement.row_words,
+            ),
+        ));
+    }
+    if requirement.shards < spec.shards.max(1) || requirement.window < spec.window.max(1) {
+        diagnostics.push(Diagnostic::new(
+            Severity::Info,
+            "SF0303",
+            format!("{}/halo-links", program.name()),
+            format!(
+                "requested geometry is infeasible; planner shrinks to {} shard(s) \
+                 with window {}",
+                requirement.shards, requirement.window
+            ),
+        ));
+    }
+    (Some(requirement), diagnostics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stencilflow_expr::DataType;
+    use stencilflow_program::StencilProgramBuilder;
+
+    fn chain(extent: usize) -> StencilProgram {
+        StencilProgramBuilder::new("chain", &[extent, 4])
+            .dims(&["i", "j"])
+            .input("a", DataType::Float64, &["i", "j"])
+            .stencil("b", "0.5 * (a[i-1,j] + a[i+1,j])")
+            .output_type("b", DataType::Float64)
+            .output("b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_capacity_is_clean() {
+        let (req, diags) = analyze_sharding(&chain(32), &ShardLinkSpec::new(4, 1, 4));
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!req.unwrap().deadlock_predicted);
+    }
+
+    #[test]
+    fn undersized_capacity_reports_sf0301() {
+        let spec = ShardLinkSpec::new(4, 1, 4).with_link_capacity_words(4);
+        let (req, diags) = analyze_sharding(&chain(32), &spec);
+        assert!(req.unwrap().deadlock_predicted);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "SF0301");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn shrunk_geometry_reports_sf0303_info() {
+        let (req, diags) = analyze_sharding(&chain(8), &ShardLinkSpec::new(4, 4, 8));
+        let req = req.unwrap();
+        assert!(req.window < 4 || req.shards < 4);
+        assert!(diags.iter().any(|d| d.code == "SF0303"));
+        assert!(diags.iter().all(|d| d.severity < Severity::Error));
+    }
+}

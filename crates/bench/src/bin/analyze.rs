@@ -1,0 +1,111 @@
+//! Static-analysis sweep over every workload: run the program/DAG
+//! analyzer and the shard-link sizing pass on each, print the findings
+//! compiler-style, and write a JSON artifact of every diagnostic.
+//!
+//! With `--check`, exits non-zero if any workload produces an
+//! error-severity diagnostic — the CI gate that keeps the whole workload
+//! suite analysis-clean. Warnings and infos are reported but do not gate.
+//!
+//! Usage: `analyze [--check] [--out PATH]`
+
+use stencilflow_analysis::{analyze_program, analyze_sharding, AnalysisReport, Severity};
+use stencilflow_core::ShardLinkSpec;
+use stencilflow_expr::DataType;
+use stencilflow_json::Json;
+use stencilflow_program::StencilProgram;
+use stencilflow_workloads::{
+    chain_program, diffusion2d, diffusion3d, horizontal_diffusion, jacobi2d, jacobi3d,
+    jacobi3d_typed, listing1, membench_program, upwind3d, ChainSpec, HorizontalDiffusionSpec,
+    MembenchSpec,
+};
+
+/// The workload suite swept by every benchmark binary, at analysis-sized
+/// shapes (the analyses are shape-generic; small shapes keep this fast).
+fn workloads() -> Vec<StencilProgram> {
+    vec![
+        listing1(),
+        jacobi2d(1, &[32, 32], 1),
+        jacobi3d(1, &[16, 16, 8], 1),
+        jacobi3d_typed(1, &[16, 16, 8], 1, DataType::Float64),
+        diffusion2d(1, &[32, 32], 1),
+        diffusion3d(1, &[16, 16, 8], 1),
+        chain_program(&ChainSpec::new(8, 8)),
+        membench_program(&MembenchSpec::new(8, 1)),
+        horizontal_diffusion(&HorizontalDiffusionSpec::small()),
+        upwind3d(2, &[8, 8, 8], 1),
+    ]
+}
+
+fn main() {
+    let mut check = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                };
+                out = Some(path);
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (usage: analyze [--check] [--out PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut reports: Vec<AnalysisReport> = Vec::new();
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for program in workloads() {
+        let mut report = analyze_program(&program);
+        // Sweep the sharded-run configuration every workload would get by
+        // default: the static pass must prove the default link sizing
+        // deadlock free for each of them.
+        let spec = ShardLinkSpec::new(4, 1, 4).with_feedback_pairs(program.outputs().len());
+        let (_, shard_diags) = analyze_sharding(&program, &spec);
+        report.diagnostics.extend(shard_diags);
+        for diag in &report.diagnostics {
+            println!("{}", diag.render());
+            match diag.severity {
+                Severity::Error => errors += 1,
+                Severity::Warning => warnings += 1,
+                Severity::Info => {}
+            }
+        }
+        reports.push(report);
+    }
+
+    let clean = reports.iter().filter(|r| r.diagnostics.is_empty()).count();
+    println!(
+        "analyzed {} workloads: {} clean, {} warning(s), {} error(s)",
+        reports.len(),
+        clean,
+        warnings,
+        errors
+    );
+
+    if let Some(path) = out {
+        let json = Json::Object(vec![
+            (
+                "workloads".into(),
+                Json::Array(reports.iter().map(AnalysisReport::to_json).collect()),
+            ),
+            ("errors".into(), Json::Number(errors as f64)),
+            ("warnings".into(), Json::Number(warnings as f64)),
+        ]);
+        if let Err(e) = std::fs::write(&path, json.to_string_pretty()) {
+            eprintln!("cannot write `{path}`: {e}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+
+    if check && errors > 0 {
+        eprintln!("analysis gate failed: {errors} error-severity diagnostic(s)");
+        std::process::exit(1);
+    }
+}

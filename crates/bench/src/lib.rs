@@ -8,6 +8,8 @@
 //! `src/bin/` binaries print them standalone. `EXPERIMENTS.md` records the
 //! paper-vs-measured comparison for every row.
 
+#![forbid(unsafe_code)]
+
 use stencilflow_core::{AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig};
 use stencilflow_hwmodel::{
     comparator_estimate, estimate_resources, silicon_efficiency, BandwidthModel, Device,

@@ -19,6 +19,8 @@
 //! * [`report`] — a human-readable mapping report used by the benchmark
 //!   binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod expr_c;
 pub mod host;
 pub mod opencl;

@@ -50,6 +50,8 @@
 //! assert!(analysis.delay.max_channel_depth() >= 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod buffers;
 pub mod channel;
 pub mod config;
@@ -58,6 +60,7 @@ pub mod error;
 pub mod mapping;
 pub mod partition;
 pub mod perf;
+pub mod shardlink;
 pub mod vectorization;
 
 pub use buffers::{InternalBufferAnalysis, StencilBuffers};
@@ -68,6 +71,10 @@ pub use error::{CoreError, Result};
 pub use mapping::{Channel, ChannelEndpoint, HardwareMapping, MemoryAccessKind, StencilUnit};
 pub use partition::{DevicePartition, MultiDevicePlan, PartitionConfig, SlabPartition, SlabRange};
 pub use perf::{expected_cycles, expected_runtime_seconds, PerformanceEstimate};
+pub use shardlink::{
+    analyze_shard_links, halo_radius, minimum_link_depth_words, ShardLinkRequirement,
+    ShardLinkSpec, FRAME_HEADER_WORDS,
+};
 pub use vectorization::VectorizationInfo;
 
 use stencilflow_program::StencilProgram;

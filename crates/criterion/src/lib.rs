@@ -8,6 +8,8 @@
 //! the mean, minimum, and median per-iteration times are printed. There are
 //! no statistical comparisons against saved baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from deleting a computation whose result is unused.

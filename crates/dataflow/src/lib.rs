@@ -18,6 +18,8 @@
 //! * [`transforms`] — `StencilFusion` (§V-B, with the paper's legality
 //!   heuristics), `NestDim`, and `MapFission`.
 
+#![forbid(unsafe_code)]
+
 pub mod library;
 pub mod lower;
 pub mod sdfg;

@@ -176,15 +176,20 @@ impl CompiledKernel {
         let report = crate::opt::PassManager::standard(config).run(&mut ops);
         let max_stack = max_stack_of(&ops);
         let local_count = local_count_of(&ops);
-        Ok((
-            CompiledKernel {
-                ops,
-                slots: compiler.slots,
-                local_count,
-                max_stack,
-            },
-            report,
-        ))
+        let kernel = CompiledKernel {
+            ops,
+            slots: compiler.slots,
+            local_count,
+            max_stack,
+        };
+        // Debug builds independently verify the finished kernel (the pass
+        // manager already verified after each pass); the eval loops rely on
+        // the proven invariants with debug-only checks.
+        #[cfg(debug_assertions)]
+        if let Err(e) = crate::verify::verify_kernel(&kernel, None) {
+            panic!("compiled kernel failed verification: {e}");
+        }
+        Ok((kernel, report))
     }
 
     /// Lower a parsed code segment without running any optimization pass:
@@ -243,20 +248,22 @@ impl CompiledKernel {
                 Op::Const(v) => stack.push(v),
                 Op::Slot(ix) => stack.push(slot_values[ix as usize]),
                 Op::Local(ix) => stack.push(locals[ix as usize]),
-                Op::Store(ix) => locals[ix as usize] = stack.pop().expect("stack underflow: Store"),
+                Op::Store(ix) => {
+                    locals[ix as usize] = pop_verified(stack, Value::F64(0.0), "Store")
+                }
                 Op::Pop => {
-                    stack.pop().expect("stack underflow: Pop");
+                    pop_verified(stack, Value::F64(0.0), "Pop");
                 }
                 Op::Unary(op) => {
-                    let v = stack.pop().expect("stack underflow: Unary");
+                    let v = pop_verified(stack, Value::F64(0.0), "Unary");
                     stack.push(match op {
                         UnOp::Neg => v.neg(),
                         UnOp::Not => v.not(),
                     });
                 }
                 Op::Binary(op) => {
-                    let r = stack.pop().expect("stack underflow: Binary rhs");
-                    let l = stack.pop().expect("stack underflow: Binary lhs");
+                    let r = pop_verified(stack, Value::F64(0.0), "Binary rhs");
+                    let l = pop_verified(stack, Value::F64(0.0), "Binary lhs");
                     stack.push(match op {
                         BinOp::Add => l.add(r),
                         BinOp::Sub => l.sub(r),
@@ -274,12 +281,12 @@ impl CompiledKernel {
                     });
                 }
                 Op::Call1(func) => {
-                    let a = stack.pop().expect("stack underflow: Call1");
+                    let a = pop_verified(stack, Value::F64(0.0), "Call1");
                     stack.push(eval_math_fn(func, &[a]));
                 }
                 Op::Call2(func) => {
-                    let b = stack.pop().expect("stack underflow: Call2 arg 2");
-                    let a = stack.pop().expect("stack underflow: Call2 arg 1");
+                    let b = pop_verified(stack, Value::F64(0.0), "Call2 arg 2");
+                    let a = pop_verified(stack, Value::F64(0.0), "Call2 arg 1");
                     stack.push(eval_math_fn(func, &[a, b]));
                 }
                 Op::Jump(target) => {
@@ -287,14 +294,14 @@ impl CompiledKernel {
                     continue;
                 }
                 Op::JumpIfFalse(target) => {
-                    let c = stack.pop().expect("stack underflow: JumpIfFalse");
+                    let c = pop_verified(stack, Value::F64(0.0), "JumpIfFalse");
                     if !c.as_bool() {
                         pc = target as usize;
                         continue;
                     }
                 }
                 Op::AndShortCircuit(target) => {
-                    let l = stack.pop().expect("stack underflow: AndShortCircuit");
+                    let l = pop_verified(stack, Value::F64(0.0), "AndShortCircuit");
                     if !l.as_bool() {
                         stack.push(Value::Bool(false));
                         pc = target as usize;
@@ -302,7 +309,7 @@ impl CompiledKernel {
                     }
                 }
                 Op::OrShortCircuit(target) => {
-                    let l = stack.pop().expect("stack underflow: OrShortCircuit");
+                    let l = pop_verified(stack, Value::F64(0.0), "OrShortCircuit");
                     if l.as_bool() {
                         stack.push(Value::Bool(true));
                         pc = target as usize;
@@ -310,13 +317,13 @@ impl CompiledKernel {
                     }
                 }
                 Op::ToBool => {
-                    let v = stack.pop().expect("stack underflow: ToBool");
+                    let v = pop_verified(stack, Value::F64(0.0), "ToBool");
                     stack.push(Value::Bool(v.as_bool()));
                 }
                 Op::Select => {
-                    let otherwise = stack.pop().expect("stack underflow: Select otherwise");
-                    let then = stack.pop().expect("stack underflow: Select then");
-                    let cond = stack.pop().expect("stack underflow: Select cond");
+                    let otherwise = pop_verified(stack, Value::F64(0.0), "Select otherwise");
+                    let then = pop_verified(stack, Value::F64(0.0), "Select then");
+                    let cond = pop_verified(stack, Value::F64(0.0), "Select cond");
                     stack.push(if cond.as_bool() { then } else { otherwise });
                 }
             }
@@ -554,19 +561,19 @@ impl CompiledKernel {
             // Both arms now evaluate unconditionally: the jump-based
             // stack bound no longer covers the select form.
             let max_stack = crate::opt::typed_max_stack_of(&ops);
-            return Some(TypedKernel {
+            return Some(debug_verified_typed(TypedKernel {
                 ops,
                 slot_count: self.slots.len(),
                 local_count: self.local_count,
                 max_stack,
-            });
+            }));
         }
-        Some(TypedKernel {
+        Some(debug_verified_typed(TypedKernel {
             ops,
             slot_count: self.slots.len(),
             local_count: self.local_count,
             max_stack: self.max_stack,
-        })
+        }))
     }
 
     /// Convenience evaluation through an [`AccessResolver`]: resolves every
@@ -779,6 +786,16 @@ impl TypedKernel {
         self.slot_count
     }
 
+    /// Number of local registers the kernel uses.
+    pub fn local_count(&self) -> usize {
+        self.local_count
+    }
+
+    /// Maximum operand-stack depth, statically determined.
+    pub fn max_stack(&self) -> usize {
+        self.max_stack
+    }
+
     /// The specialized instruction stream.
     pub fn ops(&self) -> &[TypedOp] {
         &self.ops
@@ -836,42 +853,42 @@ impl TypedKernel {
                 TypedOp::Slot(ix) => stack.push(slot_values[ix as usize]),
                 TypedOp::Local(ix) => stack.push(locals[ix as usize]),
                 TypedOp::Store(ix) => {
-                    locals[ix as usize] = stack.pop().expect("stack underflow: Store");
+                    locals[ix as usize] = pop_verified(stack, 0.0, "Store");
                 }
                 TypedOp::Pop => {
-                    stack.pop().expect("stack underflow: Pop");
+                    pop_verified(stack, 0.0, "Pop");
                 }
                 TypedOp::Neg { round } => {
-                    let v = stack.pop().expect("stack underflow: Neg");
+                    let v = pop_verified(stack, 0.0, "Neg");
                     stack.push(finish(-v, round));
                 }
                 TypedOp::Not => {
-                    let v = stack.pop().expect("stack underflow: Not");
+                    let v = pop_verified(stack, 0.0, "Not");
                     stack.push(if v != 0.0 { 0.0 } else { 1.0 });
                 }
                 TypedOp::Add { round } => {
-                    let r = stack.pop().expect("stack underflow: Add rhs");
-                    let l = stack.pop().expect("stack underflow: Add lhs");
+                    let r = pop_verified(stack, 0.0, "Add rhs");
+                    let l = pop_verified(stack, 0.0, "Add lhs");
                     stack.push(finish(l + r, round));
                 }
                 TypedOp::Sub { round } => {
-                    let r = stack.pop().expect("stack underflow: Sub rhs");
-                    let l = stack.pop().expect("stack underflow: Sub lhs");
+                    let r = pop_verified(stack, 0.0, "Sub rhs");
+                    let l = pop_verified(stack, 0.0, "Sub lhs");
                     stack.push(finish(l - r, round));
                 }
                 TypedOp::Mul { round } => {
-                    let r = stack.pop().expect("stack underflow: Mul rhs");
-                    let l = stack.pop().expect("stack underflow: Mul lhs");
+                    let r = pop_verified(stack, 0.0, "Mul rhs");
+                    let l = pop_verified(stack, 0.0, "Mul lhs");
                     stack.push(finish(l * r, round));
                 }
                 TypedOp::Div { round } => {
-                    let r = stack.pop().expect("stack underflow: Div rhs");
-                    let l = stack.pop().expect("stack underflow: Div lhs");
+                    let r = pop_verified(stack, 0.0, "Div rhs");
+                    let l = pop_verified(stack, 0.0, "Div lhs");
                     stack.push(finish(l / r, round));
                 }
                 TypedOp::Compare(op) => {
-                    let r = stack.pop().expect("stack underflow: Compare rhs");
-                    let l = stack.pop().expect("stack underflow: Compare lhs");
+                    let r = pop_verified(stack, 0.0, "Compare rhs");
+                    let l = pop_verified(stack, 0.0, "Compare lhs");
                     let result = match op {
                         CompareOp::Lt => l < r,
                         CompareOp::Gt => l > r,
@@ -883,12 +900,12 @@ impl TypedKernel {
                     stack.push(if result { 1.0 } else { 0.0 });
                 }
                 TypedOp::Call1(func, round) => {
-                    let a = stack.pop().expect("stack underflow: Call1");
+                    let a = pop_verified(stack, 0.0, "Call1");
                     stack.push(finish(math_fn_raw(func, a, 0.0), round));
                 }
                 TypedOp::Call2(func, round) => {
-                    let b = stack.pop().expect("stack underflow: Call2 arg 2");
-                    let a = stack.pop().expect("stack underflow: Call2 arg 1");
+                    let b = pop_verified(stack, 0.0, "Call2 arg 2");
+                    let a = pop_verified(stack, 0.0, "Call2 arg 1");
                     stack.push(finish(math_fn_raw(func, a, b), round));
                 }
                 TypedOp::Jump(target) => {
@@ -896,14 +913,14 @@ impl TypedKernel {
                     continue;
                 }
                 TypedOp::JumpIfFalse(target) => {
-                    let c = stack.pop().expect("stack underflow: JumpIfFalse");
+                    let c = pop_verified(stack, 0.0, "JumpIfFalse");
                     if c == 0.0 {
                         pc = target as usize;
                         continue;
                     }
                 }
                 TypedOp::AndFalse(target) => {
-                    let l = stack.pop().expect("stack underflow: AndFalse");
+                    let l = pop_verified(stack, 0.0, "AndFalse");
                     if l == 0.0 {
                         stack.push(0.0);
                         pc = target as usize;
@@ -911,7 +928,7 @@ impl TypedKernel {
                     }
                 }
                 TypedOp::OrTrue(target) => {
-                    let l = stack.pop().expect("stack underflow: OrTrue");
+                    let l = pop_verified(stack, 0.0, "OrTrue");
                     if l != 0.0 {
                         stack.push(1.0);
                         pc = target as usize;
@@ -919,19 +936,19 @@ impl TypedKernel {
                     }
                 }
                 TypedOp::ToBool => {
-                    let v = stack.pop().expect("stack underflow: ToBool");
+                    let v = pop_verified(stack, 0.0, "ToBool");
                     stack.push(if v != 0.0 { 1.0 } else { 0.0 });
                 }
                 TypedOp::Select => {
-                    let otherwise = stack.pop().expect("stack underflow: Select otherwise");
-                    let then = stack.pop().expect("stack underflow: Select then");
-                    let cond = stack.pop().expect("stack underflow: Select cond");
+                    let otherwise = pop_verified(stack, 0.0, "Select otherwise");
+                    let then = pop_verified(stack, 0.0, "Select then");
+                    let cond = pop_verified(stack, 0.0, "Select cond");
                     stack.push(if cond != 0.0 { then } else { otherwise });
                 }
             }
             pc += 1;
         }
-        stack.pop().expect("typed kernels always produce a result")
+        pop_verified(stack, 0.0, "result")
     }
 
     /// Evaluate `LANES` cells per bytecode pass (the lane-batched hot path).
@@ -996,59 +1013,59 @@ impl TypedKernel {
                 TypedOp::Slot(ix) => stack.push(load(ix as usize)),
                 TypedOp::Local(ix) => stack.push(locals[ix as usize]),
                 TypedOp::Store(ix) => {
-                    locals[ix as usize] = stack.pop().expect("stack underflow: Store");
+                    locals[ix as usize] = pop_verified(stack, [0.0; LANES], "Store");
                 }
                 TypedOp::Pop => {
-                    stack.pop().expect("stack underflow: Pop");
+                    pop_verified(stack, [0.0; LANES], "Pop");
                 }
                 TypedOp::Neg { round } => {
-                    let v = stack.last_mut().expect("stack underflow: Neg");
+                    let v = top_verified(stack, "Neg");
                     for lane in v.iter_mut() {
                         *lane = -*lane;
                     }
                     finish(v, round);
                 }
                 TypedOp::Not => {
-                    let v = stack.last_mut().expect("stack underflow: Not");
+                    let v = top_verified(stack, "Not");
                     for lane in v.iter_mut() {
                         *lane = if *lane != 0.0 { 0.0 } else { 1.0 };
                     }
                 }
                 TypedOp::Add { round } => {
-                    let r = stack.pop().expect("stack underflow: Add rhs");
-                    let l = stack.last_mut().expect("stack underflow: Add lhs");
+                    let r = pop_verified(stack, [0.0; LANES], "Add rhs");
+                    let l = top_verified(stack, "Add lhs");
                     for (a, b) in l.iter_mut().zip(r.iter()) {
                         *a += b;
                     }
                     finish(l, round);
                 }
                 TypedOp::Sub { round } => {
-                    let r = stack.pop().expect("stack underflow: Sub rhs");
-                    let l = stack.last_mut().expect("stack underflow: Sub lhs");
+                    let r = pop_verified(stack, [0.0; LANES], "Sub rhs");
+                    let l = top_verified(stack, "Sub lhs");
                     for (a, b) in l.iter_mut().zip(r.iter()) {
                         *a -= b;
                     }
                     finish(l, round);
                 }
                 TypedOp::Mul { round } => {
-                    let r = stack.pop().expect("stack underflow: Mul rhs");
-                    let l = stack.last_mut().expect("stack underflow: Mul lhs");
+                    let r = pop_verified(stack, [0.0; LANES], "Mul rhs");
+                    let l = top_verified(stack, "Mul lhs");
                     for (a, b) in l.iter_mut().zip(r.iter()) {
                         *a *= b;
                     }
                     finish(l, round);
                 }
                 TypedOp::Div { round } => {
-                    let r = stack.pop().expect("stack underflow: Div rhs");
-                    let l = stack.last_mut().expect("stack underflow: Div lhs");
+                    let r = pop_verified(stack, [0.0; LANES], "Div rhs");
+                    let l = top_verified(stack, "Div lhs");
                     for (a, b) in l.iter_mut().zip(r.iter()) {
                         *a /= b;
                     }
                     finish(l, round);
                 }
                 TypedOp::Compare(cmp) => {
-                    let r = stack.pop().expect("stack underflow: Compare rhs");
-                    let l = stack.last_mut().expect("stack underflow: Compare lhs");
+                    let r = pop_verified(stack, [0.0; LANES], "Compare rhs");
+                    let l = top_verified(stack, "Compare lhs");
                     for (a, b) in l.iter_mut().zip(r.iter()) {
                         let result = match cmp {
                             CompareOp::Lt => *a < *b,
@@ -1062,30 +1079,30 @@ impl TypedKernel {
                     }
                 }
                 TypedOp::Call1(func, round) => {
-                    let v = stack.last_mut().expect("stack underflow: Call1");
+                    let v = top_verified(stack, "Call1");
                     for lane in v.iter_mut() {
                         *lane = math_fn_raw(func, *lane, 0.0);
                     }
                     finish(v, round);
                 }
                 TypedOp::Call2(func, round) => {
-                    let b = stack.pop().expect("stack underflow: Call2 arg 2");
-                    let a = stack.last_mut().expect("stack underflow: Call2 arg 1");
+                    let b = pop_verified(stack, [0.0; LANES], "Call2 arg 2");
+                    let a = top_verified(stack, "Call2 arg 1");
                     for (x, y) in a.iter_mut().zip(b.iter()) {
                         *x = math_fn_raw(func, *x, *y);
                     }
                     finish(a, round);
                 }
                 TypedOp::ToBool => {
-                    let v = stack.last_mut().expect("stack underflow: ToBool");
+                    let v = top_verified(stack, "ToBool");
                     for lane in v.iter_mut() {
                         *lane = if *lane != 0.0 { 1.0 } else { 0.0 };
                     }
                 }
                 TypedOp::Select => {
-                    let otherwise = stack.pop().expect("stack underflow: Select otherwise");
-                    let then = stack.pop().expect("stack underflow: Select then");
-                    let cond = stack.last_mut().expect("stack underflow: Select cond");
+                    let otherwise = pop_verified(stack, [0.0; LANES], "Select otherwise");
+                    let then = pop_verified(stack, [0.0; LANES], "Select then");
+                    let cond = top_verified(stack, "Select cond");
                     for ((c, t), e) in cond.iter_mut().zip(then.iter()).zip(otherwise.iter()) {
                         *c = if *c != 0.0 { *t } else { *e };
                     }
@@ -1098,8 +1115,45 @@ impl TypedKernel {
                 }
             }
         }
-        stack.pop().expect("typed kernels always produce a result")
+        pop_verified(stack, [0.0; LANES], "result")
     }
+}
+
+/// In debug builds, run the bytecode verifier over a freshly specialized
+/// stream — specialization bugs (including `typed_if_convert`'s rewrites)
+/// surface at the construction site rather than cells later in an eval
+/// loop. Release builds pass the kernel through untouched.
+fn debug_verified_typed(kernel: TypedKernel) -> TypedKernel {
+    #[cfg(debug_assertions)]
+    if let Err(e) = crate::verify::verify_typed(&kernel) {
+        panic!("specialized kernel failed verification: {e}");
+    }
+    kernel
+}
+
+/// Pop an operand the bytecode verifier proved present.
+///
+/// Every kernel entering an eval loop has passed [`crate::verify`] — run
+/// after lowering, after every optimizer pass, and after specialization in
+/// debug builds — which proves no reachable instruction underflows the
+/// operand stack and that the kernel exits with exactly one result. The
+/// `debug_assert!` restates that invariant at the call site; release
+/// builds take the `unwrap_or` path, which carries no panic machinery
+/// (`zero` is unreachable by the proof above).
+#[inline(always)]
+fn pop_verified<T>(stack: &mut Vec<T>, zero: T, what: &str) -> T {
+    debug_assert!(!stack.is_empty(), "stack underflow: {what}");
+    stack.pop().unwrap_or(zero)
+}
+
+/// Borrow the stack top the bytecode verifier proved present (see
+/// [`pop_verified`] for the invariant). The `len - 1` index is trivially
+/// in bounds under that proof; no `expect` payload is carried.
+#[inline(always)]
+fn top_verified<'a, T>(stack: &'a mut [T], what: &str) -> &'a mut T {
+    debug_assert!(!stack.is_empty(), "stack underflow: {what}");
+    let ix = stack.len().wrapping_sub(1);
+    &mut stack[ix]
 }
 
 /// Lowering state.

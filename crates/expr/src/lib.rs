@@ -51,6 +51,11 @@
 //! * [`opt`] — the pass-based optimization pipeline over the bytecode
 //!   (if-conversion of ternary diamonds to branch-free selects, CSE, and
 //!   DCE), run by default inside [`compile`] and shared by every backend.
+//! * [`verify`] — the bytecode verifier: abstract interpretation proving
+//!   stack-depth safety, init-before-use, jump validity, and type-flow
+//!   soundness of every compiled stream, with conservative
+//!   infallibility/purity judgments. Runs after every optimizer pass in
+//!   debug builds; see `docs/analysis.md`.
 //!
 //! # Example
 //!
@@ -65,6 +70,8 @@
 //! assert_eq!(ops.multiplications, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod access;
 pub mod ast;
 pub mod compile;
@@ -78,6 +85,7 @@ pub mod opt;
 pub mod parser;
 pub mod types;
 pub mod value;
+pub mod verify;
 
 pub use access::{AccessExtractor, FieldAccesses};
 pub use ast::{BinOp, Expr, MathFn, Program, Stmt, UnOp};
@@ -95,6 +103,10 @@ pub use opt::{dump_ops, Cse, Dce, IfConversion, OptConfig, Pass, PassEffect, Pas
 pub use parser::{parse_expr, parse_program};
 pub use types::DataType;
 pub use value::Value;
+pub use verify::{
+    verify_kernel, verify_ops, verify_typed, verify_typed_ops, AbstractType, KernelJudgment,
+    TypedJudgment, VerifyError,
+};
 
 #[cfg(test)]
 mod tests {

@@ -164,11 +164,28 @@ impl PassManager {
     }
 
     /// Run every pass in order, returning one [`PassEffect`] per pass.
+    ///
+    /// In debug builds every pass that changed the stream is immediately
+    /// re-verified by the bytecode verifier ([`crate::verify`]): a pass
+    /// that breaks stack discipline, jump targets, or init-before-use
+    /// panics here, at the pass that produced the bad stream, instead of
+    /// corrupting evaluation later.
     pub fn run(&self, ops: &mut Vec<Op>) -> Vec<PassEffect> {
         let mut effects = Vec::with_capacity(self.passes.len());
         for pass in &self.passes {
             let ops_before = ops.len();
             let changed = pass.run(ops);
+            #[cfg(debug_assertions)]
+            if changed {
+                if let Err(e) = crate::verify::verify_ops(
+                    ops,
+                    crate::verify::slot_count_of(ops),
+                    local_count_of(ops),
+                    None,
+                ) {
+                    panic!("pass `{}` produced an invalid stream: {e}", pass.name());
+                }
+            }
             effects.push(PassEffect {
                 name: pass.name(),
                 changed,

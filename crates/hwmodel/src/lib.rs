@@ -22,6 +22,8 @@
 //!   in the benchmark reports.
 //! * [`silicon`] — the silicon-efficiency metric of §IX-C.
 
+#![forbid(unsafe_code)]
+
 pub mod bandwidth;
 pub mod comparators;
 pub mod device;

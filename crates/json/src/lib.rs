@@ -7,6 +7,8 @@
 //! external serialization stack. Object member order is preserved on parse
 //! and emit, so descriptions round-trip stably.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 /// A JSON value.

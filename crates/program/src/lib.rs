@@ -50,6 +50,8 @@
 //! assert_eq!(dag.topological_order().unwrap().len(), 3); // a -> b -> b(out)
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod boundary;
 pub mod error;
 pub mod field;

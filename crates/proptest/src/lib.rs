@@ -9,6 +9,8 @@
 //! per-test seed, so failures are reproducible; there is **no shrinking** —
 //! a failing case is reported with its case number as-is.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::Range;
 use std::rc::Rc;
@@ -173,6 +175,8 @@ where
 pub struct Recursive<T> {
     base: BoxedStrategy<T>,
     depth: u32,
+    // The nested boxed-closure type is inherent to a self-applying
+    // strategy transformer; an alias would only move the nesting.
     #[allow(clippy::type_complexity)]
     recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
 }
@@ -285,6 +289,8 @@ macro_rules! tuple_strategy {
         impl<$($name: Strategy),+> Strategy for ($($name,)+) {
             type Value = ($($name::Value,)+);
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                // The macro reuses its type parameters (`A`, `B`, ...) as
+                // binding names, which is the standard tuple-impl idiom.
                 #[allow(non_snake_case)]
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)

@@ -1120,13 +1120,10 @@ fn run_worker_lanes<const L: usize>(
                     .typed_kernel()
                     .expect("fuse eligibility requires typed kernels");
                 cells += sweep_stage::<L>(
-                    plan,
                     ctx,
                     stage,
                     typed,
-                    tile,
-                    t,
-                    region,
+                    SweepSpan { tile, t, region },
                     scratch,
                     &mut lane_values,
                     &mut lane_scratch,
@@ -1176,21 +1173,28 @@ fn run_worker_lanes<const L: usize>(
     cells
 }
 
-/// Sweep one stage over `region` of `tile` at step `t`. Returns the
-/// number of logical cells computed.
-#[allow(clippy::too_many_arguments)]
-fn sweep_stage<const L: usize>(
-    plan: &FusePlan,
-    ctx: &TileCtx<'_>,
-    stage: &FusedStage,
-    typed: &TypedKernel,
+/// Where one stage sweep lands: the tile, the temporal step within the
+/// window, and the dim0 region dilation assigns to that step.
+#[derive(Clone, Copy)]
+struct SweepSpan {
     tile: (usize, usize),
     t: usize,
     region: (usize, usize),
+}
+
+/// Sweep one stage over `span.region` of `span.tile` at step `span.t`.
+/// Returns the number of logical cells computed.
+fn sweep_stage<const L: usize>(
+    ctx: &TileCtx<'_>,
+    stage: &FusedStage,
+    typed: &TypedKernel,
+    span: SweepSpan,
     scratch: &mut [Vec<f64>],
     lane_values: &mut [[f64; L]],
     lane_scratch: &mut LaneScratch<L>,
 ) -> usize {
+    let plan = ctx.plan;
+    let SweepSpan { tile, t, region } = span;
     let rank = plan.rank;
     let shape_k = plan.shape[rank - 1];
     let batches = shape_k.div_ceil(L);

@@ -22,6 +22,8 @@
 //! * [`input_data`] — deterministic pseudo-random input generation shared by
 //!   tests and benchmarks.
 
+#![forbid(unsafe_code)]
+
 pub mod executor;
 mod fuse;
 pub mod grid;

@@ -237,6 +237,17 @@ impl CompiledStencil {
             interior_hi.push(hi.max(0) as usize);
         }
 
+        // Debug builds consume the independent verifier verdict instead of
+        // trusting compiler/optimizer bookkeeping: the kernel must verify
+        // with the actual bind-time slot types (which also refines its
+        // infallibility judgment past the typeless compile-time run).
+        #[cfg(debug_assertions)]
+        if let Err(e) = stencilflow_expr::verify_kernel(&kernel, Some(&slot_types)) {
+            panic!(
+                "stencil `{}` failed bytecode verification at bind time: {e}",
+                stencil.name
+            );
+        }
         let typed = kernel.specialize(&slot_types);
         let lane_ready = typed.as_ref().is_some_and(TypedKernel::supports_lanes)
             && slots

@@ -53,6 +53,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use stencilflow_core::channel::Fifo;
+use stencilflow_core::shardlink::{
+    halo_radius, minimum_link_depth_words, FRAME_HEADER_WORDS as HEADER_WORDS,
+};
 use stencilflow_core::SlabPartition;
 use stencilflow_program::{ProgramError, Result, StencilProgram, StencilProgramBuilder};
 
@@ -372,9 +375,6 @@ pub struct ShardedOutcome {
 // Halo frames over the shared Fifo channel layer.
 // ---------------------------------------------------------------------------
 
-/// Frame header words: magic, sequence, window, field id, payload length,
-/// checksum.
-const HEADER_WORDS: usize = 6;
 /// Sentinel first word of every frame (compared bit-exactly).
 const MAGIC: u64 = 0x5374656e63696c46; // "StencilF"
 
@@ -636,51 +636,6 @@ impl SlabGeom {
     }
 }
 
-/// Cumulative per-step halo radius of the DAG along the outermost
-/// dimension: how many rows of garbage one time step can propagate inward
-/// from a wrong boundary.
-fn halo_radius(program: &StencilProgram) -> Result<usize> {
-    let space = program.space();
-    let dim0 = &space.dims[0];
-    let mut radius: BTreeMap<String, i64> = program
-        .inputs()
-        .map(|(name, _)| (name.to_string(), 0))
-        .collect();
-    let mut max_radius = 0i64;
-    for name in program.topological_stencils()? {
-        let stencil = program
-            .stencil(&name)
-            .expect("topological order lists stencils");
-        let mut r = 0i64;
-        for (field, info) in stencil.accesses.iter() {
-            let upstream = radius.get(field).copied().unwrap_or(0);
-            // Position of the outermost dimension within the accessed
-            // field's dims: inputs may be lower-dimensional; stencil
-            // outputs always span the full space with dim0 first.
-            let pos = if program.is_input(field) {
-                program
-                    .input(field)
-                    .and_then(|decl| decl.dims.iter().position(|d| d == dim0))
-            } else {
-                Some(0)
-            };
-            let reach = pos
-                .map(|p| {
-                    info.offsets
-                        .iter()
-                        .map(|offsets| offsets.get(p).map(|o| o.abs()).unwrap_or(0))
-                        .max()
-                        .unwrap_or(0)
-                })
-                .unwrap_or(0);
-            r = r.max(upstream + reach);
-        }
-        max_radius = max_radius.max(r);
-        radius.insert(name, r);
-    }
-    Ok(max_radius as usize)
-}
-
 /// Replay the program through the builder with the outermost extent
 /// replaced by `rows` — the same replay technique the JSON round-trip uses,
 /// so every stencil, boundary condition, output type, and the vectorization
@@ -758,14 +713,6 @@ struct Plan {
     /// Data frame payload words (one halo slab).
     payload_words: usize,
     link_capacity: usize,
-}
-
-/// The fig04-style minimum capacity of a halo link: it must hold at least
-/// one whole frame, or the sender can never complete a push and the
-/// receiver starves — the sharded analogue of the paper's undersized delay
-/// buffer deadlock (Fig. 4).
-fn minimum_link_depth_words(payload_words: usize) -> usize {
-    HEADER_WORDS + payload_words
 }
 
 fn plan_run(
@@ -943,16 +890,18 @@ pub(crate) fn run_sharded(
                 handles.push(scope.spawn(move || {
                     let run = catch_unwind(AssertUnwindSafe(|| {
                         worker_run(
-                            shard,
-                            geom,
+                            WorkerSpec {
+                                shard,
+                                geom,
+                                plan: plan_ref,
+                                links,
+                                shared,
+                                config: config_ref,
+                                steps_mode,
+                            },
                             compiled,
                             worker_exec,
                             initial,
-                            plan_ref,
-                            links,
-                            shared,
-                            config_ref,
-                            steps_mode,
                         )
                     }));
                     let outcome = match run {
@@ -1131,36 +1080,406 @@ struct RecvState {
     pending: BTreeMap<(usize, usize), Vec<f64>>,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn worker_run(
+/// Everything a worker thread needs that outlives one window: identity,
+/// geometry, and the shared runtime environment. One bundle instead of the
+/// seven loose parameters `worker_run` used to take.
+struct WorkerSpec<'a> {
     shard: usize,
     geom: SlabGeom,
+    plan: &'a Plan,
+    links: &'a [BoundaryLinks],
+    shared: &'a Shared,
+    config: &'a ShardConfig,
+    steps_mode: bool,
+}
+
+/// Halo-protocol state of one worker: identity and links plus the mutable
+/// sequence counters, retained payloads, and receive buffers the exchange
+/// used to thread through every call as loose `&mut` parameters (each of
+/// the former free functions needed `#[allow(clippy::too_many_arguments)]`;
+/// as methods they take at most three).
+struct Comms<'a> {
+    shard: usize,
+    plan: &'a Plan,
+    links: &'a [BoundaryLinks],
+    shared: &'a Shared,
+    stats: ShardStats,
+    /// Sequence counters start at 1 so `last_seq == 0` means "nothing
+    /// received yet".
+    seq_up: u64,
+    seq_down: u64,
+    /// Retained clean payloads per outbound direction, keyed by
+    /// `(window, field)`. A sender runs at most one window ahead of either
+    /// neighbor, so retaining the last two windows always covers every
+    /// resend request that can still arrive.
+    retained_up: BTreeMap<(usize, usize), Vec<f64>>,
+    retained_down: BTreeMap<(usize, usize), Vec<f64>>,
+    /// Inbound state: `recv_low` from shard-1 via `data_up[shard-1]`,
+    /// `recv_high` from shard+1 via `data_down[shard]`.
+    recv_low: RecvState,
+    recv_high: RecvState,
+}
+
+impl<'a> Comms<'a> {
+    fn new(
+        shard: usize,
+        geom: SlabGeom,
+        plan: &'a Plan,
+        links: &'a [BoundaryLinks],
+        shared: &'a Shared,
+    ) -> Self {
+        Comms {
+            shard,
+            plan,
+            links,
+            shared,
+            stats: ShardStats {
+                shard,
+                rows: geom.rows(),
+                ..ShardStats::default()
+            },
+            seq_up: 1,
+            seq_down: 1,
+            retained_up: BTreeMap::new(),
+            retained_down: BTreeMap::new(),
+            recv_low: RecvState::default(),
+            recv_high: RecvState::default(),
+        }
+    }
+
+    /// Send one halo frame (`up` = toward shard+1), applying the fault
+    /// plan to the first transmission.
+    fn send_halo(
+        &mut self,
+        window: usize,
+        field: usize,
+        payload: Vec<f64>,
+        up: bool,
+        faults: &FaultPlan,
+    ) -> std::result::Result<(), String> {
+        let shard = self.shard;
+        let links = self.links;
+        let shared = self.shared;
+        let (link, salt, seq, retained) = if up {
+            (
+                &links[shard].data_up,
+                link_salt(shard, true),
+                &mut self.seq_up,
+                &mut self.retained_up,
+            )
+        } else {
+            (
+                &links[shard - 1].data_down,
+                link_salt(shard, false),
+                &mut self.seq_down,
+                &mut self.retained_down,
+            )
+        };
+        let this_seq = *seq;
+        *seq += 1;
+        let fault = faults.roll(salt, this_seq);
+        // Retain the clean payload for resends; drop windows no neighbor
+        // can still request (senders run at most one window ahead).
+        retained.insert((window, field), payload.clone());
+        retained.retain(|&(w, _), _| w + 2 > window);
+        self.stats.frames_sent += 1;
+        match fault {
+            InjectedFault::Drop => {
+                self.stats.faults_injected += 1;
+                shared.log(format!(
+                    "shard {shard}: dropped frame seq {this_seq} (window {window}, field \
+                     {field}) on `{}`",
+                    link.name
+                ));
+                Ok(()) // the receiver's timeout + resend request recovers it
+            }
+            InjectedFault::Corrupt => {
+                self.stats.faults_injected += 1;
+                // Flip a payload bit *after* encoding, so the checksum in
+                // the header still describes the clean payload and the
+                // receiver can tell the frame was damaged in flight.
+                let mut words = encode_frame(this_seq, window, field, &payload);
+                let victim = HEADER_WORDS
+                    + (splitmix(this_seq ^ faults.seed) as usize) % payload.len().max(1);
+                words[victim] = f64::from_bits(words[victim].to_bits() ^ (1 << 17));
+                shared.log(format!(
+                    "shard {shard}: corrupted frame seq {this_seq} (window {window}, field \
+                     {field}) on `{}`",
+                    link.name
+                ));
+                push_frame(shard, window, link, &words, shared, &mut self.stats)
+            }
+            InjectedFault::Duplicate => {
+                self.stats.faults_injected += 1;
+                shared.log(format!(
+                    "shard {shard}: duplicated frame seq {this_seq} (window {window}, field \
+                     {field}) on `{}`",
+                    link.name
+                ));
+                let frame = encode_frame(this_seq, window, field, &payload);
+                push_frame(shard, window, link, &frame, shared, &mut self.stats)?;
+                push_frame(shard, window, link, &frame, shared, &mut self.stats)
+            }
+            InjectedFault::Delay => {
+                self.stats.faults_injected += 1;
+                shared.log(format!(
+                    "shard {shard}: delayed frame seq {this_seq} (window {window}, field \
+                     {field}) on `{}` by {:?}",
+                    link.name, faults.delay
+                ));
+                std::thread::sleep(faults.delay);
+                push_frame(
+                    shard,
+                    window,
+                    link,
+                    &encode_frame(this_seq, window, field, &payload),
+                    shared,
+                    &mut self.stats,
+                )
+            }
+            InjectedFault::None => push_frame(
+                shard,
+                window,
+                link,
+                &encode_frame(this_seq, window, field, &payload),
+                shared,
+                &mut self.stats,
+            ),
+        }
+    }
+
+    /// Serve resend requests arriving on this shard's inbound control
+    /// links.
+    fn service_nacks(&mut self) {
+        let shard = self.shard;
+        let links = self.links;
+        let shared = self.shared;
+        // Requests about our upward data frames come from shard+1.
+        if shard + 1 < self.plan.shards {
+            while let Some(request) = links[shard].nack_up.try_pop_frame() {
+                if let Some(payload) = self.retained_up.get(&(request.window, request.field)) {
+                    let seq = self.seq_up;
+                    self.seq_up += 1;
+                    let frame = encode_frame(seq, request.window, request.field, payload);
+                    // Resends are never faulted: injected faults only hit
+                    // first transmissions, which bounds recovery.
+                    if links[shard].data_up.try_push_frame(&frame) {
+                        self.stats.frames_resent += 1;
+                        self.stats.words_sent += payload.len();
+                        shared.bump();
+                        shared.log(format!(
+                            "shard {shard}: resent window {} field {} on `{}`",
+                            request.window, request.field, links[shard].data_up.name
+                        ));
+                    }
+                }
+            }
+        }
+        // Requests about our downward data frames come from shard-1.
+        if shard > 0 {
+            while let Some(request) = links[shard - 1].nack_down.try_pop_frame() {
+                if let Some(payload) = self.retained_down.get(&(request.window, request.field)) {
+                    let seq = self.seq_down;
+                    self.seq_down += 1;
+                    let frame = encode_frame(seq, request.window, request.field, payload);
+                    if links[shard - 1].data_down.try_push_frame(&frame) {
+                        self.stats.frames_resent += 1;
+                        self.stats.words_sent += payload.len();
+                        shared.bump();
+                        shared.log(format!(
+                            "shard {shard}: resent window {} field {} on `{}`",
+                            request.window,
+                            request.field,
+                            links[shard - 1].data_down.name
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drain one inbound data link into the receive state, validating
+    /// frames and requesting resends of corrupt ones. `from_high` drains
+    /// the link from shard+1, otherwise the one from shard-1.
+    fn drain_data_link(&mut self, from_high: bool) {
+        let shard = self.shard;
+        let links = self.links;
+        let shared = self.shared;
+        let (link, nack_link, state) = if from_high {
+            (
+                &links[shard].data_down,
+                &links[shard].nack_down,
+                &mut self.recv_high,
+            )
+        } else {
+            (
+                &links[shard - 1].data_up,
+                &links[shard - 1].nack_up,
+                &mut self.recv_low,
+            )
+        };
+        let stats = &mut self.stats;
+        while let Some(frame) = link.try_pop_frame() {
+            if !frame.checksum_ok {
+                stats.corrupt_detected += 1;
+                stats.nacks_sent += 1;
+                shared.log(format!(
+                    "shard {shard}: checksum mismatch on `{}` (window {}, field {}); \
+                     requesting resend",
+                    link.name, frame.window, frame.field
+                ));
+                let _ = nack_link.try_push_frame(&encode_frame(0, frame.window, frame.field, &[]));
+                continue;
+            }
+            if frame.seq <= state.last_seq
+                || state.pending.contains_key(&(frame.window, frame.field))
+            {
+                stats.stale_discarded += 1;
+                shared.log(format!(
+                    "shard {shard}: discarded stale/duplicate seq {} on `{}`",
+                    frame.seq, link.name
+                ));
+                continue;
+            }
+            state.last_seq = frame.seq;
+            stats.frames_received += 1;
+            state
+                .pending
+                .insert((frame.window, frame.field), frame.payload);
+            shared.bump();
+        }
+    }
+
+    /// Wait (bounded, with exponential backoff and resend requests) for
+    /// every halo this shard needs before the next window.
+    fn collect_halos(
+        &mut self,
+        window: usize,
+        config: &ShardConfig,
+        halos: &mut BTreeMap<(bool, usize), Vec<f64>>,
+    ) -> std::result::Result<(), String> {
+        let shard = self.shard;
+        let links = self.links;
+        let shared = self.shared;
+        // (from_high_neighbor, field) -> retry state.
+        let mut spins = 0u32;
+        let mut missing: BTreeMap<(bool, usize), (u32, Instant)> = BTreeMap::new();
+        for field in 0..self.plan.pairs.len() {
+            if shard > 0 {
+                missing.insert((false, field), (0, Instant::now() + config.backoff));
+            }
+            if shard + 1 < self.plan.shards {
+                missing.insert((true, field), (0, Instant::now() + config.backoff));
+            }
+        }
+
+        while !missing.is_empty() {
+            if shared.poisoned() {
+                return Err(poison_reason(shared));
+            }
+            if shard > 0 {
+                self.drain_data_link(false);
+            }
+            if shard + 1 < self.plan.shards {
+                self.drain_data_link(true);
+            }
+            let (recv_low, recv_high) = (&mut self.recv_low, &mut self.recv_high);
+            missing.retain(|&(from_high, field), _| {
+                let state = if from_high {
+                    &mut *recv_high
+                } else {
+                    &mut *recv_low
+                };
+                match state.pending.remove(&(window, field)) {
+                    Some(payload) => {
+                        halos.insert((from_high, field), payload);
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if missing.is_empty() {
+                break;
+            }
+            // While waiting, serve the neighbors' resend requests —
+            // otherwise two shards waiting on each other's resends would
+            // deadlock.
+            self.service_nacks();
+            let now = Instant::now();
+            for (&(from_high, field), (attempts, deadline)) in missing.iter_mut() {
+                if now < *deadline {
+                    continue;
+                }
+                if *attempts >= config.retry_budget {
+                    let edge = if from_high {
+                        &links[shard].data_down.name
+                    } else {
+                        &links[shard - 1].data_up.name
+                    };
+                    return Err(format!(
+                        "shard {shard}: retry budget ({}) exhausted waiting for window \
+                         {window} field {field} on `{edge}`",
+                        config.retry_budget
+                    ));
+                }
+                let (nack_link, edge) = if from_high {
+                    (&links[shard].nack_down, &links[shard].data_down.name)
+                } else {
+                    (&links[shard - 1].nack_up, &links[shard - 1].data_up.name)
+                };
+                self.stats.nacks_sent += 1;
+                shared.log(format!(
+                    "shard {shard}: window {window} field {field} overdue on `{edge}` \
+                     (attempt {}); requesting resend",
+                    *attempts + 1
+                ));
+                let _ = nack_link.try_push_frame(&encode_frame(0, window, field, &[]));
+                *attempts += 1;
+                *deadline = now + config.backoff * 2u32.saturating_pow(*attempts);
+                shared.set_status(
+                    shard,
+                    WorkerStatus::Waiting {
+                        edge: edge.clone(),
+                        window,
+                        field,
+                    },
+                );
+            }
+            relax(&mut spins);
+        }
+        Ok(())
+    }
+
+    /// After the final window: keep answering resend requests until every
+    /// worker has finished computing (then nobody can still need us).
+    fn drain_until_all_done(&mut self) {
+        let mut spins = 0u32;
+        while self.shared.computed.load(Ordering::Acquire) < self.plan.shards
+            && !self.shared.poisoned()
+        {
+            self.service_nacks();
+            relax(&mut spins);
+        }
+    }
+}
+
+fn worker_run(
+    spec: WorkerSpec<'_>,
     compiled: std::sync::Arc<CompiledProgram>,
     worker_exec: ReferenceExecutor,
     mut work_inputs: BTreeMap<String, Grid>,
-    plan: &Plan,
-    links: &[BoundaryLinks],
-    shared: &Shared,
-    config: &ShardConfig,
-    steps_mode: bool,
 ) -> std::result::Result<WorkerOutput, String> {
-    let mut stats = ShardStats {
+    let WorkerSpec {
         shard,
-        rows: geom.rows(),
-        ..ShardStats::default()
-    };
+        geom,
+        plan,
+        links,
+        shared,
+        config,
+        steps_mode,
+    } = spec;
     let faults = &config.fault_plan;
-    // Sequence counters (starting at 1 so `last_seq == 0` means "nothing
-    // received yet") and retained payloads per outbound direction, keyed
-    // by `(window, field)`. A sender runs at most one window ahead of
-    // either neighbor, so retaining the last two windows always covers
-    // every resend request that can still arrive.
-    let mut seq_up = 1u64;
-    let mut seq_down = 1u64;
-    let mut retained_up: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
-    let mut retained_down: BTreeMap<(usize, usize), Vec<f64>> = BTreeMap::new();
-    let mut recv_low = RecvState::default(); // from shard-1 via data_up[shard-1]
-    let mut recv_high = RecvState::default(); // from shard+1 via data_down[shard]
+    let mut comms = Comms::new(shard, geom, plan, links, shared);
     let mut steps_done = 0usize;
 
     for window in 0..plan.windows {
@@ -1203,8 +1522,8 @@ fn worker_run(
             worker_exec.run_fused_compiled(&compiled, &work_inputs)
         }
         .map_err(|e| format!("shard {shard} window {window}: {e}"))?;
-        stats.compute += compute_started.elapsed();
-        stats.cells_evaluated += result.cells_evaluated();
+        comms.stats.compute += compute_started.elapsed();
+        comms.stats.cells_evaluated += result.cells_evaluated();
         steps_done += window_steps;
         shared.bump();
 
@@ -1216,23 +1535,13 @@ fn worker_run(
             let (fields, masks, _) = result.into_parts();
             shared.set_status(shard, WorkerStatus::Draining);
             let exchange_started = Instant::now();
-            drain_until_all_done(
-                shard,
-                plan,
-                links,
-                shared,
-                &mut stats,
-                &retained_up,
-                &retained_down,
-                &mut seq_up,
-                &mut seq_down,
-            );
-            stats.exchange += exchange_started.elapsed();
+            comms.drain_until_all_done();
+            comms.stats.exchange += exchange_started.elapsed();
             shared.set_status(shard, WorkerStatus::Done);
             return Ok(WorkerOutput {
                 fields,
                 masks,
-                stats,
+                stats: comms.stats,
             });
         }
 
@@ -1251,60 +1560,21 @@ fn worker_run(
                 // Top rows [end - halo, end) feed shard+1's low dilation.
                 let lo = (interior + geom.rows() - plan.halo_rows) * plan.row_words;
                 let payload = grid.as_slice()[lo..lo + plan.payload_words].to_vec();
-                send_halo(
-                    shard,
-                    window,
-                    field_id,
-                    payload,
-                    &links[shard].data_up,
-                    link_salt(shard, true),
-                    &mut seq_up,
-                    &mut retained_up,
-                    faults,
-                    shared,
-                    &mut stats,
-                )?;
+                comms.send_halo(window, field_id, payload, true, faults)?;
             }
             if shard > 0 {
                 // Bottom rows [start, start + halo) feed shard-1's high
                 // dilation.
                 let lo = interior * plan.row_words;
                 let payload = grid.as_slice()[lo..lo + plan.payload_words].to_vec();
-                send_halo(
-                    shard,
-                    window,
-                    field_id,
-                    payload,
-                    &links[shard - 1].data_down,
-                    link_salt(shard, false),
-                    &mut seq_down,
-                    &mut retained_down,
-                    faults,
-                    shared,
-                    &mut stats,
-                )?;
+                comms.send_halo(window, field_id, payload, false, faults)?;
             }
         }
 
         // Collect the halos this shard needs for the next window.
         let mut halos: BTreeMap<(bool, usize), Vec<f64>> = BTreeMap::new();
-        collect_halos(
-            shard,
-            window,
-            plan,
-            links,
-            shared,
-            config,
-            &mut recv_low,
-            &mut recv_high,
-            &mut halos,
-            &retained_up,
-            &retained_down,
-            &mut seq_up,
-            &mut seq_down,
-            &mut stats,
-        )?;
-        stats.exchange += exchange_started.elapsed();
+        comms.collect_halos(window, config, &mut halos)?;
+        comms.stats.exchange += exchange_started.elapsed();
 
         // Reassemble the next window's inputs: own interior stays, the
         // dilation rows are replaced by the neighbors' interiors.
@@ -1350,94 +1620,6 @@ fn relax(spins: &mut u32) {
         std::thread::yield_now();
     } else {
         std::thread::sleep(Duration::from_micros(100));
-    }
-}
-
-/// Send one halo frame, applying the fault plan to the first transmission.
-#[allow(clippy::too_many_arguments)]
-fn send_halo(
-    shard: usize,
-    window: usize,
-    field: usize,
-    payload: Vec<f64>,
-    link: &HaloLink,
-    salt: u64,
-    seq: &mut u64,
-    retained: &mut BTreeMap<(usize, usize), Vec<f64>>,
-    faults: &FaultPlan,
-    shared: &Shared,
-    stats: &mut ShardStats,
-) -> std::result::Result<(), String> {
-    let this_seq = *seq;
-    *seq += 1;
-    let fault = faults.roll(salt, this_seq);
-    // Retain the clean payload for resends; drop windows no neighbor can
-    // still request (senders run at most one window ahead).
-    retained.insert((window, field), payload.clone());
-    retained.retain(|&(w, _), _| w + 2 > window);
-    stats.frames_sent += 1;
-    match fault {
-        InjectedFault::Drop => {
-            stats.faults_injected += 1;
-            shared.log(format!(
-                "shard {shard}: dropped frame seq {this_seq} (window {window}, field \
-                 {field}) on `{}`",
-                link.name
-            ));
-            Ok(()) // the receiver's timeout + resend request recovers it
-        }
-        InjectedFault::Corrupt => {
-            stats.faults_injected += 1;
-            // Flip a payload bit *after* encoding, so the checksum in the
-            // header still describes the clean payload and the receiver
-            // can tell the frame was damaged in flight.
-            let mut words = encode_frame(this_seq, window, field, &payload);
-            let victim =
-                HEADER_WORDS + (splitmix(this_seq ^ faults.seed) as usize) % payload.len().max(1);
-            words[victim] = f64::from_bits(words[victim].to_bits() ^ (1 << 17));
-            shared.log(format!(
-                "shard {shard}: corrupted frame seq {this_seq} (window {window}, field \
-                 {field}) on `{}`",
-                link.name
-            ));
-            push_frame(shard, window, link, &words, shared, stats)
-        }
-        InjectedFault::Duplicate => {
-            stats.faults_injected += 1;
-            shared.log(format!(
-                "shard {shard}: duplicated frame seq {this_seq} (window {window}, field \
-                 {field}) on `{}`",
-                link.name
-            ));
-            let frame = encode_frame(this_seq, window, field, &payload);
-            push_frame(shard, window, link, &frame, shared, stats)?;
-            push_frame(shard, window, link, &frame, shared, stats)
-        }
-        InjectedFault::Delay => {
-            stats.faults_injected += 1;
-            shared.log(format!(
-                "shard {shard}: delayed frame seq {this_seq} (window {window}, field \
-                 {field}) on `{}` by {:?}",
-                link.name, faults.delay
-            ));
-            std::thread::sleep(faults.delay);
-            push_frame(
-                shard,
-                window,
-                link,
-                &encode_frame(this_seq, window, field, &payload),
-                shared,
-                stats,
-            )
-        }
-        InjectedFault::None => push_frame(
-            shard,
-            window,
-            link,
-            &encode_frame(this_seq, window, field, &payload),
-            shared,
-            stats,
-        ),
     }
 }
 
@@ -1495,266 +1677,6 @@ fn push_frame(
                 needed: words.len(),
                 capacity: link.capacity,
             },
-        );
-        relax(&mut spins);
-    }
-}
-
-/// Serve resend requests arriving on this shard's inbound control links.
-#[allow(clippy::too_many_arguments)]
-fn service_nacks(
-    shard: usize,
-    plan: &Plan,
-    links: &[BoundaryLinks],
-    shared: &Shared,
-    stats: &mut ShardStats,
-    retained_up: &BTreeMap<(usize, usize), Vec<f64>>,
-    retained_down: &BTreeMap<(usize, usize), Vec<f64>>,
-    seq_up: &mut u64,
-    seq_down: &mut u64,
-) {
-    // Requests about our upward data frames come from shard+1.
-    if shard + 1 < plan.shards {
-        while let Some(request) = links[shard].nack_up.try_pop_frame() {
-            if let Some(payload) = retained_up.get(&(request.window, request.field)) {
-                let seq = *seq_up;
-                *seq_up += 1;
-                let frame = encode_frame(seq, request.window, request.field, payload);
-                // Resends are never faulted: injected faults only hit
-                // first transmissions, which bounds recovery.
-                if links[shard].data_up.try_push_frame(&frame) {
-                    stats.frames_resent += 1;
-                    stats.words_sent += payload.len();
-                    shared.bump();
-                    shared.log(format!(
-                        "shard {shard}: resent window {} field {} on `{}`",
-                        request.window, request.field, links[shard].data_up.name
-                    ));
-                }
-            }
-        }
-    }
-    // Requests about our downward data frames come from shard-1.
-    if shard > 0 {
-        while let Some(request) = links[shard - 1].nack_down.try_pop_frame() {
-            if let Some(payload) = retained_down.get(&(request.window, request.field)) {
-                let seq = *seq_down;
-                *seq_down += 1;
-                let frame = encode_frame(seq, request.window, request.field, payload);
-                if links[shard - 1].data_down.try_push_frame(&frame) {
-                    stats.frames_resent += 1;
-                    stats.words_sent += payload.len();
-                    shared.bump();
-                    shared.log(format!(
-                        "shard {shard}: resent window {} field {} on `{}`",
-                        request.window,
-                        request.field,
-                        links[shard - 1].data_down.name
-                    ));
-                }
-            }
-        }
-    }
-}
-
-/// Drain one inbound data link into the receive state, validating frames
-/// and requesting resends of corrupt ones.
-#[allow(clippy::too_many_arguments)]
-fn drain_data_link(
-    shard: usize,
-    link: &HaloLink,
-    nack_link: &HaloLink,
-    state: &mut RecvState,
-    shared: &Shared,
-    stats: &mut ShardStats,
-) {
-    while let Some(frame) = link.try_pop_frame() {
-        if !frame.checksum_ok {
-            stats.corrupt_detected += 1;
-            stats.nacks_sent += 1;
-            shared.log(format!(
-                "shard {shard}: checksum mismatch on `{}` (window {}, field {}); \
-                 requesting resend",
-                link.name, frame.window, frame.field
-            ));
-            let _ = nack_link.try_push_frame(&encode_frame(0, frame.window, frame.field, &[]));
-            continue;
-        }
-        if frame.seq <= state.last_seq || state.pending.contains_key(&(frame.window, frame.field)) {
-            stats.stale_discarded += 1;
-            shared.log(format!(
-                "shard {shard}: discarded stale/duplicate seq {} on `{}`",
-                frame.seq, link.name
-            ));
-            continue;
-        }
-        state.last_seq = frame.seq;
-        stats.frames_received += 1;
-        state
-            .pending
-            .insert((frame.window, frame.field), frame.payload);
-        shared.bump();
-    }
-}
-
-/// Wait (bounded, with exponential backoff and resend requests) for every
-/// halo this shard needs before the next window.
-#[allow(clippy::too_many_arguments)]
-fn collect_halos(
-    shard: usize,
-    window: usize,
-    plan: &Plan,
-    links: &[BoundaryLinks],
-    shared: &Shared,
-    config: &ShardConfig,
-    recv_low: &mut RecvState,
-    recv_high: &mut RecvState,
-    halos: &mut BTreeMap<(bool, usize), Vec<f64>>,
-    retained_up: &BTreeMap<(usize, usize), Vec<f64>>,
-    retained_down: &BTreeMap<(usize, usize), Vec<f64>>,
-    seq_up: &mut u64,
-    seq_down: &mut u64,
-    stats: &mut ShardStats,
-) -> std::result::Result<(), String> {
-    // (from_high_neighbor, field) -> retry state.
-    let mut spins = 0u32;
-    let mut missing: BTreeMap<(bool, usize), (u32, Instant)> = BTreeMap::new();
-    for field in 0..plan.pairs.len() {
-        if shard > 0 {
-            missing.insert((false, field), (0, Instant::now() + config.backoff));
-        }
-        if shard + 1 < plan.shards {
-            missing.insert((true, field), (0, Instant::now() + config.backoff));
-        }
-    }
-
-    while !missing.is_empty() {
-        if shared.poisoned() {
-            return Err(poison_reason(shared));
-        }
-        if shard > 0 {
-            drain_data_link(
-                shard,
-                &links[shard - 1].data_up,
-                &links[shard - 1].nack_up,
-                recv_low,
-                shared,
-                stats,
-            );
-        }
-        if shard + 1 < plan.shards {
-            drain_data_link(
-                shard,
-                &links[shard].data_down,
-                &links[shard].nack_down,
-                recv_high,
-                shared,
-                stats,
-            );
-        }
-        missing.retain(|&(from_high, field), _| {
-            let state = if from_high {
-                &mut *recv_high
-            } else {
-                &mut *recv_low
-            };
-            match state.pending.remove(&(window, field)) {
-                Some(payload) => {
-                    halos.insert((from_high, field), payload);
-                    false
-                }
-                None => true,
-            }
-        });
-        if missing.is_empty() {
-            break;
-        }
-        // While waiting, serve the neighbors' resend requests — otherwise
-        // two shards waiting on each other's resends would deadlock.
-        service_nacks(
-            shard,
-            plan,
-            links,
-            shared,
-            stats,
-            retained_up,
-            retained_down,
-            seq_up,
-            seq_down,
-        );
-        let now = Instant::now();
-        for (&(from_high, field), (attempts, deadline)) in missing.iter_mut() {
-            if now < *deadline {
-                continue;
-            }
-            if *attempts >= config.retry_budget {
-                let edge = if from_high {
-                    &links[shard].data_down.name
-                } else {
-                    &links[shard - 1].data_up.name
-                };
-                return Err(format!(
-                    "shard {shard}: retry budget ({}) exhausted waiting for window \
-                     {window} field {field} on `{edge}`",
-                    config.retry_budget
-                ));
-            }
-            let (nack_link, edge) = if from_high {
-                (&links[shard].nack_down, &links[shard].data_down.name)
-            } else {
-                (&links[shard - 1].nack_up, &links[shard - 1].data_up.name)
-            };
-            stats.nacks_sent += 1;
-            shared.log(format!(
-                "shard {shard}: window {window} field {field} overdue on `{edge}` \
-                 (attempt {}); requesting resend",
-                *attempts + 1
-            ));
-            let _ = nack_link.try_push_frame(&encode_frame(0, window, field, &[]));
-            *attempts += 1;
-            *deadline = now + config.backoff * 2u32.saturating_pow(*attempts);
-            shared.set_status(
-                shard,
-                WorkerStatus::Waiting {
-                    edge: edge.clone(),
-                    window,
-                    field,
-                },
-            );
-        }
-        relax(&mut spins);
-    }
-    Ok(())
-}
-
-/// After the final window: keep answering resend requests until every
-/// worker has finished computing (then nobody can still need us).
-#[allow(clippy::too_many_arguments)]
-fn drain_until_all_done(
-    shard: usize,
-    plan: &Plan,
-    links: &[BoundaryLinks],
-    shared: &Shared,
-    stats: &mut ShardStats,
-    retained_up: &BTreeMap<(usize, usize), Vec<f64>>,
-    retained_down: &BTreeMap<(usize, usize), Vec<f64>>,
-    seq_up: &mut u64,
-    seq_down: &mut u64,
-) {
-    // Once every worker's final compute has finished, nobody can still be
-    // waiting on a halo, so no resend request can arrive anymore.
-    let mut spins = 0u32;
-    while shared.computed.load(Ordering::Acquire) < plan.shards && !shared.poisoned() {
-        service_nacks(
-            shard,
-            plan,
-            links,
-            shared,
-            stats,
-            retained_up,
-            retained_down,
-            seq_up,
-            seq_down,
         );
         relax(&mut spins);
     }

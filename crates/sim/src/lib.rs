@@ -23,6 +23,8 @@
 //! reconvergent DAG with insufficient channel depths stalls permanently,
 //! while the analysis-computed depths stream to completion.
 
+#![forbid(unsafe_code)]
+
 // The channel layer moved to `stencilflow-core` so the sharded runtime in
 // `stencilflow-reference` (a dependency of this crate) can reuse it; the
 // historical `sim::channel` path keeps working through this re-export.

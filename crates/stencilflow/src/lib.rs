@@ -23,6 +23,9 @@
 //! assert!(result.max_error_vs_reference < 1e-5);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use stencilflow_analysis as analysis;
 pub use stencilflow_codegen as codegen;
 pub use stencilflow_core as core;
 pub use stencilflow_dataflow as dataflow;

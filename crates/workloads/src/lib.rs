@@ -18,6 +18,8 @@
 //!   (data-dependent-select) workload gating if-conversion and the
 //!   lane-batched evaluation of ternary kernels.
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod diffusion;
 pub mod horizontal_diffusion;

@@ -10,17 +10,23 @@
 #                                  and the in-crate speedup floors)
 #   4. cargo clippy -D warnings  — lints
 #   5. cargo doc -D warnings     — documentation (intra-doc links included)
-#   6. examples                  — compile-and-run every example
-#   7. fault_sweep               — the sharded fault-injection suite: every
+#   6. analyze --check           — the static-analysis gate: every workload
+#                                  must be free of error-severity
+#                                  diagnostics (cycles, out-of-domain
+#                                  footprints, failed kernel verification,
+#                                  predicted shard-link deadlocks); the
+#                                  diagnostics JSON lands in $ANALYSIS_JSON
+#   7. examples                  — compile-and-run every example
+#   8. fault_sweep               — the sharded fault-injection suite: every
 #                                  (seed x fault schedule) run must stay
 #                                  bitwise identical to the interpreter;
 #                                  seeds extend via STENCILFLOW_FAULT_SEEDS
 #                                  (comma-separated), and the fault-log JSON
 #                                  lands next to the bench JSON
-#   8. bench_eval --quick + report --quick
+#   9. bench_eval --quick + report --quick
 #                                — the benchmark smoke run; writes the JSON
 #                                  document the floor gate checks
-#   9. bench_eval --check-floors — kernel-tier speedup floors (compiled /
+#  10. bench_eval --check-floors — kernel-tier speedup floors (compiled /
 #                                  typed / simd on jacobi3d, the
 #                                  if-conversion lane floor on upwind3d,
 #                                  the fused-tier floors on the chain
@@ -37,6 +43,7 @@ cd "$(dirname "$0")/.."
 
 BENCH_JSON="${BENCH_JSON:-bench_eval_ci.json}"
 FAULT_JSON="${FAULT_JSON:-fault_sweep_ci.json}"
+ANALYSIS_JSON="${ANALYSIS_JSON:-analysis_ci.json}"
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
@@ -52,6 +59,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "==> static-analysis gate -> ${ANALYSIS_JSON}"
+cargo run --release --bin analyze -- --check --out "${ANALYSIS_JSON}"
 
 echo "==> examples"
 cargo run --release --example quickstart

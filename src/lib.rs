@@ -3,4 +3,6 @@
 //! This crate only hosts the repository-level examples (`examples/`) and
 //! cross-crate integration tests (`tests/`); the actual functionality lives
 //! in the `stencilflow-*` crates under `crates/`.
+
+#![forbid(unsafe_code)]
 pub use stencilflow as api;

@@ -1,0 +1,114 @@
+//! The static shard-link sizing pass against the live runtime watchdog:
+//! the undersized-link deadlock that `tests/sharded_golden.rs` detects at
+//! runtime must be *predicted* by `analyze_shard_links` from the program
+//! and configuration alone — with the same words, on the same constants —
+//! and the default sizing it proves safe must actually run clean.
+
+use std::time::Duration;
+
+use stencilflow::analysis::{analyze_sharding, Severity};
+use stencilflow::core::{analyze_shard_links, ShardLinkSpec};
+use stencilflow::reference::{generate_inputs, ReferenceExecutor, ShardConfig};
+use stencilflow::workloads::jacobi3d;
+
+const STEPS: usize = 4;
+const SHARDS: usize = 4;
+const WINDOW: usize = 1;
+
+fn program() -> stencilflow::StencilProgram {
+    jacobi3d(1, &[24, 10, 8], 1)
+}
+
+/// jacobi3d feeds one output back into one input per step.
+const FEEDBACK_PAIRS: usize = 1;
+
+fn spec(link_capacity_words: Option<usize>) -> ShardLinkSpec {
+    let spec = ShardLinkSpec::new(SHARDS, WINDOW, STEPS).with_feedback_pairs(FEEDBACK_PAIRS);
+    match link_capacity_words {
+        Some(words) => spec.with_link_capacity_words(words),
+        None => spec,
+    }
+}
+
+#[test]
+fn static_pass_predicts_the_undersized_link_deadlock() {
+    let program = program();
+
+    // Static verdict first: 4 words cannot hold one frame.
+    let requirement = analyze_shard_links(&program, &spec(Some(4))).unwrap();
+    assert!(
+        requirement.deadlock_predicted,
+        "static pass missed the undersized link: {requirement:?}"
+    );
+
+    // Now run the exact same configuration (window pinned so the runtime
+    // planner resolves the same geometry the static pass analyzed).
+    let inputs = generate_inputs(&program, 29);
+    let outcome = ReferenceExecutor::new()
+        .run_steps_sharded(
+            &program,
+            &inputs,
+            STEPS,
+            &ShardConfig::shards(SHARDS)
+                .with_window(WINDOW)
+                .with_link_capacity_words(4)
+                .with_watchdog(Duration::from_millis(500)),
+        )
+        .unwrap();
+    assert!(outcome.report.degraded, "undersized link did not degrade");
+    let watchdog = outcome
+        .report
+        .watchdog
+        .as_ref()
+        .expect("watchdog report for the undersized link");
+
+    // Prediction and detection must agree number for number: same shared
+    // constants, same halo geometry, same verdict.
+    assert_eq!(
+        watchdog.configured_capacity_words,
+        requirement.configured_capacity_words
+    );
+    assert_eq!(
+        watchdog.required_frame_words,
+        requirement.required_frame_words
+    );
+    assert!(watchdog.analysis_agrees);
+    assert_eq!(outcome.report.shards, requirement.shards);
+    assert_eq!(outcome.report.window, requirement.window);
+    assert_eq!(outcome.report.radius, requirement.radius);
+    assert_eq!(outcome.report.halo_rows, requirement.halo_rows);
+}
+
+#[test]
+fn static_pass_proves_the_default_sizing_safe_and_it_runs_clean() {
+    let program = program();
+    let requirement = analyze_shard_links(&program, &spec(None)).unwrap();
+    assert!(!requirement.deadlock_predicted);
+    assert!(requirement.configured_capacity_words >= requirement.required_frame_words);
+
+    let inputs = generate_inputs(&program, 29);
+    let outcome = ReferenceExecutor::new()
+        .run_steps_sharded(
+            &program,
+            &inputs,
+            STEPS,
+            &ShardConfig::shards(SHARDS).with_window(WINDOW),
+        )
+        .unwrap();
+    assert!(
+        !outcome.report.degraded,
+        "default sizing degraded: {:?}",
+        outcome.report.degrade_reason
+    );
+    assert!(outcome.report.watchdog.is_none());
+}
+
+#[test]
+fn diagnostic_layer_reports_the_prediction_as_sf0301() {
+    let (requirement, diags) = analyze_sharding(&program(), &spec(Some(4)));
+    let requirement = requirement.unwrap();
+    assert!(requirement.deadlock_predicted);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, "SF0301");
+    assert_eq!(diags[0].severity, Severity::Error);
+}
