@@ -20,6 +20,11 @@
 //!   the bytecode verifier with the stencil's real slot types.
 //! * **SF0207** (error) — a stencil expression fails to compile to
 //!   bytecode at all.
+//! * **SF0208** (info) — a stencil is not eligible for Tier-4 native
+//!   (JIT) execution and will run on the fused tier instead: its kernel
+//!   does not specialize to a typed stream, the typed stream keeps
+//!   control flow after optimization, or its output type is not a float
+//!   type. Informational: the fallback is transparent and bit-identical.
 //! * **SF0101–SF0109** (error) — the compiled kernel fails bytecode
 //!   verification; the code is the verifier's own.
 
@@ -215,7 +220,7 @@ fn check_footprints(program: &StencilProgram, report: &mut AnalysisReport) {
     }
 }
 
-/// SF0206/SF0207 + SF01xx: compile every stencil kernel and run the
+/// SF0206/SF0207/SF0208 + SF01xx: compile every stencil kernel and run the
 /// bytecode verifier over it with the stencil's real slot types — the
 /// same judgment the runtime makes at bind time, but across the whole
 /// program at once.
@@ -259,6 +264,71 @@ fn check_kernels(program: &StencilProgram, report: &mut AnalysisReport) {
             }
             Ok(_) => {}
         }
+        check_native_eligibility(
+            program,
+            &stencil.name,
+            &kernel,
+            slot_types.as_deref(),
+            report,
+        );
+    }
+}
+
+/// SF0208: Tier-4 (native JIT) eligibility, judged the way the runtime
+/// judges it — the kernel must specialize with the stencil's real slot
+/// types to a typed stream that the typed verifier proves branch-free
+/// ([`TypedJudgment::supports_native`]), and the stencil's output type
+/// must be a float type (the native sweep stores raw doubles; only float
+/// outputs round-trip losslessly). Ineligible stencils run on the fused
+/// tier, transparently and bit-identically, so this is informational.
+///
+/// [`TypedJudgment::supports_native`]: stencilflow_expr::TypedJudgment::supports_native
+fn check_native_eligibility(
+    program: &StencilProgram,
+    stencil: &str,
+    kernel: &CompiledKernel,
+    slot_types: Option<&[DataType]>,
+    report: &mut AnalysisReport,
+) {
+    let reason = native_ineligibility(program, stencil, kernel, slot_types);
+    if let Some(reason) = reason {
+        report.diagnostics.push(Diagnostic::new(
+            Severity::Info,
+            "SF0208",
+            location(program, stencil),
+            format!("not eligible for Tier-4 native execution: {reason}"),
+        ));
+    }
+}
+
+/// The reason a stencil kernel cannot take the Tier-4 native path, if any.
+fn native_ineligibility(
+    program: &StencilProgram,
+    stencil: &str,
+    kernel: &CompiledKernel,
+    slot_types: Option<&[DataType]>,
+) -> Option<String> {
+    let Some(types) = slot_types else {
+        return Some("a read field has no resolvable element type".to_string());
+    };
+    let Some(typed) = kernel.specialize(types) else {
+        return Some(
+            "the kernel does not specialize to a typed stream with the \
+             stencil's slot types"
+                .to_string(),
+        );
+    };
+    match stencilflow_expr::verify_typed(&typed) {
+        Err(e) => return Some(format!("typed verification fails: {e}")),
+        Ok(judgment) if !judgment.supports_native() => {
+            return Some("the typed stream keeps control flow after optimization".to_string());
+        }
+        Ok(_) => {}
+    }
+    match program.field_type(stencil) {
+        Some(DataType::Float32 | DataType::Float64) => None,
+        Some(other) => Some(format!("output type {other} is not a float type")),
+        None => Some("the stencil has no resolvable output type".to_string()),
     }
 }
 

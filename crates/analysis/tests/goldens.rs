@@ -103,7 +103,9 @@ fn reachable_integer_division_reports_sf0206() {
         .build()
         .unwrap();
     let report = analyze_program(&program);
-    assert_eq!(codes(&report), vec!["SF0206"]);
+    // Integer kernels also never specialize to a typed stream, so the
+    // Tier-4 eligibility check reports alongside the division warning.
+    assert_eq!(codes(&report), vec!["SF0206", "SF0208"]);
     // Float division cannot fail, so the same shape in f64 is clean.
     let float_program = StencilProgramBuilder::new("floatdiv", &[8, 8])
         .dims(&["i", "j"])
@@ -115,6 +117,51 @@ fn reachable_integer_division_reports_sf0206() {
         .build()
         .unwrap();
     assert!(analyze_program(&float_program).diagnostics.is_empty());
+}
+
+#[test]
+fn native_ineligible_stencils_report_sf0208() {
+    // An int32 output on a float kernel: fused-tier eligible, but Tier-4
+    // stays off (the native sweep stores raw doubles).
+    let program = StencilProgramBuilder::new("intout", &[8, 8])
+        .dims(&["i", "j"])
+        .input("a", DataType::Float32, &["i", "j"])
+        .stencil("s", "a[i-1,j] + a[i+1,j]")
+        .output_type("s", DataType::Int32)
+        .output("s")
+        .build()
+        .unwrap();
+    let report = analyze_program(&program);
+    let native = report.with_code("SF0208");
+    assert_eq!(native.len(), 1);
+    assert_eq!(native[0].severity, Severity::Info);
+    assert_eq!(native[0].location, "intout/s");
+    assert!(native[0].message.contains("not a float type"));
+    assert!(report.is_clean(), "SF0208 is informational");
+
+    // A select mixing an f32 slot with the f64 literal never specializes:
+    // no typed stream, so neither the typed tiers nor Tier-4 apply.
+    let unspecializable = StencilProgramBuilder::new("mixsel", &[8, 8])
+        .dims(&["i", "j"])
+        .input("a", DataType::Float32, &["i", "j"])
+        .stencil("s", "a[i,j] < 0.5 ? a[i,j] : 0.5")
+        .output("s")
+        .build()
+        .unwrap();
+    let report = analyze_program(&unspecializable);
+    let native = report.with_code("SF0208");
+    assert_eq!(native.len(), 1);
+    assert!(native[0].message.contains("does not specialize"));
+
+    // Every Tier-4-eligible kernel stays silent.
+    let clean = StencilProgramBuilder::new("clean", &[8, 8])
+        .dims(&["i", "j"])
+        .input("a", DataType::Float32, &["i", "j"])
+        .stencil("s", "a[i-1,j] + a[i+1,j] * 0.5")
+        .output("s")
+        .build()
+        .unwrap();
+    assert!(analyze_program(&clean).with_code("SF0208").is_empty());
 }
 
 fn halo_chain() -> StencilProgram {

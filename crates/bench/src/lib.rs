@@ -516,6 +516,14 @@ pub struct ThroughputRow {
     /// tiers (iteration-space cells × stencils × steps), so overlapped
     /// tile recompute shows up as cost, not as extra cells.
     pub fused_cells_per_s: f64,
+    /// Tier-4 native-JIT throughput in cells/second
+    /// (`ReferenceExecutor::run_jit`, or `run_steps_jit` for the
+    /// time-stepping rows): the fused schedule with the per-stencil
+    /// kernel sweeps compiled to machine code by the system C compiler.
+    /// Falls back to the fused tier when the program is ineligible, so an
+    /// ineligible workload records a jit ≈ fused measurement rather than
+    /// a hole.
+    pub jit_cells_per_s: f64,
 }
 
 impl ThroughputRow {
@@ -540,6 +548,12 @@ impl ThroughputRow {
     /// path (the default `run` / `run_steps`).
     pub fn fused_speedup(&self) -> f64 {
         self.fused_cells_per_s / self.simd_cells_per_s
+    }
+
+    /// Additional speedup of the native-JIT tier over the tile-fused
+    /// bytecode sweep it replaces.
+    pub fn jit_speedup(&self) -> f64 {
+        self.jit_cells_per_s / self.fused_cells_per_s
     }
 }
 
@@ -652,6 +666,10 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
                 let result = simd_executor.run_fused(&program, &inputs).unwrap();
                 std::hint::black_box(&result);
             });
+            let jit = measure_cells_per_s(cells, || {
+                let result = simd_executor.run_jit(&program, &inputs).unwrap();
+                std::hint::black_box(&result);
+            });
             ThroughputRow {
                 workload,
                 cells,
@@ -660,6 +678,7 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
                 typed_cells_per_s: typed,
                 simd_cells_per_s: simd,
                 fused_cells_per_s: fused,
+                jit_cells_per_s: jit,
             }
         })
         .collect();
@@ -697,6 +716,12 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
             .unwrap();
         std::hint::black_box(&result);
     });
+    let jit = measure_cells_per_s(cells, || {
+        let result = simd_executor
+            .run_steps_jit(&program, &inputs, steps)
+            .unwrap();
+        std::hint::black_box(&result);
+    });
     rows.push(ThroughputRow {
         workload: format!("jacobi3d {0}^3 x{steps} steps", jacobi_shape[0]),
         cells,
@@ -705,6 +730,7 @@ pub fn eval_throughput(quick: bool) -> Vec<ThroughputRow> {
         typed_cells_per_s: typed,
         simd_cells_per_s: simd,
         fused_cells_per_s: fused,
+        jit_cells_per_s: jit,
     });
     rows
 }
@@ -893,10 +919,10 @@ pub fn format_sharded(sharded: &ShardedThroughput) -> String {
 pub fn format_throughput(rows: &[ThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(
-        "== Evaluation throughput: interpreted vs. compiled vs. typed vs. SIMD vs. fused reference execution ==\n",
+        "== Evaluation throughput: interpreted vs. compiled vs. typed vs. SIMD vs. fused vs. jit reference execution ==\n",
     );
     out.push_str(&format!(
-        "{:<30} {:>12} {:>16} {:>14} {:>14} {:>14} {:>14} {:>9} {:>8} {:>7} {:>7}\n",
+        "{:<30} {:>12} {:>16} {:>14} {:>14} {:>14} {:>14} {:>14} {:>9} {:>8} {:>7} {:>7} {:>7}\n",
         "workload",
         "cells/run",
         "interpreted c/s",
@@ -904,14 +930,16 @@ pub fn format_throughput(rows: &[ThroughputRow]) -> String {
         "typed c/s",
         "simd c/s",
         "fused c/s",
+        "jit c/s",
         "speedup",
         "typed x",
         "simd x",
-        "fused x"
+        "fused x",
+        "jit x"
     ));
     for row in rows {
         out.push_str(&format!(
-            "{:<30} {:>12} {:>16.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>8.1}x {:>7.2}x {:>6.2}x {:>6.2}x\n",
+            "{:<30} {:>12} {:>16.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>14.3e} {:>8.1}x {:>7.2}x {:>6.2}x {:>6.2}x {:>6.2}x\n",
             row.workload,
             row.cells,
             row.interpreted_cells_per_s,
@@ -919,10 +947,12 @@ pub fn format_throughput(rows: &[ThroughputRow]) -> String {
             row.typed_cells_per_s,
             row.simd_cells_per_s,
             row.fused_cells_per_s,
+            row.jit_cells_per_s,
             row.speedup(),
             row.typed_speedup(),
             row.simd_speedup(),
-            row.fused_speedup()
+            row.fused_speedup(),
+            row.jit_speedup()
         ));
     }
     out
@@ -965,6 +995,10 @@ pub fn throughput_json(
                     "fused_cells_per_s".to_string(),
                     Json::Number(row.fused_cells_per_s),
                 ),
+                (
+                    "jit_cells_per_s".to_string(),
+                    Json::Number(row.jit_cells_per_s),
+                ),
                 ("compiled_speedup".to_string(), Json::Number(row.speedup())),
                 (
                     "typed_speedup".to_string(),
@@ -975,6 +1009,7 @@ pub fn throughput_json(
                     "fused_speedup".to_string(),
                     Json::Number(row.fused_speedup()),
                 ),
+                ("jit_speedup".to_string(), Json::Number(row.jit_speedup())),
             ])
         })
         .collect();
@@ -1057,6 +1092,9 @@ pub fn throughput_json(
 /// optimizer end to end), and to the **fused-tier** rows: the `chain*` row
 /// must beat the materializing path by the tentpole factor and the
 /// time-stepping (`* steps`) row by the temporal-blocking factor.
+/// The `jacobi3d*` rows additionally gate the Tier-4 native JIT: the
+/// compiled-C sweep must not lose to the fused bytecode sweep it
+/// replaces (`jit_speedup` >= 1.0x on full-mode baselines).
 /// `horizontal_diffusion` rows carry no floors (the small-domain row is
 /// structurally lane-hostile and documents why; the larger row measures
 /// the tier fairly). Quick-mode documents (small domains on noisy shared
@@ -1096,6 +1134,11 @@ pub fn check_floors(json_text: &str) -> Result<String, String> {
     // (full-mode baselines; quick floors absorb shared-runner jitter).
     let chain_fused_floor = if quick { 1.25 } else { 2.0 };
     let steps_fused_floor = if quick { 1.1 } else { 1.5 };
+    // The Tier-4 acceptance criterion: the natively compiled sweep must
+    // not lose to the fused bytecode sweep it replaces on the flagship
+    // jacobi3d rows (>= 1.0x full mode; the quick floor absorbs the
+    // small-domain FFI-call overhead and shared-runner jitter).
+    let jit_floor = if quick { 0.7 } else { 1.0 };
     let rows = parsed
         .get("rows")
         .and_then(|v| v.as_array())
@@ -1117,6 +1160,7 @@ pub fn check_floors(json_text: &str) -> Result<String, String> {
                 ("compiled_speedup", compiled_floor),
                 ("typed_speedup", typed_floor),
                 ("simd_speedup", simd_floor),
+                ("jit_speedup", jit_floor),
             ];
             if workload.contains("steps") {
                 fused_checked += 1;
@@ -1416,7 +1460,11 @@ mod tests {
             ops_per_cell: 8.0,
         };
         let healthy_sharded = sharded(1, 0.95, 0.6);
-        let document = |jacobi_simd: f64, upwind_simd: f64, chain_fused: f64, steps_fused: f64| {
+        let document = |jacobi_simd: f64,
+                        upwind_simd: f64,
+                        chain_fused: f64,
+                        steps_fused: f64,
+                        jacobi_jit: f64| {
             let rows = vec![
                 ThroughputRow {
                     workload: "jacobi3d 32^3 f32".to_string(),
@@ -1426,6 +1474,7 @@ mod tests {
                     typed_cells_per_s: 16.0e6,
                     simd_cells_per_s: 16.0e6 * jacobi_simd,
                     fused_cells_per_s: 16.0e6 * jacobi_simd,
+                    jit_cells_per_s: 16.0e6 * jacobi_simd * jacobi_jit,
                 },
                 ThroughputRow {
                     workload: "upwind3d 32^3 f32".to_string(),
@@ -1435,6 +1484,7 @@ mod tests {
                     typed_cells_per_s: 12.0e6,
                     simd_cells_per_s: 12.0e6 * upwind_simd,
                     fused_cells_per_s: 12.0e6 * upwind_simd,
+                    jit_cells_per_s: 12.0e6 * upwind_simd,
                 },
                 ThroughputRow {
                     workload: "chain 8x8op [96,32,32]".to_string(),
@@ -1444,6 +1494,7 @@ mod tests {
                     typed_cells_per_s: 14.0e6,
                     simd_cells_per_s: 20.0e6,
                     fused_cells_per_s: 20.0e6 * chain_fused,
+                    jit_cells_per_s: 20.0e6 * chain_fused,
                 },
                 ThroughputRow {
                     workload: "jacobi3d 32^3 x4 steps".to_string(),
@@ -1453,28 +1504,36 @@ mod tests {
                     typed_cells_per_s: 16.0e6,
                     simd_cells_per_s: 32.0e6,
                     fused_cells_per_s: 32.0e6 * steps_fused,
+                    jit_cells_per_s: 32.0e6 * steps_fused * jacobi_jit,
                 },
             ];
             throughput_json(&rows, Some(&healthy_sharded), true)
         };
-        assert!(check_floors(&document(2.0, 1.8, 1.6, 1.3)).is_ok());
-        let err = check_floors(&document(1.0, 1.8, 1.6, 1.3)).unwrap_err();
+        assert!(check_floors(&document(2.0, 1.8, 1.6, 1.3, 1.2)).is_ok());
+        let err = check_floors(&document(1.0, 1.8, 1.6, 1.3, 1.2)).unwrap_err();
         assert!(err.contains("simd_speedup"), "unexpected error: {err}");
         // A regressed branchy row trips its own gate.
-        let err = check_floors(&document(2.0, 1.0, 1.6, 1.3)).unwrap_err();
+        let err = check_floors(&document(2.0, 1.0, 1.6, 1.3, 1.2)).unwrap_err();
         assert!(
             err.contains("upwind3d") && err.contains("simd_speedup"),
             "unexpected error: {err}"
         );
         // Regressed fused rows trip the fused gates.
-        let err = check_floors(&document(2.0, 1.8, 1.0, 1.3)).unwrap_err();
+        let err = check_floors(&document(2.0, 1.8, 1.0, 1.3, 1.2)).unwrap_err();
         assert!(
             err.contains("chain") && err.contains("fused_speedup"),
             "unexpected error: {err}"
         );
-        let err = check_floors(&document(2.0, 1.8, 1.6, 1.0)).unwrap_err();
+        let err = check_floors(&document(2.0, 1.8, 1.6, 1.0, 1.2)).unwrap_err();
         assert!(
             err.contains("steps") && err.contains("fused_speedup"),
+            "unexpected error: {err}"
+        );
+        // A native sweep losing to the fused bytecode sweep trips the
+        // Tier-4 floor on the jacobi rows.
+        let err = check_floors(&document(2.0, 1.8, 1.6, 1.3, 0.5)).unwrap_err();
+        assert!(
+            err.contains("jacobi3d") && err.contains("jit_speedup"),
             "unexpected error: {err}"
         );
         // Documents without jacobi, upwind, or fused rows (or unparseable
@@ -1489,6 +1548,7 @@ mod tests {
                 typed_cells_per_s: 16.0e6,
                 simd_cells_per_s: 32.0e6,
                 fused_cells_per_s: 32.0e6,
+                jit_cells_per_s: 40.0e6,
             }],
             Some(&healthy_sharded),
             true,
@@ -1520,6 +1580,7 @@ mod tests {
                 typed_cells_per_s: 16.0e6,
                 simd_cells_per_s: 32.0e6,
                 fused_cells_per_s: 32.0e6,
+                jit_cells_per_s: 40.0e6,
             },
             ThroughputRow {
                 workload: "upwind3d 32^3 f32".to_string(),
@@ -1529,6 +1590,7 @@ mod tests {
                 typed_cells_per_s: 12.0e6,
                 simd_cells_per_s: 21.6e6,
                 fused_cells_per_s: 21.6e6,
+                jit_cells_per_s: 21.6e6,
             },
             ThroughputRow {
                 workload: "chain 8x8op [96,32,32]".to_string(),
@@ -1538,6 +1600,7 @@ mod tests {
                 typed_cells_per_s: 14.0e6,
                 simd_cells_per_s: 20.0e6,
                 fused_cells_per_s: 32.0e6,
+                jit_cells_per_s: 32.0e6,
             },
             ThroughputRow {
                 workload: "jacobi3d 32^3 x4 steps".to_string(),
@@ -1547,6 +1610,7 @@ mod tests {
                 typed_cells_per_s: 16.0e6,
                 simd_cells_per_s: 32.0e6,
                 fused_cells_per_s: 41.6e6,
+                jit_cells_per_s: 50.0e6,
             },
         ];
         let document = |sh: &ShardedThroughput| throughput_json(&healthy_rows, Some(sh), true);
@@ -1719,6 +1783,7 @@ mod tests {
             typed_cells_per_s: 1.5e7,
             simd_cells_per_s: 3.0e7,
             fused_cells_per_s: 4.5e7,
+            jit_cells_per_s: 9.0e7,
         }];
         let sharded = ShardedThroughput {
             workload: "jacobi3d 8^3 x4 steps".to_string(),
@@ -1767,5 +1832,7 @@ mod tests {
         assert!((simd_speedup - 2.0).abs() < 1e-9);
         let fused_speedup = row.get("fused_speedup").and_then(|v| v.as_f64()).unwrap();
         assert!((fused_speedup - 1.5).abs() < 1e-9);
+        let jit_speedup = row.get("jit_speedup").and_then(|v| v.as_f64()).unwrap();
+        assert!((jit_speedup - 2.0).abs() < 1e-9);
     }
 }

@@ -42,7 +42,7 @@ fn c_type(dtype: DataType) -> &'static str {
 /// Emit a floating-point literal in shortest-round-trip form, suffixed for
 /// the kernel's element type (`f` only for `float` kernels — a `double`
 /// kernel must not have its constants truncated through `float`).
-fn float_literal(v: f64, dtype: DataType) -> String {
+pub(crate) fn float_literal(v: f64, dtype: DataType) -> String {
     // `{v:?}` prints the shortest decimal that round-trips to `v` exactly;
     // `{v}` does not guarantee that, and fixed-precision formats lose bits.
     let body = format!("{v:?}");
@@ -54,7 +54,7 @@ fn float_literal(v: f64, dtype: DataType) -> String {
 
 /// Math-function spelling for the kernel's element type (`fminf` vs
 /// `fmin`, ...).
-fn mathfn_c(func: MathFn, dtype: DataType) -> String {
+pub(crate) fn mathfn_c(func: MathFn, dtype: DataType) -> String {
     let base = match func {
         MathFn::Sqrt => "sqrt",
         MathFn::Abs => "fabs",
@@ -144,16 +144,21 @@ pub fn expr_to_c(expr: &Expr, access: &impl Fn(&str, &[i64]) -> String, dtype: D
 /// Structural summary of a stack entry tracked by [`kernel_to_c`] to
 /// recognize clamp patterns at [`Op::Select`] sites.
 #[derive(Debug, Clone, PartialEq)]
-enum Shape {
+pub(crate) enum Shape {
     /// A finite floating-point literal.
     Literal(f64),
     /// An ordering comparison with its operands' rendered C expressions
     /// (and, when literal, their values).
     Compare {
+        /// The comparison operator.
         op: BinOp,
+        /// Rendered C expression of the left operand.
         lhs: String,
+        /// Rendered C expression of the right operand.
         rhs: String,
+        /// The left operand's value when it is a finite literal.
         lhs_literal: Option<f64>,
+        /// The right operand's value when it is a finite literal.
         rhs_literal: Option<f64>,
     },
     /// Anything else.
@@ -174,7 +179,7 @@ enum Shape {
 /// ternary's pick is fixed by the comparison. The mirrored orientation
 /// with the literal in the then-arm (`x > c ? c : x`) propagates a NaN
 /// where `fmin` would return `c`, so it deliberately stays a select.
-fn fuse_clamp(
+pub(crate) fn fuse_clamp(
     cond: &Shape,
     then: &str,
     otherwise: &Shape,

@@ -18,16 +18,21 @@
 //!   with the raw AST walk as the fallback for lazy control flow.
 //! * [`report`] — a human-readable mapping report used by the benchmark
 //!   binaries.
+//! * [`jit_unit`] — whole-program C emission for the Tier-4 native
+//!   backend: per-stage sweep functions in `double` with explicit
+//!   `f32`-round wraps, bit-identical to the typed bytecode tiers.
 
 #![forbid(unsafe_code)]
 
 pub mod expr_c;
 pub mod host;
+pub mod jit_unit;
 pub mod opencl;
 pub mod report;
 
 pub use expr_c::{expr_to_c, kernel_to_c, program_to_c, SelectStyle};
 pub use host::generate_host_code;
+pub use jit_unit::{jit_eval_unit, jit_translation_unit, JitSlotKind, JitStageSpec};
 pub use opencl::{generate_kernels, generate_multi_device_kernels};
 pub use report::mapping_report;
 

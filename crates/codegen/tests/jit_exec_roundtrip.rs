@@ -1,0 +1,331 @@
+//! Execution-level round-trips of the emitted JIT eval units: the C the
+//! emitter produces is compiled with the real system `cc` and evaluated
+//! against the typed bytecode interpreter **bitwise** on adversarial
+//! values — NaN, signed zeros, subnormals, range extremes, and inputs
+//! chosen to expose double-rounding in the f32 `(double)(float)` wraps.
+//! Text pins (in the unit tests) say what the emitter wrote; these tests
+//! say what the compiled code *does*.
+//!
+//! The f32 cases deliberately use only operations for which
+//! round-to-double-then-to-float equals direct float rounding (`+`, `-`,
+//! `*`, `/`, `sqrt`, `fmin`, `fmax`, `fabs`, `floor`, `ceil`): that
+//! exactness is what makes the emitted `(double)(float)(...)` wrap a
+//! faithful image of the typed tier's `finish(v, round)`, and it does NOT
+//! hold for the transcendental calls, which the emitter forwards to the
+//! same libm the interpreter uses.
+
+use stencilflow_codegen::jit_eval_unit;
+use stencilflow_expr::{parse_program, CompiledKernel, DataType, TypedKernel, TypedScratch};
+use stencilflow_jit::{JitConfig, JitEngine};
+
+fn typed(source: &str, slots: &[DataType]) -> TypedKernel {
+    let program = parse_program(source).expect("test kernels parse");
+    let kernel = CompiledKernel::compile(&program).expect("test kernels compile");
+    let slot_types: Vec<DataType> = kernel
+        .slots()
+        .iter()
+        .zip(slots.iter().cycle())
+        .map(|(_, t)| *t)
+        .collect();
+    kernel
+        .specialize(&slot_types)
+        .unwrap_or_else(|| panic!("`{source}` should specialize"))
+}
+
+fn engine() -> JitEngine {
+    let mut config = JitConfig::from_env();
+    config.cache_dir =
+        std::env::temp_dir().join(format!("sf-jit-roundtrip-{}", std::process::id()));
+    JitEngine::new(config).expect("system cc must be available for round-trip tests")
+}
+
+/// Evaluate `source` both ways over every row of `cases` (each row is one
+/// slot assignment) and require bitwise agreement.
+fn assert_roundtrip(engine: &JitEngine, source: &str, slots: &[DataType], cases: &[&[f64]]) {
+    let kernel = typed(source, slots);
+    let unit = jit_eval_unit(&kernel, "sf_eval").expect("eligible kernels emit");
+    let module = engine.load(&unit, &unit).expect("emitted unit compiles");
+    let eval = engine
+        .eval_fn(&module, "sf_eval", kernel.slot_count())
+        .expect("eval symbol resolves");
+    let mut scratch = TypedScratch::default();
+    for full in cases {
+        assert!(
+            full.len() >= kernel.slot_count(),
+            "bad case arity for `{source}`"
+        );
+        let case = &full[..kernel.slot_count()];
+        let want = kernel.eval_slots(case, &mut scratch);
+        let got = eval.call(case).expect("native eval runs");
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "`{source}` on {case:?}: native {got:?} ({:#x}) != bytecode {want:?} ({:#x})",
+            got.to_bits(),
+            want.to_bits()
+        );
+    }
+}
+
+/// Adversarial f64 operand pairs: NaN, signed zeros, subnormals, the
+/// double-rounding tripwire, and range extremes.
+///
+/// Only the default quiet NaN appears: when *both* operands of a
+/// commutative operation are NaNs with different payload or sign bits,
+/// IEEE 754 leaves the surviving payload unspecified and Rust and C
+/// compilers may legally pick different operands, so that case sits
+/// outside the bit-identity contract. Every NaN the pipeline itself
+/// manufactures (0/0, inf−inf, …) is the default quiet NaN, for which the
+/// question is moot.
+///
+/// The NaN *sign bit* through negation is equally unspecified: compilers
+/// fold `-(x) + c` to `c - x` (exact for every non-NaN `x`), which keeps
+/// the NaN's sign where the bytecode's explicit `Neg` flips it — so
+/// negation kernels are exercised on the NaN-free set below.
+#[allow(clippy::excessive_precision)] // the over-long literal IS the test
+fn f64_pairs() -> Vec<[f64; 2]> {
+    let specials = [
+        f64::NAN,
+        0.0,
+        -0.0,
+        5e-324, // minimum subnormal
+        -5e-324,
+        2.2250738585072011e-308, // largest subnormal (double-rounding tripwire)
+        f64::MIN_POSITIVE,
+        1.0,
+        -1.0,
+        1.0000000000000002, // nextafter(1.0)
+        0.1,
+        -2.5,
+        1e300,
+        -1.7976931348623157e308,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ];
+    let mut pairs = Vec::new();
+    for &a in &specials {
+        for &b in &specials {
+            pairs.push([a, b]);
+        }
+    }
+    pairs
+}
+
+/// Adversarial *exact-f32* operand pairs, widened to f64 the way the
+/// runtime widens f32 grids.
+fn f32_pairs() -> Vec<[f64; 2]> {
+    let specials: Vec<f64> = [
+        f32::NAN,
+        0.0f32,
+        -0.0f32,
+        1e-45f32, // minimum f32 subnormal
+        -1e-45f32,
+        1.1754942e-38f32, // largest f32 subnormal
+        f32::MIN_POSITIVE,
+        1.0f32,
+        1.0000001f32, // nextafter(1.0f)
+        0.1f32,
+        -2.25f32,
+        3.4028235e38f32, // f32::MAX
+        -3.4028235e38f32,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+    ]
+    .iter()
+    .map(|&v| v as f64)
+    .collect();
+    let mut pairs = Vec::new();
+    for &a in &specials {
+        for &b in &specials {
+            pairs.push([a, b]);
+        }
+    }
+    pairs
+}
+
+#[test]
+fn f64_arithmetic_round_trips_on_special_values() {
+    let engine = engine();
+    let pairs = f64_pairs();
+    let cases: Vec<&[f64]> = pairs.iter().map(|p| p.as_slice()).collect();
+    for source in [
+        "a[i] + b[i]",
+        "a[i] - b[i]",
+        "a[i] * b[i]",
+        "a[i] / b[i]",
+        "a[i] * b[i] + a[i] / b[i] - 2.5",
+        "min(a[i], b[i])",
+        "max(a[i], b[i])",
+        "abs(a[i]) + floor(b[i]) - ceil(b[i])",
+        "sqrt(abs(a[i])) * b[i]",
+    ] {
+        assert_roundtrip(&engine, source, &[DataType::Float64], &cases);
+    }
+}
+
+#[test]
+fn negation_round_trips_on_nan_free_specials() {
+    // Signed zeros and infinities through `Neg`: -(-0.0) must come back
+    // as +0.0 bitwise. NaN is excluded — see `f64_pairs` on why the NaN
+    // sign bit through negation is compiler-unspecified.
+    let engine = engine();
+    let values = [
+        0.0,
+        -0.0,
+        5e-324,
+        -5e-324,
+        1.0,
+        -1.0,
+        1e300,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ];
+    let mut pairs = Vec::new();
+    for &a in &values {
+        for &b in &values {
+            // 0 × inf manufactures a NaN mid-kernel, putting the pair
+            // back in the unspecified NaN-sign territory.
+            if (a * b).is_nan() || (b + 0.5).is_nan() {
+                continue;
+            }
+            pairs.push([a, b]);
+        }
+    }
+    let cases: Vec<&[f64]> = pairs.iter().map(|p| p.as_slice()).collect();
+    for source in ["-a[i]", "-(a[i] * b[i]) + 0.5", "-a[i] * (b[i] + 0.5)"] {
+        assert_roundtrip(&engine, source, &[DataType::Float64], &cases);
+    }
+}
+
+#[test]
+fn f32_round_wraps_round_trip_on_special_values() {
+    // Every store and intermediate carries the f32 round flag; the C side
+    // must land on bit-identical doubles through (double)(float) wraps.
+    let engine = engine();
+    let pairs = f32_pairs();
+    let cases: Vec<&[f64]> = pairs.iter().map(|p| p.as_slice()).collect();
+    for source in [
+        "a[i] + b[i]",
+        "a[i] - b[i]",
+        "a[i] * b[i]",
+        "a[i] / b[i]",
+        "a[i] * b[i] + a[i] / b[i]",
+        "min(a[i], b[i])",
+        "max(a[i], b[i])",
+        "abs(a[i]) - b[i]",
+        "sqrt(abs(a[i]))",
+        "floor(a[i]) + ceil(b[i])",
+    ] {
+        assert_roundtrip(&engine, source, &[DataType::Float32], &cases);
+    }
+}
+
+#[test]
+fn exact_float_literals_survive_c_parsing() {
+    // Literals are emitted with Rust's shortest-round-trip formatting; the
+    // C compiler must parse them back to the identical doubles. Exercised
+    // at execution: `a + lit - a` style kernels leak any literal drift.
+    let engine = engine();
+    let zero: &[f64] = &[0.0];
+    let one: &[f64] = &[1.0];
+    for source in [
+        "a[i] + 0.1",
+        "a[i] + 5e-324",
+        "a[i] + 2.2250738585072011e-308",
+        "a[i] + 1.0000000000000002",
+        "a[i] + 3.141592653589793",
+        "a[i] * 1e300",
+        "a[i] - 1.7976931348623157e308",
+    ] {
+        assert_roundtrip(&engine, source, &[DataType::Float64], &[zero, one]);
+    }
+}
+
+#[test]
+fn clamp_fusion_is_nan_faithful_in_compiled_code() {
+    // The emitter fuses literal-else clamp selects to fmin/fmax only in
+    // the orientations where the IEEE fmin/fmax NaN rule ("return the
+    // non-NaN operand") agrees with the bytecode select. Execute every
+    // orientation on NaN and friends against the interpreter: any
+    // unfaithful fusion shows up as a bitwise diff here.
+    let engine = engine();
+    let values: Vec<[f64; 1]> = [
+        f64::NAN,
+        -f64::NAN,
+        0.0,
+        -0.0,
+        0.5,
+        0.25,
+        0.75,
+        5e-324,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    ]
+    .iter()
+    .map(|&v| [v])
+    .collect();
+    let cases: Vec<&[f64]> = values.iter().map(|p| p.as_slice()).collect();
+    for source in [
+        // Fusible orientations (fmin/fmax spelling).
+        "a[i] < 0.5 ? a[i] : 0.5",
+        "a[i] > 0.5 ? a[i] : 0.5",
+        "a[i] <= 0.5 ? a[i] : 0.5",
+        "a[i] >= 0.5 ? a[i] : 0.5",
+        // Literal-then orientations: NOT fusible (fmin/fmax would launder
+        // the NaN into the literal); must stay C ternaries.
+        "a[i] < 0.5 ? 0.5 : a[i]",
+        "a[i] > 0.5 ? 0.5 : a[i]",
+        // Reversed operand orders.
+        "0.5 < a[i] ? a[i] : 0.5",
+        "0.5 > a[i] ? a[i] : 0.5",
+        // Equality selects never fuse.
+        "a[i] == 0.5 ? a[i] : 0.5",
+        "a[i] != 0.5 ? a[i] : 0.5",
+        // Two-sided clamp.
+        "min(max(a[i], 0.25), 0.75)",
+        "a[i] < 0.25 ? 0.25 : (a[i] > 0.75 ? 0.75 : a[i])",
+    ] {
+        assert_roundtrip(&engine, source, &[DataType::Float64], &cases);
+    }
+}
+
+#[test]
+fn locals_comparisons_and_logic_round_trip() {
+    let engine = engine();
+    let pairs = f64_pairs();
+    let cases: Vec<&[f64]> = pairs.iter().map(|p| p.as_slice()).collect();
+    for source in [
+        // CSE/user locals become const double temporaries.
+        "u = a[i] * b[i]; u + u / b[i]",
+        "u = a[i] + b[i]; v = u * u; v - u",
+        // Comparison results feed arithmetic as exact 0.0/1.0.
+        "(a[i] < b[i]) + (a[i] > b[i]) * 2.0",
+        // Select on a NaN condition takes the else arm, like JumpIfFalse.
+        "a[i] == a[i] ? 1.0 : 2.0",
+        "a[i] < b[i] ? a[i] - b[i] : b[i] - a[i]",
+        // Short-circuit logic if-converts to selects; NaN is falsy in
+        // comparisons and truthy nowhere here.
+        "a[i] > 0.0 && b[i] > 0.0 ? a[i] : b[i]",
+        "a[i] > 0.0 || b[i] > 0.0 ? a[i] : b[i]",
+        "!(a[i] < b[i]) ? a[i] : b[i]",
+    ] {
+        assert_roundtrip(&engine, source, &[DataType::Float64], &cases);
+    }
+}
+
+#[test]
+fn transcendental_calls_forward_to_libm_bitwise() {
+    // exp/log/pow/sin/cos/tan are not double-rounding-exact, so they are
+    // only tested in f64 kernels (no round wraps): both sides call the
+    // same libm and must agree bitwise.
+    let engine = engine();
+    let pairs = f64_pairs();
+    let cases: Vec<&[f64]> = pairs.iter().map(|p| p.as_slice()).collect();
+    for source in [
+        "exp(a[i]) + b[i]",
+        "log(abs(a[i]) + 1.0)",
+        "pow(abs(a[i]), b[i])",
+        "sin(a[i]) * cos(b[i]) + tan(a[i])",
+    ] {
+        assert_roundtrip(&engine, source, &[DataType::Float64], &cases);
+    }
+}

@@ -710,6 +710,23 @@ pub struct TypedJudgment {
     pub branch_free: bool,
 }
 
+impl TypedJudgment {
+    /// Whether the judged kernel is eligible for Tier-4 native emission
+    /// (`stencilflow-codegen`'s JIT translation unit): the stream must be
+    /// branch-free, since the emitter renders it as a straight-line C
+    /// expression DAG — `Select` is fine (a C ternary or fused
+    /// `fmin`/`fmax`), but jump diamonds and short-circuit logic are not.
+    /// Judged on the *typed* stream deliberately: typed if-conversion
+    /// speculates division (IEEE-total) where the untyped pass must keep
+    /// the diamond, so kernels like `c ? a/b : d` are native-eligible even
+    /// though their untyped bytecode still jumps. Purity is not required:
+    /// CSE introduces `Store`s, and single-assignment temporaries emit as
+    /// `const double` locals.
+    pub fn supports_native(&self) -> bool {
+        self.branch_free
+    }
+}
+
 /// Verify a [`TypedOp`] stream: stack-depth safety, init-before-use,
 /// jump-target validity, bounds, and single-result exit — the invariants
 /// the unchecked typed/lane eval loops rely on. Types need no tracking

@@ -1,0 +1,697 @@
+//! Native Tier-4 backend for StencilFlow: drive the system C compiler over
+//! emitted translation units, cache the resulting shared objects on disk,
+//! and load them through a quarantined `dlopen` boundary.
+//!
+//! The crate deliberately knows nothing about stencils: it accepts a
+//! *fingerprint* (the caller's stable identity for the program, salted here
+//! with the compiler version and flags) plus C *source*, and returns a
+//! loaded module from which typed symbols can be resolved. All policy —
+//! which programs are eligible, what the C looks like, how sweeps map onto
+//! the emitted ABI — lives in `stencilflow-codegen` and
+//! `stencilflow-reference`; this crate only guarantees that
+//!
+//! * identical `(salt, fingerprint)` pairs never invoke `cc` twice, even
+//!   across processes (the disk cache is the source of truth; an atomic
+//!   `.key` sidecar written last marks an entry complete);
+//! * a fingerprint collision (same hash, different key material) is
+//!   detected and treated as a miss rather than served wrong code;
+//! * entries built under a different compiler version or flag set are
+//!   evicted at engine start, and the cache stays under a byte bound via
+//!   least-recently-used eviction;
+//! * everything `unsafe` stays inside [`ffi`], each block justified
+//!   against the verifier judgment the emitted code was derived from (the
+//!   rest of the workspace keeps `#![forbid(unsafe_code)]`).
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ffi;
+
+pub use ffi::{EvalFn, ModuleHandle, SlotArg, StageFn, SweepArgs};
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
+
+/// Compiler flags every JIT translation unit is built with. The set is part
+/// of the cache salt and is chosen for *bit-identity with the interpreter*,
+/// not peak speed:
+///
+/// * `-ffp-contract=off` — GCC's GNU-C default is `fast`, which fuses
+///   `a*b + c` into FMA and changes results by one rounding; the
+///   interpreter performs two roundings, so contraction must be off.
+/// * `-fno-math-errno` — frees the compiler from materializing `errno`
+///   stores around libm calls without changing any computed value.
+/// * no `-march=native`, no `-ffast-math`: value-changing optimization is
+///   out of the question, and host-specific code would poison a cache
+///   shared between machines.
+pub const BASE_CFLAGS: &[&str] = &[
+    "-std=c11",
+    "-O3",
+    "-fPIC",
+    "-shared",
+    "-ffp-contract=off",
+    "-fno-math-errno",
+];
+
+/// Default cap on the on-disk cache (sources, objects, sidecars, logs).
+pub const DEFAULT_MAX_CACHE_BYTES: u64 = 256 * 1024 * 1024;
+
+/// In-process loaded-module cache capacity; mirrors the executor's
+/// compiled-program cache discipline (clear on overflow, no LRU churn).
+const MODULE_CACHE_CAPACITY: usize = 64;
+
+/// Counters for the disk cache and compiler driver, exported into the CI
+/// artifact bundle by the `jit_gate` binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads served from a valid existing cache entry (disk or in-process).
+    pub hits: u64,
+    /// Loads that required building a new entry.
+    pub misses: u64,
+    /// Times the external C compiler was actually spawned. The CI jit gate
+    /// asserts this stays 0 on a warmed cache.
+    pub cc_invocations: u64,
+    /// Entries removed by salt-change or LRU byte-bound eviction.
+    pub evictions: u64,
+    /// Total bytes currently held by the on-disk cache.
+    pub cache_bytes: u64,
+}
+
+/// Construction parameters for a [`JitEngine`].
+#[derive(Debug, Clone)]
+pub struct JitConfig {
+    /// Directory holding `{hash}.c/.so/.key/.log` entries; created if absent.
+    pub cache_dir: PathBuf,
+    /// Byte bound enforced by LRU eviction after each build.
+    pub max_cache_bytes: u64,
+    /// The C compiler to drive (a name resolved via `PATH` or a path).
+    pub cc: String,
+    /// Extra flags appended after [`BASE_CFLAGS`]; they participate in the
+    /// cache salt, so changing them invalidates prior entries.
+    pub extra_flags: Vec<String>,
+}
+
+impl JitConfig {
+    /// Configuration from the environment:
+    /// `SF_JIT_CACHE_DIR` (default: `<tmp>/stencilflow-jit-cache`),
+    /// `SF_JIT_CACHE_MAX_BYTES` (default 256 MiB), `SF_JIT_CC` (default
+    /// `cc`).
+    pub fn from_env() -> JitConfig {
+        let cache_dir = std::env::var_os("SF_JIT_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("stencilflow-jit-cache"));
+        let max_cache_bytes = std::env::var("SF_JIT_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_MAX_CACHE_BYTES);
+        let cc = std::env::var("SF_JIT_CC").unwrap_or_else(|_| "cc".to_string());
+        JitConfig {
+            cache_dir,
+            max_cache_bytes,
+            cc,
+            extra_flags: Vec::new(),
+        }
+    }
+}
+
+/// A compiler driver plus disk-backed code cache. Cheap to share behind an
+/// `Arc`; all interior state is mutex-guarded.
+#[derive(Debug)]
+pub struct JitEngine {
+    config: JitConfig,
+    /// First line of `cc --version` plus the full flag set; keys every
+    /// cache entry so a toolchain change can never serve stale code.
+    salt: String,
+    stats: Mutex<CacheStats>,
+    modules: Mutex<HashMap<String, Arc<ModuleHandle>>>,
+}
+
+impl JitEngine {
+    /// Probe the configured compiler, prepare the cache directory, and
+    /// evict entries built under a different salt.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the compiler cannot be spawned (the usual "no `cc` on
+    /// this machine" case — callers surface this as the JIT-unavailable
+    /// reason and fall back to the fused tier) or the cache directory
+    /// cannot be created.
+    pub fn new(config: JitConfig) -> Result<JitEngine, String> {
+        let probe = Command::new(&config.cc)
+            .arg("--version")
+            .output()
+            .map_err(|e| format!("cannot run `{} --version`: {e}", config.cc))?;
+        if !probe.status.success() {
+            return Err(format!(
+                "`{} --version` failed with {}: {}",
+                config.cc,
+                probe.status,
+                String::from_utf8_lossy(&probe.stderr).trim()
+            ));
+        }
+        let version_line = String::from_utf8_lossy(&probe.stdout)
+            .lines()
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        if version_line.is_empty() {
+            return Err(format!("`{} --version` produced no output", config.cc));
+        }
+        let mut flags: Vec<String> = BASE_CFLAGS.iter().map(|f| f.to_string()).collect();
+        flags.extend(config.extra_flags.iter().cloned());
+        let salt = format!("{version_line} | {}", flags.join(" "));
+        fs::create_dir_all(&config.cache_dir).map_err(|e| {
+            format!(
+                "cannot create JIT cache dir {}: {e}",
+                config.cache_dir.display()
+            )
+        })?;
+        let engine = JitEngine {
+            config,
+            salt,
+            stats: Mutex::new(CacheStats::default()),
+            modules: Mutex::new(HashMap::new()),
+        };
+        engine.evict_stale_salt();
+        engine.refresh_cache_bytes();
+        Ok(engine)
+    }
+
+    /// The compiler-identity salt mixed into every cache key.
+    pub fn salt(&self) -> &str {
+        &self.salt
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// The cache entry hash for a fingerprint under this engine's salt;
+    /// stable across processes, used to name on-disk artifacts.
+    pub fn entry_hash(&self, fingerprint: &str) -> String {
+        let key = self.key_material(fingerprint);
+        // Two independently seeded FNV-1a-64 passes give a 128-bit name;
+        // the `.key` sidecar still guards against the residual collision.
+        let a = fnv1a64(0xcbf2_9ce4_8422_2325, key.as_bytes());
+        let b = fnv1a64(
+            0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15,
+            key.as_bytes(),
+        );
+        format!("{a:016x}{b:016x}")
+    }
+
+    fn key_material(&self, fingerprint: &str) -> String {
+        format!("{}\n{fingerprint}", self.salt)
+    }
+
+    /// Load the module for `(fingerprint, source)`, compiling at most once
+    /// per `(salt, fingerprint)` across all processes sharing the cache
+    /// directory.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the compiler rejects the source (its stderr is included
+    /// and persisted to the entry's `.log`) or the produced object cannot
+    /// be loaded.
+    pub fn load(&self, fingerprint: &str, source: &str) -> Result<Arc<ModuleHandle>, String> {
+        let hash = self.entry_hash(fingerprint);
+        if let Some(module) = self.modules.lock().unwrap().get(&hash) {
+            self.stats.lock().unwrap().hits += 1;
+            return Ok(Arc::clone(module));
+        }
+        let so_path = self.entry_path(&hash, "so");
+        let key_path = self.entry_path(&hash, "key");
+        let module =
+            if self.disk_entry_valid(&hash, fingerprint) {
+                self.stats.lock().unwrap().hits += 1;
+                // Touch the hit marker so LRU eviction sees recent use.
+                let _ = fs::OpenOptions::new()
+                    .write(true)
+                    .open(&key_path)
+                    .and_then(|f| f.set_modified(SystemTime::now()));
+                Arc::new(ModuleHandle::open(&so_path).map_err(|e| {
+                    format!("cached module {} failed to load: {e}", so_path.display())
+                })?)
+            } else {
+                self.build_entry(&hash, fingerprint, source)?;
+                Arc::new(
+                    ModuleHandle::open(&so_path)
+                        .map_err(|e| format!("freshly built module failed to load: {e}"))?,
+                )
+            };
+        let mut modules = self.modules.lock().unwrap();
+        if modules.len() >= MODULE_CACHE_CAPACITY {
+            modules.clear();
+        }
+        modules.insert(hash, Arc::clone(&module));
+        Ok(module)
+    }
+
+    /// Resolve a stage-sweep symbol from a loaded module.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the symbol is absent from the module.
+    pub fn stage_fn(&self, module: &Arc<ModuleHandle>, symbol: &str) -> Result<StageFn, String> {
+        StageFn::resolve(module, symbol)
+    }
+
+    /// Resolve a scalar-evaluation symbol (used by codegen round-trip
+    /// tests) from a loaded module.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the symbol is absent from the module.
+    pub fn eval_fn(
+        &self,
+        module: &Arc<ModuleHandle>,
+        symbol: &str,
+        arity: usize,
+    ) -> Result<EvalFn, String> {
+        EvalFn::resolve(module, symbol, arity)
+    }
+
+    fn entry_path(&self, hash: &str, ext: &str) -> PathBuf {
+        self.config.cache_dir.join(format!("{hash}.{ext}"))
+    }
+
+    /// An entry is a valid hit iff the `.so` exists and the `.key` sidecar
+    /// (written last, atomically) matches this engine's full key material —
+    /// a mismatched sidecar under the same hash is a detected collision or
+    /// a torn write, and is rebuilt.
+    fn disk_entry_valid(&self, hash: &str, fingerprint: &str) -> bool {
+        if !self.entry_path(hash, "so").is_file() {
+            return false;
+        }
+        match fs::read_to_string(self.entry_path(hash, "key")) {
+            Ok(stored) => stored == self.key_material(fingerprint),
+            Err(_) => false,
+        }
+    }
+
+    fn build_entry(&self, hash: &str, fingerprint: &str, source: &str) -> Result<(), String> {
+        let c_path = self.entry_path(hash, "c");
+        let so_path = self.entry_path(hash, "so");
+        let key_path = self.entry_path(hash, "key");
+        let log_path = self.entry_path(hash, "log");
+        // A rebuild over a mismatched entry must first drop the old hit
+        // marker, so a crash mid-build leaves a miss, never a wrong hit.
+        let _ = fs::remove_file(&key_path);
+        write_atomic(&c_path, source.as_bytes())?;
+        let so_tmp = self.entry_path(hash, "so.tmp");
+        let mut cmd = Command::new(&self.config.cc);
+        cmd.args(BASE_CFLAGS.iter())
+            .args(self.config.extra_flags.iter())
+            .arg("-o")
+            .arg(&so_tmp)
+            .arg(&c_path)
+            .arg("-lm");
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.misses += 1;
+            stats.cc_invocations += 1;
+        }
+        let output = cmd
+            .output()
+            .map_err(|e| format!("cannot run `{}`: {e}", self.config.cc))?;
+        let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+        let _ = fs::write(&log_path, &stderr);
+        if !output.status.success() {
+            let _ = fs::remove_file(&so_tmp);
+            return Err(format!(
+                "`{}` failed with {} on {}:\n{}",
+                self.config.cc,
+                output.status,
+                c_path.display(),
+                stderr.trim()
+            ));
+        }
+        fs::rename(&so_tmp, &so_path)
+            .map_err(|e| format!("cannot finalize {}: {e}", so_path.display()))?;
+        // The `.key` sidecar is the commit point: written last, atomically.
+        write_atomic(&key_path, self.key_material(fingerprint).as_bytes())?;
+        self.enforce_byte_bound(hash);
+        self.refresh_cache_bytes();
+        Ok(())
+    }
+
+    /// Remove every entry whose sidecar was written under a different
+    /// salt (compiler upgrade, flag change). Runs once at engine start.
+    fn evict_stale_salt(&self) {
+        let mut evicted = 0u64;
+        for (hash, key_path) in self.cache_keys() {
+            let stale = match fs::read_to_string(&key_path) {
+                Ok(stored) => stored.lines().next().unwrap_or("") != self.salt,
+                Err(_) => true,
+            };
+            if stale {
+                self.remove_entry(&hash);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.stats.lock().unwrap().evictions += evicted;
+        }
+    }
+
+    /// Drop least-recently-used entries (by `.key` mtime) until the cache
+    /// is within its byte bound; the entry named `keep` (the one just
+    /// built) is never evicted.
+    fn enforce_byte_bound(&self, keep: &str) {
+        let mut entries: Vec<(String, SystemTime, u64)> = Vec::new();
+        for (hash, key_path) in self.cache_keys() {
+            let mtime = fs::metadata(&key_path)
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            entries.push((hash.clone(), mtime, self.entry_bytes(&hash)));
+        }
+        let mut total: u64 = entries.iter().map(|(_, _, b)| b).sum();
+        entries.sort_by_key(|(_, mtime, _)| *mtime);
+        let mut evicted = 0u64;
+        for (hash, _, bytes) in entries {
+            if total <= self.config.max_cache_bytes {
+                break;
+            }
+            if hash == keep {
+                continue;
+            }
+            self.remove_entry(&hash);
+            total = total.saturating_sub(bytes);
+            evicted += 1;
+        }
+        if evicted > 0 {
+            self.stats.lock().unwrap().evictions += evicted;
+        }
+    }
+
+    /// `(hash, key-path)` for every committed entry in the cache dir.
+    fn cache_keys(&self) -> Vec<(String, PathBuf)> {
+        let mut keys = Vec::new();
+        let Ok(dir) = fs::read_dir(&self.config.cache_dir) else {
+            return keys;
+        };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("key") {
+                if let Some(hash) = path.file_stem().and_then(|s| s.to_str()) {
+                    keys.push((hash.to_string(), path.clone()));
+                }
+            }
+        }
+        keys
+    }
+
+    fn entry_bytes(&self, hash: &str) -> u64 {
+        ["c", "so", "key", "log"]
+            .iter()
+            .filter_map(|ext| fs::metadata(self.entry_path(hash, ext)).ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    fn remove_entry(&self, hash: &str) {
+        // Sidecar first: once the hit marker is gone the entry is a miss
+        // even if later removals fail.
+        for ext in ["key", "so", "c", "log", "so.tmp"] {
+            let _ = fs::remove_file(self.entry_path(hash, ext));
+        }
+        self.modules.lock().unwrap().remove(hash);
+    }
+
+    fn refresh_cache_bytes(&self) {
+        let total: u64 = self
+            .cache_keys()
+            .iter()
+            .map(|(hash, _)| self.entry_bytes(hash))
+            .sum();
+        self.stats.lock().unwrap().cache_bytes = total;
+    }
+}
+
+/// FNV-1a over `bytes` from an explicit offset basis (seeding the basis
+/// differently yields an independent hash stream).
+fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Write `bytes` to `path` atomically (`path` + `.tmp`, then rename), so a
+/// concurrent reader sees either the old content or the new, never a torn
+/// file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let tmp = path.with_extension(match path.extension().and_then(|e| e.to_str()) {
+        Some(ext) => format!("{ext}.w"),
+        None => "w".to_string(),
+    });
+    fs::write(&tmp, bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    fs::rename(&tmp, path).map_err(|e| format!("cannot finalize {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static TEST_DIR_COUNTER: AtomicUsize = AtomicUsize::new(0);
+
+    fn test_config() -> JitConfig {
+        let n = TEST_DIR_COUNTER.fetch_add(1, Ordering::SeqCst);
+        let dir = std::env::temp_dir().join(format!("sf-jit-test-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        JitConfig {
+            cache_dir: dir,
+            max_cache_bytes: DEFAULT_MAX_CACHE_BYTES,
+            cc: std::env::var("SF_JIT_CC").unwrap_or_else(|_| "cc".to_string()),
+            extra_flags: Vec::new(),
+        }
+    }
+
+    const EVAL_SOURCE: &str = "#include <stdint.h>\n\
+        double sf_eval(const double *sf_slots) {\n\
+            return sf_slots[0] * 2.0 + sf_slots[1];\n\
+        }\n";
+
+    const STAGE_SOURCE: &str = "#include <stdint.h>\n\
+        void sf_stage_0(const double *const *sf_slots, const double *sf_scalars,\n\
+                        const int64_t *sf_ss0, const int64_t *sf_ss1,\n\
+                        double *restrict sf_out, int64_t sf_os0, int64_t sf_os1,\n\
+                        int64_t sf_n0, int64_t sf_n1, int64_t sf_nk) {\n\
+            for (int64_t i0 = 0; i0 < sf_n0; ++i0) {\n\
+                for (int64_t i1 = 0; i1 < sf_n1; ++i1) {\n\
+                    const double *sf_p0 = sf_slots[0] + i0 * sf_ss0[0] + i1 * sf_ss1[0];\n\
+                    double *sf_o = sf_out + i0 * sf_os0 + i1 * sf_os1;\n\
+                    for (int64_t sf_k = 0; sf_k < sf_nk; ++sf_k) {\n\
+                        sf_o[sf_k] = sf_p0[sf_k] * sf_scalars[1];\n\
+                    }\n\
+                }\n\
+            }\n\
+        }\n";
+
+    #[test]
+    fn compiles_loads_and_calls_an_eval_symbol() {
+        let config = test_config();
+        let dir = config.cache_dir.clone();
+        let engine = JitEngine::new(config).expect("engine");
+        let module = engine.load("eval-basic", EVAL_SOURCE).expect("load");
+        let eval = engine.eval_fn(&module, "sf_eval", 2).expect("symbol");
+        assert_eq!(eval.call(&[3.0, 0.5]).unwrap(), 6.5);
+        assert!(
+            eval.call(&[1.0]).is_err(),
+            "arity mismatch must be rejected"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.cc_invocations, 1);
+        assert!(stats.cache_bytes > 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stage_sweep_runs_and_validates_bounds() {
+        let config = test_config();
+        let dir = config.cache_dir.clone();
+        let engine = JitEngine::new(config).expect("engine");
+        let module = engine.load("stage-basic", STAGE_SOURCE).expect("load");
+        let stage = engine.stage_fn(&module, "sf_stage_0").expect("symbol");
+
+        let input: Vec<f64> = (0..24).map(f64::from).collect();
+        let mut out = vec![0.0; 24];
+        let slots = [
+            SlotArg::Tap {
+                buf: &input,
+                base: 0,
+                s0: 12,
+                s1: 4,
+            },
+            SlotArg::Scalar(3.0),
+        ];
+        let mut args = SweepArgs {
+            slots: &slots,
+            out: &mut out,
+            out_base: 0,
+            out_s0: 12,
+            out_s1: 4,
+            n0: 2,
+            n1: 3,
+            nk: 4,
+        };
+        stage.sweep(&mut args).expect("sweep");
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f64 * 3.0, "cell {i}");
+        }
+
+        // Geometry that reaches past the buffer must be rejected in safe
+        // code, not dereferenced.
+        let mut short = vec![0.0; 23];
+        let mut bad = SweepArgs {
+            slots: &slots,
+            out: &mut short,
+            out_base: 0,
+            out_s0: 12,
+            out_s1: 4,
+            n0: 2,
+            n1: 3,
+            nk: 4,
+        };
+        assert!(stage.sweep(&mut bad).is_err());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn second_engine_hits_disk_cache_without_invoking_cc() {
+        let config = test_config();
+        let dir = config.cache_dir.clone();
+        {
+            let engine = JitEngine::new(config.clone()).expect("engine");
+            engine.load("shared-entry", EVAL_SOURCE).expect("load");
+            assert_eq!(engine.stats().cc_invocations, 1);
+        }
+        // Fresh engine, same directory: must be a pure disk hit.
+        let engine = JitEngine::new(config).expect("engine");
+        let module = engine.load("shared-entry", EVAL_SOURCE).expect("load");
+        let eval = engine.eval_fn(&module, "sf_eval", 2).expect("symbol");
+        assert_eq!(eval.call(&[1.0, 1.0]).unwrap(), 3.0);
+        let stats = engine.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.cc_invocations, 0, "warm cache must never recompile");
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sidecar_mismatch_is_treated_as_a_collision_and_rebuilt() {
+        let config = test_config();
+        let dir = config.cache_dir.clone();
+        let engine = JitEngine::new(config.clone()).expect("engine");
+        engine.load("collider", EVAL_SOURCE).expect("load");
+        let hash = engine.entry_hash("collider");
+        drop(engine);
+
+        // Forge a sidecar claiming different key material under the same
+        // hash — as if another fingerprint had collided into this entry.
+        let key_path = dir.join(format!("{hash}.key"));
+        let forged = fs::read_to_string(&key_path)
+            .unwrap()
+            .replace("collider", "other");
+        fs::write(&key_path, forged).unwrap();
+
+        let engine = JitEngine::new(config).expect("engine");
+        engine.load("collider", EVAL_SOURCE).expect("load");
+        let stats = engine.stats();
+        assert_eq!(stats.hits, 0, "a collided entry must not be served");
+        assert_eq!(stats.cc_invocations, 1);
+        assert_eq!(
+            fs::read_to_string(&key_path).unwrap(),
+            format!("{}\ncollider", engine.salt()),
+            "rebuild must restore the true key material"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn salt_change_evicts_stale_entries() {
+        let config = test_config();
+        let dir = config.cache_dir.clone();
+        {
+            let engine = JitEngine::new(config.clone()).expect("engine");
+            engine.load("salted", EVAL_SOURCE).expect("load");
+        }
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 4, "c/so/key/log");
+
+        // A flag change is a salt change: the old entry must be evicted at
+        // engine start and the load must recompile.
+        let mut changed = config;
+        changed.extra_flags = vec!["-DSF_SALT_CHANGE".to_string()];
+        let engine = JitEngine::new(changed).expect("engine");
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            0,
+            "stale-salt entries must be gone after engine init"
+        );
+        engine.load("salted", EVAL_SOURCE).expect("load");
+        let stats = engine.stats();
+        assert!(stats.evictions >= 1);
+        assert_eq!(stats.cc_invocations, 1);
+        assert_eq!(stats.hits, 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn byte_bound_evicts_least_recently_used_entry() {
+        let mut config = test_config();
+        let dir = config.cache_dir.clone();
+        // Far below the size of a single entry: every new build must push
+        // out everything older than itself.
+        config.max_cache_bytes = 1;
+        let engine = JitEngine::new(config).expect("engine");
+        engine.load("lru-a", EVAL_SOURCE).expect("load");
+        let hash_a = engine.entry_hash("lru-a");
+        engine.load("lru-b", STAGE_SOURCE).expect("load");
+        let hash_b = engine.entry_hash("lru-b");
+        assert!(
+            !dir.join(format!("{hash_a}.key")).exists(),
+            "oldest entry must be evicted when over the byte bound"
+        );
+        assert!(
+            dir.join(format!("{hash_b}.so")).exists(),
+            "the just-built entry must survive"
+        );
+        assert!(engine.stats().evictions >= 1);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compile_error_reports_compiler_stderr() {
+        let config = test_config();
+        let dir = config.cache_dir.clone();
+        let engine = JitEngine::new(config).expect("engine");
+        let err = engine
+            .load(
+                "broken",
+                "double sf_eval(const double *s) { return undeclared_symbol; }\n",
+            )
+            .expect_err("must fail");
+        assert!(
+            err.contains("undeclared_symbol"),
+            "compiler stderr must be surfaced, got: {err}"
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_compiler_is_a_loud_construction_error() {
+        let mut config = test_config();
+        config.cc = "definitely-not-a-compiler-sf".to_string();
+        let err = JitEngine::new(config).expect_err("must fail");
+        assert!(err.contains("definitely-not-a-compiler-sf"));
+    }
+}

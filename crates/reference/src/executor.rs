@@ -150,6 +150,14 @@ pub struct CompiledProgram {
     /// Tile-fusion analysis: the fused tier's plan, or the reason the
     /// program stays on the materializing path.
     fuse: std::result::Result<crate::fuse::FusePlan, String>,
+    /// Exact structural fingerprint of the source program (the executor
+    /// cache key). Also keys the Tier-4 disk code cache, salted with the
+    /// compiler identity — see `stencilflow-jit`.
+    fingerprint: String,
+    /// Tier-4 analysis: the emitted C translation unit for the fused
+    /// plan's live stages, or the reason native execution falls back to
+    /// the fused tier.
+    jit: std::result::Result<crate::jit::JitUnit, String>,
 }
 
 impl std::fmt::Debug for CompiledProgram {
@@ -196,6 +204,40 @@ impl CompiledProgram {
     /// does.
     pub fn fused_fallback_reason(&self) -> Option<&str> {
         self.fuse.as_ref().err().map(String::as_str)
+    }
+
+    /// Whether the Tier-4 native backend can execute this program: the
+    /// fused tier supports it, and every live stage's optimized bytecode
+    /// passed the static verifier with a branch-free judgment and emitted
+    /// cleanly as C (see `docs/evaluation.md`). Note this is *static*
+    /// eligibility — a machine without a working `cc` still falls back at
+    /// run time ([`crate::jit_available`]).
+    pub fn jit_supported(&self) -> bool {
+        self.jit.is_ok()
+    }
+
+    /// Why [`ReferenceExecutor::run_jit`] falls back to the fused tier, if
+    /// the program is statically ineligible.
+    pub fn jit_fallback_reason(&self) -> Option<&str> {
+        self.jit.as_ref().err().map(String::as_str)
+    }
+
+    /// The emitted C translation unit for this program's live stages
+    /// (`None` when Tier-4 is ineligible). Exposed so CI can archive the
+    /// exact sources it compiled next to the bitwise-diff results.
+    pub fn jit_source(&self) -> Option<&str> {
+        self.jit.as_ref().ok().map(|unit| unit.source.as_str())
+    }
+
+    /// The structural program fingerprint (also the Tier-4 code-cache
+    /// key, before salting).
+    pub(crate) fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The Tier-4 emission result (JIT-internal).
+    pub(crate) fn jit_unit(&self) -> &std::result::Result<crate::jit::JitUnit, String> {
+        &self.jit
     }
 
     /// Whether the fused *time stepper* can run (fused-tier eligibility
@@ -599,7 +641,7 @@ impl ReferenceExecutor {
         if let Some(hit) = cache.get(&fingerprint) {
             return Ok(Arc::clone(hit));
         }
-        let compiled = Arc::new(self.compile_program(program)?);
+        let compiled = Arc::new(self.compile_program(program, fingerprint.clone())?);
         if cache.len() >= COMPILED_CACHE_CAPACITY {
             cache.clear();
         }
@@ -607,7 +649,11 @@ impl ReferenceExecutor {
         Ok(compiled)
     }
 
-    fn compile_program(&self, program: &StencilProgram) -> Result<CompiledProgram> {
+    fn compile_program(
+        &self,
+        program: &StencilProgram,
+        fingerprint: String,
+    ) -> Result<CompiledProgram> {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let space = program.space();
         let order = program.topological_stencils()?;
@@ -641,8 +687,14 @@ impl ReferenceExecutor {
             outputs: program.outputs().to_vec(),
             stencils,
             fuse: Err("fusion analysis pending".to_string()),
+            fingerprint,
+            jit: Err("jit analysis pending".to_string()),
         };
         compiled.fuse = crate::fuse::FusePlan::build(program, &compiled);
+        compiled.jit = match &compiled.fuse {
+            Ok(plan) => plan.jit_unit(&compiled),
+            Err(reason) => Err(format!("fused tier unavailable: {reason}")),
+        };
         Ok(compiled)
     }
 
@@ -923,6 +975,122 @@ impl ReferenceExecutor {
                 result.retain_fields(&compiled.outputs);
                 Ok(result)
             }
+        }
+    }
+
+    /// Run `program` through the **Tier-4 native backend**: the fused
+    /// tier's schedule (tiles, pads, ping-pong, regions) executes
+    /// unchanged, but each live stage's innermost sweep is one call into a
+    /// stage function compiled from the emitted C by the system `cc` and
+    /// loaded from the disk-backed code cache (see `stencilflow-jit` and
+    /// `docs/evaluation.md`). Output shape and bit-identity guarantees
+    /// match [`ReferenceExecutor::run_fused`]: program outputs only,
+    /// bit-identical to [`ReferenceExecutor::run_interpreted`].
+    ///
+    /// Statically ineligible programs
+    /// ([`CompiledProgram::jit_fallback_reason`]) and machines without a
+    /// working compiler ([`crate::jit_available`]) fall back to the fused
+    /// tier transparently.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run`], plus
+    /// [`ProgramError::Invalid`] when an *eligible* program's emitted unit
+    /// fails to compile or load — that indicates an emitter bug and is
+    /// surfaced, never silently absorbed by the fallback.
+    pub fn run_jit(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<ExecutionResult> {
+        let compiled = self.prepare(program)?;
+        self.run_jit_compiled(&compiled, inputs)
+    }
+
+    /// [`ReferenceExecutor::run_jit`] over an already-compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_jit`].
+    pub fn run_jit_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<ExecutionResult> {
+        Self::check_inputs(compiled, inputs)?;
+        match crate::jit::stage_fns(compiled) {
+            Ok(Some(fns)) => {
+                let plan = compiled
+                    .fuse
+                    .as_ref()
+                    .expect("jit eligibility implies a fuse plan");
+                crate::fuse::execute_with(self, compiled, plan, inputs, 1, Some(&fns))
+            }
+            Ok(None) => self.run_fused_compiled(compiled, inputs),
+            Err(message) => Err(ProgramError::Invalid {
+                message: format!(
+                    "native JIT failed for eligible program `{}`: {message}",
+                    compiled.name
+                ),
+            }),
+        }
+    }
+
+    /// Time-step `program` through the Tier-4 native backend: the fused
+    /// time stepper's temporal blocking and feedback ping-pong run
+    /// unchanged with native stage sweeps. Semantics, fallback ladder, and
+    /// bit-identity guarantees match [`ReferenceExecutor::run_steps_fused`]
+    /// and [`ReferenceExecutor::run_jit`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_steps`] plus the
+    /// [`ReferenceExecutor::run_jit`] compile/load failure mode.
+    pub fn run_steps_jit(
+        &self,
+        program: &StencilProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+    ) -> Result<ExecutionResult> {
+        let compiled = self.prepare(program)?;
+        self.run_steps_jit_compiled(&compiled, inputs, steps)
+    }
+
+    /// [`ReferenceExecutor::run_steps_jit`] over an already-compiled
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`ReferenceExecutor::run_steps_jit`].
+    pub fn run_steps_jit_compiled(
+        &self,
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+        steps: usize,
+    ) -> Result<ExecutionResult> {
+        if steps == 0 {
+            return Err(ProgramError::Invalid {
+                message: "run_steps requires at least one time step".into(),
+            });
+        }
+        Self::check_inputs(compiled, inputs)?;
+        match &compiled.fuse {
+            Ok(plan) if steps == 1 || plan.supports_steps() => {
+                match crate::jit::stage_fns(compiled) {
+                    Ok(Some(fns)) => {
+                        compiled.feedback_pairs()?;
+                        crate::fuse::execute_with(self, compiled, plan, inputs, steps, Some(&fns))
+                    }
+                    Ok(None) => self.run_steps_fused_compiled(compiled, inputs, steps),
+                    Err(message) => Err(ProgramError::Invalid {
+                        message: format!(
+                            "native JIT failed for eligible program `{}`: {message}",
+                            compiled.name
+                        ),
+                    }),
+                }
+            }
+            _ => self.run_steps_fused_compiled(compiled, inputs, steps),
         }
     }
 

@@ -90,7 +90,9 @@ use crate::grid::Grid;
 use crate::plan::round_lanes;
 use crate::ReferenceExecutor;
 use std::collections::BTreeMap;
+use stencilflow_codegen::{jit_translation_unit, JitSlotKind, JitStageSpec};
 use stencilflow_expr::{DataType, LaneScratch, TypedKernel, Value};
+use stencilflow_jit::{SlotArg, StageFn, SweepArgs};
 use stencilflow_program::{
     AccessFootprints, BoundaryCondition, ProgramError, Result, StencilProgram,
 };
@@ -522,6 +524,78 @@ impl FusePlan {
         self.steps.is_some()
     }
 
+    /// Build the Tier-4 native translation unit for this plan: one
+    /// `sf_stage_{i}` sweep function per live stage, emitted from the
+    /// typed bytecode (see `stencilflow_codegen::jit_unit`). Eligibility
+    /// on top of fuse eligibility:
+    ///
+    /// * every live stage's kernel re-verifies against its bind-time slot
+    ///   types and the judgment must support native emission
+    ///   (branch-free — the same property the lane sweep needs, but taken
+    ///   from the independent verifier, not compiler bookkeeping);
+    /// * stage output types are `f32`/`f64` (the native store rounding
+    ///   mirrors `round_lanes`, which has no third arm in C);
+    /// * emission itself succeeds (no NaN constants).
+    ///
+    /// The returned error doubles as the program's JIT fallback reason.
+    pub(crate) fn jit_unit(
+        &self,
+        compiled: &CompiledProgram,
+    ) -> std::result::Result<crate::jit::JitUnit, String> {
+        let plans = compiled.stencil_plans();
+        let mut specs = Vec::new();
+        let mut symbols: Vec<Option<String>> = vec![None; self.stages.len()];
+        for (ix, stage) in self.stages.iter().enumerate() {
+            if !stage.live {
+                continue;
+            }
+            let plan = &plans[stage.stencil];
+            if !matches!(stage.out_dtype, DataType::Float32 | DataType::Float64) {
+                return Err(format!(
+                    "stage `{}` output type {} is not a float type",
+                    plan.name(),
+                    stage.out_dtype
+                ));
+            }
+            stencilflow_expr::verify_kernel(plan.compiled_kernel(), Some(&plan.slot_dtypes()))
+                .map_err(|e| {
+                    format!("stage `{}` failed bytecode verification: {e}", plan.name())
+                })?;
+            let typed = plan
+                .typed_kernel()
+                .ok_or_else(|| format!("stage `{}` has no type-specialized kernel", plan.name()))?;
+            // The emitter consumes the *typed* stream, so branch-freedom is
+            // judged there: typed if-conversion speculates IEEE-total
+            // division where the untyped pass must keep the diamond.
+            let judgment = stencilflow_expr::verify_typed(typed)
+                .map_err(|e| format!("stage `{}` failed typed verification: {e}", plan.name()))?;
+            if !judgment.supports_native() {
+                return Err(format!(
+                    "stage `{}` kernel is not branch-free after optimization",
+                    plan.name()
+                ));
+            }
+            let slot_kinds = stage
+                .slots
+                .iter()
+                .map(|s| match s {
+                    FusedSlot::Scalar(_) => JitSlotKind::Scalar,
+                    FusedSlot::Tap { .. } => JitSlotKind::Tap,
+                })
+                .collect();
+            let symbol = format!("sf_stage_{ix}");
+            specs.push(JitStageSpec {
+                symbol: symbol.clone(),
+                kernel: typed,
+                slot_kinds,
+                round_output: stage.out_dtype == DataType::Float32,
+            });
+            symbols[ix] = Some(symbol);
+        }
+        let source = jit_translation_unit(&specs)?;
+        Ok(crate::jit::JitUnit { source, symbols })
+    }
+
     fn slice_cells(&self) -> usize {
         self.shape[1..].iter().product::<usize>().max(1)
     }
@@ -769,6 +843,9 @@ struct TileCtx<'a> {
     /// Whether this is the final window (outputs + masks are written).
     last: bool,
     tiles: &'a [(usize, usize)],
+    /// Tier-4 native stage functions, indexed like `plan.stages` (`None`
+    /// entries and `None` overall both mean "sweep through the bytecode").
+    jit: Option<&'a [Option<StageFn>]>,
 }
 
 /// Mutable write targets of one worker for one window.
@@ -790,6 +867,24 @@ pub(crate) fn execute(
     plan: &FusePlan,
     inputs: &BTreeMap<String, Grid>,
     steps: usize,
+) -> Result<ExecutionResult> {
+    execute_with(executor, compiled, plan, inputs, steps, None)
+}
+
+/// [`execute`] with optional Tier-4 native stage functions: when `jit`
+/// provides a function for a stage, its sweeps run through the compiled
+/// `.so` instead of the bytecode lane interpreter — same tiles, same
+/// windows, same pads, same copies, so everything in the bit-identity
+/// argument above carries over except the innermost kernel evaluation,
+/// which the native unit replicates operation-for-operation (see
+/// [`FusePlan::jit_unit`]).
+pub(crate) fn execute_with(
+    executor: &ReferenceExecutor,
+    compiled: &CompiledProgram,
+    plan: &FusePlan,
+    inputs: &BTreeMap<String, Grid>,
+    steps: usize,
+    jit: Option<&[Option<StageFn>]>,
 ) -> Result<ExecutionResult> {
     let w_max = executor.fusion_window().clamp(1, steps);
     let num_cells: usize = plan.shape.iter().product();
@@ -970,6 +1065,7 @@ pub(crate) fn execute(
             w,
             last,
             tiles: &tiles,
+            jit,
         };
         let evaluated: Vec<usize> = if worker_count == 1 {
             let bundle = bundles.pop().expect("one bundle per worker");
@@ -1111,9 +1207,22 @@ fn run_worker_lanes<const L: usize>(
         }
 
         for t in 1..=ctx.w {
-            for stage in plan.stages.iter().filter(|s| s.live) {
+            for (stage_ix, stage) in plan.stages.iter().enumerate() {
+                if !stage.live {
+                    continue;
+                }
                 let region = stage_region(plan, stage.field, tile, t, ctx.w);
                 if region.0 >= region.1 {
+                    continue;
+                }
+                if let Some(func) = ctx.jit.and_then(|fns| fns[stage_ix].as_ref()) {
+                    cells += sweep_stage_native(
+                        ctx,
+                        stage,
+                        func,
+                        SweepSpan { tile, t, region },
+                        scratch,
+                    );
                     continue;
                 }
                 let typed = plans[stage.stencil]
@@ -1288,6 +1397,96 @@ fn sweep_stage<const L: usize>(
     }
     scratch[write_buf] = out;
     computed
+}
+
+/// Sweep one stage through its compiled Tier-4 native function. The sweep
+/// geometry is exactly [`sweep_stage`]'s: the same region rows, the same
+/// ping-pong buffer resolution, the same `field_row_base` anchors — row
+/// bases are linear in the leading coordinates, so the whole
+/// `region × shape[1] × shape[k]` walk is three strides handed to the
+/// native code. Differences from the bytecode sweep, both asymptotically
+/// invisible to consumers:
+///
+/// * no end-of-row over-compute — the native loop writes exactly
+///   `[0, nk)`, so the tail pad is never clobbered and never refilled
+///   (the pads keep their `fill_pads` constants, which is what the
+///   refill restores anyway);
+/// * write-slack cells past the tail pad are left untouched instead of
+///   holding garbage lane results (never read either way).
+fn sweep_stage_native(
+    ctx: &TileCtx<'_>,
+    stage: &FusedStage,
+    func: &StageFn,
+    span: SweepSpan,
+    scratch: &mut [Vec<f64>],
+) -> usize {
+    let plan = ctx.plan;
+    let SweepSpan { tile, t, region } = span;
+    let rank = plan.rank;
+    let shape_k = plan.shape[rank - 1];
+    let zero_off = vec![0i64; rank];
+
+    let (n0, n1) = match rank {
+        1 => (1usize, 1usize),
+        2 => (region.1 - region.0, 1),
+        _ => (region.1 - region.0, plan.shape[1]),
+    };
+    let lead: Vec<usize> = match rank {
+        1 => Vec::new(),
+        2 => vec![region.0],
+        _ => vec![region.0, 0],
+    };
+
+    let write_buf = resolve_buffer(plan, stage.field, t);
+    let mut out = std::mem::take(&mut scratch[write_buf]);
+    let out_geom = &ctx.geoms[write_buf];
+    let out_field = &plan.fields[write_buf];
+    let out_base = field_row_base(plan, out_geom, out_field, tile, &lead, &zero_off);
+
+    let stride01 = |geom: &FieldGeom| -> (usize, usize) {
+        (
+            if rank >= 2 { geom.stride[0] } else { 0 },
+            if rank >= 3 { geom.stride[1] } else { 0 },
+        )
+    };
+    let slots: Vec<SlotArg<'_>> = stage
+        .slots
+        .iter()
+        .map(|slot| match slot {
+            FusedSlot::Scalar(field) => SlotArg::Scalar(ctx.scalars[*field]),
+            FusedSlot::Tap { field, off } => {
+                let buf = resolve_buffer(plan, *field, t);
+                let base =
+                    field_row_base(plan, &ctx.geoms[buf], &plan.fields[buf], tile, &lead, off);
+                let (s0, s1) = stride01(&ctx.geoms[buf]);
+                SlotArg::Tap {
+                    buf: &scratch[buf],
+                    base,
+                    s0,
+                    s1,
+                }
+            }
+        })
+        .collect();
+    let (out_s0, out_s1) = stride01(out_geom);
+    let mut args = SweepArgs {
+        slots: &slots,
+        out: &mut out,
+        out_base,
+        out_s0,
+        out_s1,
+        n0,
+        n1,
+        nk: shape_k,
+    };
+    // The bounds validation inside `sweep` re-checks the geometry this
+    // function just derived; a failure is a planner bug, not a runtime
+    // condition to fall back from.
+    if let Err(e) = func.sweep(&mut args) {
+        panic!("jit sweep geometry rejected: {e}");
+    }
+    scratch[write_buf] = out;
+    n0 * n1 * shape_k
 }
 
 /// Seed the pad cells of one scratch buffer for one tile:

@@ -1,0 +1,86 @@
+//! Tier-4 native execution glue: the process-wide JIT engine and the
+//! per-program bridge from a compiled fuse plan to loaded stage functions.
+//!
+//! Ownership is split three ways:
+//!
+//! * `stencilflow-codegen` emits the C translation unit (from the typed,
+//!   verified bytecode — see [`crate::fuse::FusePlan::jit_unit`], which
+//!   runs the eligibility judgment and builds the [`JitUnit`] stored on
+//!   every [`crate::CompiledProgram`]);
+//! * `stencilflow-jit` compiles and caches it (system `cc`, disk-backed
+//!   code cache keyed by the program fingerprint plus a compiler salt) and
+//!   quarantines the `dlopen` boundary;
+//! * this module holds the lazily probed process-wide engine and resolves
+//!   the per-stage sweep symbols an execution needs.
+//!
+//! The fallback ladder lives in the executor entry points
+//! ([`crate::ReferenceExecutor::run_jit`]): statically ineligible programs
+//! and machines without a working `cc` fall back to the fused tier
+//! transparently; a *failing* compile or load of an eligible program is
+//! surfaced as an error (it indicates an emitter bug, and hiding it would
+//! mask codegen regressions from CI).
+
+use crate::executor::CompiledProgram;
+use std::sync::{Arc, OnceLock};
+use stencilflow_jit::{CacheStats, JitConfig, JitEngine, StageFn};
+
+/// The emitted translation unit for one compiled program, plus the symbol
+/// each fused stage exports. Built once per [`CompiledProgram`]; compiling
+/// and loading happen lazily on the first JIT run.
+#[derive(Debug)]
+pub(crate) struct JitUnit {
+    /// The complete C source (one `sf_stage_{i}` function per live stage).
+    pub source: String,
+    /// Symbol per fuse-plan stage index (`None` for dead stages).
+    pub symbols: Vec<Option<String>>,
+}
+
+/// The process-wide engine, probed once: `Ok` holds the engine, `Err` the
+/// human-readable reason native execution is unavailable on this machine
+/// (typically: no system `cc`).
+fn engine() -> Result<Arc<JitEngine>, String> {
+    static ENGINE: OnceLock<Result<Arc<JitEngine>, String>> = OnceLock::new();
+    ENGINE
+        .get_or_init(|| JitEngine::new(JitConfig::from_env()).map(Arc::new))
+        .clone()
+}
+
+/// Whether native execution can run at all on this machine; `Err` carries
+/// the probe failure (the `run_jit` entry points fall back to the fused
+/// tier in that case, and `verify.sh` refuses to skip it on CI).
+pub fn jit_available() -> Result<(), String> {
+    engine().map(|_| ())
+}
+
+/// Cache counters of the process-wide engine (`None` before the first
+/// probe attempt or when the engine failed to initialize).
+pub fn jit_cache_stats() -> Option<CacheStats> {
+    engine().ok().map(|e| e.stats())
+}
+
+/// Resolve the loaded stage functions for a compiled program.
+///
+/// * `Ok(Some(fns))` — the program is statically eligible and the module
+///   is loaded; `fns` is indexed by fuse-plan stage (dead stages `None`).
+/// * `Ok(None)` — ineligible, or no working compiler: fall back.
+/// * `Err` — eligible but the emitted unit failed to compile, load, or
+///   resolve: an emitter bug to surface, not to swallow.
+pub(crate) fn stage_fns(
+    compiled: &CompiledProgram,
+) -> Result<Option<Vec<Option<StageFn>>>, String> {
+    let Ok(unit) = compiled.jit_unit() else {
+        return Ok(None);
+    };
+    let Ok(engine) = engine() else {
+        return Ok(None);
+    };
+    let module = engine.load(compiled.fingerprint(), &unit.source)?;
+    let mut fns = Vec::with_capacity(unit.symbols.len());
+    for symbol in &unit.symbols {
+        fns.push(match symbol {
+            Some(name) => Some(engine.stage_fn(&module, name)?),
+            None => None,
+        });
+    }
+    Ok(Some(fns))
+}

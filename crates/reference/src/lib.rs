@@ -28,13 +28,16 @@ pub mod executor;
 mod fuse;
 pub mod grid;
 pub mod input_data;
+mod jit;
 mod plan;
 pub mod shard;
 
 pub use executor::{CompiledProgram, ExecutionResult, ReferenceExecutor};
 pub use grid::Grid;
 pub use input_data::{generate_inputs, InputGenerator};
+pub use jit::{jit_available, jit_cache_stats};
 pub use shard::{FaultPlan, ShardConfig, ShardReport, ShardStats, ShardedOutcome, WatchdogReport};
+pub use stencilflow_jit::CacheStats as JitCacheStats;
 
 #[cfg(test)]
 mod tests {

@@ -400,6 +400,13 @@ impl CompiledStencil {
     }
 
     /// The slot-resolved `Value` bytecode kernel.
+    /// Bind-time element type of every kernel slot, in slot order (the
+    /// types the typed kernel was specialized with); feeds the
+    /// JIT-eligibility verification pass.
+    pub(crate) fn slot_dtypes(&self) -> Vec<DataType> {
+        self.slots.iter().map(|s| s.dtype).collect()
+    }
+
     pub(crate) fn compiled_kernel(&self) -> &CompiledKernel {
         &self.kernel
     }

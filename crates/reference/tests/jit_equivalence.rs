@@ -1,0 +1,395 @@
+//! Golden equivalence of the Tier-4 native backend: JIT execution must
+//! agree **bit for bit** with the tree-walking interpreter on every
+//! program output — values and shrink masks — across tile heights, window
+//! sizes, and workloads, including programs that fall back to the fused
+//! tier (statically ineligible) or the materializing path (fusion
+//! ineligible). These tests require a working system `cc` (the CI image
+//! guarantees one; `verify.sh` probes for it up front).
+
+use std::collections::BTreeMap;
+use stencilflow_expr::DataType;
+use stencilflow_program::{BoundaryCondition, StencilProgram, StencilProgramBuilder};
+use stencilflow_reference::{generate_inputs, Grid, ReferenceExecutor};
+use stencilflow_workloads::{
+    chain_program, diffusion2d, diffusion3d, horizontal_diffusion, jacobi2d, jacobi3d,
+    jacobi3d_typed, listing1::listing1_with_shape, membench_program, upwind3d_typed, ChainSpec,
+    HorizontalDiffusionSpec, MembenchSpec,
+};
+
+/// Compare two results on the program outputs, bitwise, masks included.
+fn assert_outputs_match(
+    program: &StencilProgram,
+    label: &str,
+    jit: &stencilflow_reference::ExecutionResult,
+    baseline: &stencilflow_reference::ExecutionResult,
+) {
+    for output in program.outputs() {
+        let f = jit
+            .field(output)
+            .unwrap_or_else(|| panic!("jit result misses output `{output}`"));
+        let b = baseline.field(output).unwrap();
+        assert_eq!(f.shape(), b.shape());
+        for (cell, (x, y)) in f.as_slice().iter().zip(b.as_slice().iter()).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits(),
+                "program `{}` ({label}), output `{output}`, cell {cell}: \
+                 jit {x:?} != baseline {y:?}",
+                program.name()
+            );
+        }
+        assert_eq!(
+            jit.valid_mask(output).unwrap(),
+            baseline.valid_mask(output).unwrap(),
+            "mask mismatch for `{output}` in `{}` ({label})",
+            program.name()
+        );
+    }
+}
+
+/// Run the JIT tier under several tile heights and compare each against
+/// the interpreter.
+fn assert_jit_bit_identical(program: &StencilProgram, seed: u64) {
+    let inputs = generate_inputs(program, seed);
+    let plain = ReferenceExecutor::new();
+    let interpreted = plain.run_interpreted(program, &inputs).unwrap();
+    for tile_rows in [0usize, 1, 2, 5] {
+        let executor = ReferenceExecutor::new().with_fusion_tile_rows(tile_rows);
+        let jit = executor.run_jit(program, &inputs).unwrap();
+        assert_outputs_match(
+            program,
+            &format!("tile_rows={tile_rows}"),
+            &jit,
+            &interpreted,
+        );
+        // JIT results carry exactly the program outputs, like the fused tier.
+        let fields: Vec<&str> = jit.fields().map(|(name, _)| name).collect();
+        assert_eq!(fields.len(), program.outputs().len());
+    }
+}
+
+/// JIT time stepping across window sizes and tile heights vs the
+/// materializing stepper.
+fn assert_jit_steps_bit_identical(program: &StencilProgram, seed: u64, steps: usize) {
+    let inputs = generate_inputs(program, seed);
+    let plain = ReferenceExecutor::new();
+    let baseline = plain.run_steps(program, &inputs, steps).unwrap();
+    for window in [1usize, 2, steps.max(1)] {
+        for tile_rows in [0usize, 1, 3] {
+            let executor = ReferenceExecutor::new()
+                .with_fusion_window(window)
+                .with_fusion_tile_rows(tile_rows);
+            let jit = executor.run_steps_jit(program, &inputs, steps).unwrap();
+            assert_outputs_match(
+                program,
+                &format!("steps={steps} window={window} tile_rows={tile_rows}"),
+                &jit,
+                &baseline,
+            );
+        }
+    }
+}
+
+fn assert_eligible(program: &StencilProgram) {
+    let compiled = ReferenceExecutor::new().prepare(program).unwrap();
+    assert!(
+        compiled.jit_supported(),
+        "`{}` should be Tier-4 eligible: {:?}",
+        program.name(),
+        compiled.jit_fallback_reason()
+    );
+    let source = compiled.jit_source().unwrap();
+    assert!(
+        source.contains("sf_stage_"),
+        "emitted unit must define stage symbols"
+    );
+}
+
+#[test]
+fn cc_is_available_in_the_test_environment() {
+    // The whole suite is vacuous without a compiler; fail loudly rather
+    // than silently testing the fallback ladder only.
+    stencilflow_reference::jit_available().expect("system cc must be available for JIT tests");
+}
+
+#[test]
+fn jit_matches_on_jacobi_and_diffusion() {
+    for program in [
+        jacobi2d(2, &[13, 9], 1),
+        jacobi3d(2, &[9, 7, 11], 1),
+        jacobi3d_typed(2, &[9, 7, 11], 1, DataType::Float64),
+        diffusion2d(2, &[12, 10], 1),
+        diffusion3d(2, &[7, 6, 9], 1),
+    ] {
+        assert_eligible(&program);
+    }
+    assert_jit_bit_identical(&jacobi2d(2, &[13, 9], 1), 1);
+    assert_jit_bit_identical(&jacobi3d(2, &[9, 7, 11], 1), 2);
+    assert_jit_bit_identical(&jacobi3d_typed(2, &[9, 7, 11], 1, DataType::Float64), 3);
+    assert_jit_bit_identical(&diffusion2d(2, &[12, 10], 1), 4);
+    assert_jit_bit_identical(&diffusion3d(2, &[7, 6, 9], 1), 5);
+}
+
+#[test]
+fn jit_matches_on_chains_and_membench() {
+    let chain = chain_program(&ChainSpec::new(6, 8).with_shape(&[6, 5, 7]));
+    assert_eligible(&chain);
+    assert_jit_bit_identical(&chain, 11);
+    let mem = membench_program(&MembenchSpec::new(8, 1).with_shape(&[16, 8, 8]));
+    assert_jit_bit_identical(&mem, 12);
+}
+
+#[test]
+fn jit_matches_on_branchy_division_and_clamp_kernels() {
+    // Upwind kernels are ternary-heavy: typed if-conversion must leave
+    // them branch-free, the emitter turns the selects into C ternaries
+    // (or fused fmin/fmax), and IEEE special values must round-trip.
+    for dtype in [DataType::Float32, DataType::Float64] {
+        let program = upwind3d_typed(2, &[7, 9, 11], 1, dtype);
+        assert_eligible(&program);
+        assert_jit_bit_identical(&program, 21);
+    }
+    // Division in a ternary arm: inf/NaN from the unselected arm must
+    // match the interpreter bitwise.
+    let program = StencilProgramBuilder::new("divsel", &[6, 12])
+        .input("a", DataType::Float32, &["i", "j"])
+        .input("b", DataType::Float32, &["i", "j"])
+        .stencil("s", "b[i,j] > 0.25 ? a[i,j] / b[i,j-1] : a[i-1,j]")
+        .shrink("s")
+        .output("s")
+        .build()
+        .unwrap();
+    assert_eligible(&program);
+    assert_jit_bit_identical(&program, 22);
+    // A clamp the emitter fuses to fmin/fmax. Float64 input: the f32
+    // variant mixes an F32 slot with the F64 literal in the select arms
+    // and never specializes (no typed kernel), so it exercises the
+    // fallback ladder instead of the emitter.
+    let clamp = StencilProgramBuilder::new("clamp", &[9, 8])
+        .input("a", DataType::Float64, &["i", "j"])
+        .stencil("s", "a[i,j] < 0.5 ? a[i,j] : 0.5")
+        .output_type("s", DataType::Float64)
+        .output("s")
+        .build()
+        .unwrap();
+    assert_eligible(&clamp);
+    let compiled = ReferenceExecutor::new().prepare(&clamp).unwrap();
+    assert!(
+        compiled.jit_source().unwrap().contains("fmin"),
+        "literal-else clamp should fuse to fmin in the emitted unit"
+    );
+    assert_jit_bit_identical(&clamp, 23);
+    // f32 math-call kernel: every store must carry the (double)(float)
+    // round wrap, and fmin on exact f32 values round-trips exactly.
+    let minf = StencilProgramBuilder::new("minf", &[9, 8])
+        .input("a", DataType::Float32, &["i", "j"])
+        .stencil("s", "min(a[i,j], a[i,j-1] * 0.75)")
+        .output("s")
+        .build()
+        .unwrap();
+    assert_eligible(&minf);
+    let compiled = ReferenceExecutor::new().prepare(&minf).unwrap();
+    assert!(compiled.jit_source().unwrap().contains("(double)(float)("));
+    assert_jit_bit_identical(&minf, 24);
+}
+
+#[test]
+fn jit_matches_on_boundary_and_geometry_variety() {
+    // Mixed constant boundaries, shrink masks, scalars, f64 outputs, deep
+    // halos — the same torture program the fused tier pins.
+    let program = StencilProgramBuilder::new("constants", &[7, 6, 9])
+        .input("u", DataType::Float32, &["i", "j", "k"])
+        .scalar("dt", DataType::Float32)
+        .stencil(
+            "lap",
+            "-4.0*u[i,j,k] + u[i-1,j,k] + u[i+1,j,k] + u[i,j-1,k] + u[i,j+1,k]",
+        )
+        .boundary("lap", "u", BoundaryCondition::Constant(1.5))
+        .stencil("flux", "lap[i,j,k] - lap[i,j,k-2] + dt")
+        .boundary("flux", "lap", BoundaryCondition::Constant(-2.25))
+        .shrink("flux")
+        .stencil("out", "flux[i,j,k] * flux[i+2,j,k]")
+        .shrink("out")
+        .output_type("out", DataType::Float64)
+        .output("out")
+        .build()
+        .unwrap();
+    assert_eligible(&program);
+    assert_jit_bit_identical(&program, 31);
+
+    // One-dimensional domain: the native sweep degenerates to one row.
+    let program = StencilProgramBuilder::new("jit1d", &[23])
+        .input("a", DataType::Float32, &["i"])
+        .stencil("s", "a[i-3] + a[i+2] * 0.5")
+        .boundary("s", "a", BoundaryCondition::Constant(0.75))
+        .shrink("s")
+        .output("s")
+        .build()
+        .unwrap();
+    assert_eligible(&program);
+    assert_jit_bit_identical(&program, 32);
+
+    // Remainder-heavy innermost extents around the fused lane widths.
+    for width in [1usize, 3, 8, 9, 17, 33] {
+        assert_jit_bit_identical(&jacobi2d(1, &[5, width], 1), 40 + width as u64);
+    }
+}
+
+#[test]
+fn jit_steps_match_materializing_steps() {
+    assert_jit_steps_bit_identical(&jacobi3d(1, &[9, 8, 10], 1), 61, 5);
+    assert_jit_steps_bit_identical(&jacobi2d(1, &[11, 9], 1), 62, 7);
+    assert_jit_steps_bit_identical(&jacobi3d_typed(1, &[6, 7, 9], 1, DataType::Float64), 63, 4);
+
+    // Coupled multi-field state with prefix pairing.
+    let coupled = StencilProgramBuilder::new("coupled", &[10, 12])
+        .input("h", DataType::Float32, &["i", "j"])
+        .input("h2", DataType::Float32, &["i", "j"])
+        .stencil("h_next", "0.5 * (h[i-1,j] + h[i+1,j]) + 0.1 * h2[i,j]")
+        .stencil("h2_next", "h2[i,j-1] * 0.25 + h[i,j]")
+        .output("h_next")
+        .output("h2_next")
+        .build()
+        .unwrap();
+    assert_eligible(&coupled);
+    assert_jit_steps_bit_identical(&coupled, 65, 5);
+
+    // Unpairable programs error exactly like the other steppers.
+    let unpairable = StencilProgramBuilder::new("unpairable", &[6])
+        .input("a", DataType::Float32, &["i"])
+        .stencil("x", "a[i] + 1.0")
+        .stencil("y", "a[i] * 2.0")
+        .output("x")
+        .output("y")
+        .build()
+        .unwrap();
+    let executor = ReferenceExecutor::new();
+    let inputs = generate_inputs(&unpairable, 1);
+    assert!(executor.run_steps_jit(&unpairable, &inputs, 3).is_err());
+    assert!(executor.run_steps_jit(&unpairable, &inputs, 1).is_err());
+    assert!(executor.run_steps_jit(&unpairable, &inputs, 0).is_err());
+}
+
+#[test]
+fn ineligible_programs_fall_back_bit_identically() {
+    let executor = ReferenceExecutor::new();
+
+    // Fusion-ineligible programs fall all the way to the materializing
+    // path, and the JIT fallback reason names the fused tier's reason.
+    let listing = listing1_with_shape(&[6, 7, 5]);
+    let compiled = executor.prepare(&listing).unwrap();
+    assert!(!compiled.jit_supported());
+    assert!(compiled
+        .jit_fallback_reason()
+        .unwrap()
+        .contains("fused tier unavailable"));
+    assert!(compiled.jit_source().is_none());
+    assert_jit_bit_identical(&listing, 71);
+
+    let hd = horizontal_diffusion(&HorizontalDiffusionSpec::small());
+    let compiled = executor.prepare(&hd).unwrap();
+    assert!(!compiled.jit_supported());
+    assert_jit_bit_identical(&hd, 72);
+
+    // Copy boundaries: fused-ineligible, same ladder.
+    let copy = StencilProgramBuilder::new("copyb", &[6, 8])
+        .input("a", DataType::Float32, &["i", "j"])
+        .stencil("s", "a[i-1,j] + a[i+1,j]")
+        .boundary("s", "a", BoundaryCondition::Copy)
+        .output("s")
+        .build()
+        .unwrap();
+    let compiled = executor.prepare(&copy).unwrap();
+    assert!(!compiled.jit_supported());
+    assert_jit_bit_identical(&copy, 74);
+
+    // The middle rung of the ladder: *fused*-supported, but the int32
+    // output keeps Tier-4 off (the native sweep stores raw doubles; only
+    // float outputs round-trip losslessly). run_jit lands on the fused
+    // tier, still bit-identical.
+    let intout = StencilProgramBuilder::new("intout", &[6, 8])
+        .input("a", DataType::Float32, &["i", "j"])
+        .stencil("s", "a[i-1,j] + a[i+1,j]")
+        .output_type("s", DataType::Int32)
+        .output("s")
+        .build()
+        .unwrap();
+    let compiled = executor.prepare(&intout).unwrap();
+    assert!(compiled.fused_tier_supported());
+    assert!(!compiled.jit_supported());
+    assert!(compiled
+        .jit_fallback_reason()
+        .unwrap()
+        .contains("not a float type"));
+    assert_jit_bit_identical(&intout, 75);
+}
+
+#[test]
+fn jit_reuses_modules_and_pool_in_steady_state() {
+    // Same executor, same program: the second run must reuse the loaded
+    // module (in-process map) and the pooled scratch buffers. The strict
+    // zero-`cc`-invocation guarantee across *processes* is asserted by the
+    // `jit_gate` binary under `verify.sh --assert-cached`.
+    let program = jacobi3d(1, &[12, 10, 16], 1);
+    let inputs = generate_inputs(&program, 91);
+    let executor = ReferenceExecutor::new().with_fusion_window(2);
+    executor.run_steps_jit(&program, &inputs, 6).unwrap();
+    let warm_misses = executor.pool_miss_count();
+    assert!(warm_misses > 0, "the first run must populate the pool");
+    for _ in 0..3 {
+        executor.run_steps_jit(&program, &inputs, 6).unwrap();
+    }
+    assert_eq!(
+        executor.pool_miss_count(),
+        warm_misses,
+        "steady-state jit stepping must reuse pooled buffers"
+    );
+    let stats = stencilflow_reference::jit_cache_stats().expect("engine initialized");
+    assert!(
+        stats.hits + stats.misses > 0,
+        "jit runs must go through the code cache"
+    );
+}
+
+#[test]
+fn jit_parallel_tiling_matches_sequential() {
+    let program = jacobi3d(2, &[40, 16, 16], 1);
+    let inputs = generate_inputs(&program, 101);
+    let sequential = ReferenceExecutor::new()
+        .with_max_threads(1)
+        .with_fusion_tile_rows(4)
+        .run_jit(&program, &inputs)
+        .unwrap();
+    let parallel = ReferenceExecutor::new()
+        .with_fusion_tile_rows(4)
+        .run_jit(&program, &inputs)
+        .unwrap();
+    for output in program.outputs() {
+        for (a, b) in sequential
+            .field(output)
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(parallel.field(output).unwrap().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}
+
+#[test]
+fn jit_handles_explicit_values() {
+    // Hand-checked values through the native path (not just equivalence).
+    let program = StencilProgramBuilder::new("p", &[4])
+        .input("a", DataType::Float32, &["i"])
+        .stencil("s", "a[i-1] + a[i+1]")
+        .output("s")
+        .build()
+        .unwrap();
+    let mut inputs = BTreeMap::new();
+    inputs.insert(
+        "a".to_string(),
+        Grid::from_values(&["i"], &[4], &[1.0, 2.0, 3.0, 4.0]),
+    );
+    let result = ReferenceExecutor::new().run_jit(&program, &inputs).unwrap();
+    assert_eq!(result.field("s").unwrap().as_slice(), &[2.0, 4.0, 6.0, 3.0]);
+}

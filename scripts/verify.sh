@@ -23,20 +23,37 @@
 #                                  seeds extend via STENCILFLOW_FAULT_SEEDS
 #                                  (comma-separated), and the fault-log JSON
 #                                  lands next to the bench JSON
-#   9. bench_eval --quick + report --quick
+#   9. jit gate                  — the Tier-4 native-JIT gate, run twice:
+#                                  a first pass against an empty
+#                                  $SF_JIT_CACHE_DIR sweeps all ten
+#                                  workloads through the `cc`-compiled
+#                                  `.so` backend and diffs each bitwise
+#                                  against the interpreter (writing the
+#                                  emitted C, compiler logs, and cache
+#                                  stats to $JIT_ARTIFACTS), then a second
+#                                  pass in a fresh process asserts the
+#                                  disk cache serves every module without
+#                                  spawning the compiler again. A working
+#                                  system `cc` is probed up front; set
+#                                  SF_JIT_ALLOW_MISSING_CC=1 to downgrade
+#                                  a missing compiler to a skip.
+#  10. bench_eval --quick + report --quick
 #                                — the benchmark smoke run; writes the JSON
 #                                  document the floor gate checks
-#  10. bench_eval --check-floors — kernel-tier speedup floors (compiled /
+#  11. bench_eval --check-floors — kernel-tier speedup floors (compiled /
 #                                  typed / simd on jacobi3d, the
 #                                  if-conversion lane floor on upwind3d,
 #                                  the fused-tier floors on the chain
-#                                  and time-stepping rows, and the sharded
-#                                  zero-fault overhead floors conditioned
-#                                  on the recorded host thread count)
+#                                  and time-stepping rows, the Tier-4
+#                                  jit-vs-fused floor on the jacobi3d
+#                                  rows, and the sharded zero-fault
+#                                  overhead floors conditioned on the
+#                                  recorded host thread count)
 #
 # The quick-mode JSON lands in $BENCH_JSON (default: bench_eval_ci.json in
-# the repository root) and the fault log in $FAULT_JSON (default:
-# fault_sweep_ci.json); CI uploads both as artifacts.
+# the repository root), the fault log in $FAULT_JSON (default:
+# fault_sweep_ci.json), and the jit bundle in $JIT_ARTIFACTS (default:
+# jit_artifacts_ci/); CI uploads all of them as artifacts.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -44,6 +61,28 @@ cd "$(dirname "$0")/.."
 BENCH_JSON="${BENCH_JSON:-bench_eval_ci.json}"
 FAULT_JSON="${FAULT_JSON:-fault_sweep_ci.json}"
 ANALYSIS_JSON="${ANALYSIS_JSON:-analysis_ci.json}"
+JIT_ARTIFACTS="${JIT_ARTIFACTS:-jit_artifacts_ci}"
+# The jit gate owns its cache directory so the zero-recompile assertion
+# measures exactly the modules this run built, not a stale machine cache.
+export SF_JIT_CACHE_DIR="${SF_JIT_CACHE_DIR:-$PWD/target/jit-cache-ci}"
+
+# Probe for a usable C compiler before spending time on the build: the
+# Tier-4 jit gate needs one, and a missing toolchain should fail loudly
+# up front (opt out with SF_JIT_ALLOW_MISSING_CC=1, which downgrades the
+# jit gate to an explicit skip).
+JIT_CC="${SF_JIT_CC:-cc}"
+HAVE_CC=1
+if ! CC_PROBE="$("${JIT_CC}" --version 2>&1)"; then
+  HAVE_CC=0
+  if [ "${SF_JIT_ALLOW_MISSING_CC:-0}" != "1" ]; then
+    echo "verify.sh: no usable C compiler: \`${JIT_CC} --version\` failed:" >&2
+    echo "${CC_PROBE}" >&2
+    echo "(set SF_JIT_ALLOW_MISSING_CC=1 to skip the jit gate instead)" >&2
+    exit 1
+  fi
+else
+  echo "==> C compiler probe: $(printf '%s' "${CC_PROBE}" | head -n 1)"
+fi
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
@@ -71,6 +110,16 @@ cargo run --release --example deadlock_buffers
 
 echo "==> sharded fault-injection sweep -> ${FAULT_JSON}"
 cargo run --release --bin fault_sweep -- --out "${FAULT_JSON}"
+
+if [ "${HAVE_CC}" = "1" ]; then
+  echo "==> jit gate (cold cache) -> ${JIT_ARTIFACTS}"
+  rm -rf "${SF_JIT_CACHE_DIR}" "${JIT_ARTIFACTS}"
+  cargo run --release --bin jit_gate -- --artifacts "${JIT_ARTIFACTS}"
+  echo "==> jit gate (warm cache, fresh process, zero recompiles)"
+  cargo run --release --bin jit_gate -- --assert-cached
+else
+  echo "==> jit gate: SKIPPED (no cc)"
+fi
 
 echo "==> bench smoke run (quick mode) -> ${BENCH_JSON}"
 cargo run --release --bin bench_eval -- --quick "${BENCH_JSON}"
