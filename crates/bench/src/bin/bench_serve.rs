@@ -1,0 +1,72 @@
+//! Runs the multi-tenant service-layer benchmark and writes the JSON
+//! baseline tracked as `BENCH_serve.json`, or — with `--check-floors` —
+//! gates an existing document against the service floors (sustained
+//! throughput, small-job p99 fairness bound, and the zero
+//! steady-state-allocation / zero-recompilation equalities).
+//!
+//! Usage:
+//!
+//! * `bench_serve [--quick] [OUTPUT.json]` — runs the seeded job mix,
+//!   prints the summary, then writes the JSON document to `OUTPUT.json`
+//!   (or stdout when no path is given). `--quick` shrinks the mix for CI
+//!   smoke runs.
+//! * `bench_serve --check-floors INPUT.json` — reads a previously written
+//!   document and exits non-zero if any floor is violated (the CI gate;
+//!   see `stencilflow_bench::check_serve_floors`).
+
+fn main() {
+    let mut quick = false;
+    let mut check_floors = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check-floors" => check_floors = true,
+            flag if flag.starts_with('-') => {
+                eprintln!(
+                    "unknown flag `{flag}`; usage: \
+                     bench_serve [--quick] [OUTPUT.json] | bench_serve --check-floors INPUT.json"
+                );
+                std::process::exit(2);
+            }
+            p => {
+                if let Some(previous) = &path {
+                    eprintln!("multiple paths given (`{previous}`, `{p}`)");
+                    std::process::exit(2);
+                }
+                path = Some(p.to_string());
+            }
+        }
+    }
+    if check_floors {
+        let Some(path) = path else {
+            eprintln!("--check-floors requires the JSON document to check");
+            std::process::exit(2);
+        };
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|err| {
+            eprintln!("cannot read `{path}`: {err}");
+            std::process::exit(2);
+        });
+        match stencilflow_bench::check_serve_floors(&text) {
+            Ok(summary) => {
+                print!("{summary}");
+                println!("all service floors hold in {path}");
+            }
+            Err(failures) => {
+                eprintln!("service floors violated in {path}:\n{failures}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let report = stencilflow_bench::run_serve_bench(quick);
+    print!("{}", stencilflow_bench::format_serve(&report));
+    let json = stencilflow_bench::serve_json(&report);
+    match path {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write serve JSON");
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -10,6 +10,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod serve;
+
+pub use serve::{check_serve_floors, format_serve, run_serve_bench, serve_json, ServeBenchReport};
+
 use stencilflow_core::{AnalysisConfig, HardwareMapping, MultiDevicePlan, PartitionConfig};
 use stencilflow_hwmodel::{
     comparator_estimate, estimate_resources, silicon_efficiency, BandwidthModel, Device,

@@ -9,6 +9,12 @@
 
 #![forbid(unsafe_code)]
 
+pub mod binary;
+
+pub use binary::{
+    decode_grid_set, decode_grid_set_auto, detect, encode_grid_set, Encoding, FrameError, GridFrame,
+};
+
 use std::fmt;
 
 /// A JSON value.

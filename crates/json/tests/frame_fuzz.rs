@@ -1,0 +1,146 @@
+//! Property tests for the binary grid framing: random frames must
+//! round-trip bit-exactly through the `SFGB`/`SFGS` encodings and
+//! value-exactly through the text escape hatch (for finite values — text
+//! JSON has no NaN), and the decoders must return errors, never panic, on
+//! truncated or corrupted bytes.
+
+use proptest::prelude::*;
+use stencilflow_json::{
+    decode_grid_set, decode_grid_set_auto, detect, encode_grid_set, parse, Encoding, GridFrame,
+};
+
+const DIM_NAMES: &[&str] = &["i", "j", "k", "t", "lane"];
+
+/// A random valid frame. `finite_only` restricts values to ones the text
+/// escape hatch can represent; otherwise raw u64 bit patterns (NaNs,
+/// infinities, subnormals) are thrown in.
+fn random_frame(rng: &mut TestRng, finite_only: bool) -> GridFrame {
+    let rank = rng.below(4) as usize;
+    let mut dims = Vec::with_capacity(rank);
+    let mut shape = Vec::with_capacity(rank);
+    for name in &DIM_NAMES[..rank] {
+        dims.push(name.to_string());
+        shape.push(rng.below(5) as usize); // zero extents allowed
+    }
+    let narrow = rng.below(2) == 0;
+    let cells = shape.iter().product::<usize>().max(1);
+    let values: Vec<f64> = (0..cells)
+        .map(|_| {
+            if finite_only || rng.below(4) != 0 {
+                // Dyadic rationals survive both f32 narrowing and text
+                // printing exactly.
+                (rng.below(1 << 16) as f64 - 32768.0) / 256.0
+            } else if narrow {
+                f32::from_bits(rng.next_u64() as u32) as f64
+            } else {
+                f64::from_bits(rng.next_u64())
+            }
+        })
+        .collect();
+    GridFrame::new(
+        if narrow { "float32" } else { "float64" },
+        dims,
+        shape,
+        values,
+    )
+    .expect("generated frames are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary round trip: every bit pattern survives, including NaN
+    /// payloads and infinities the text path cannot carry.
+    #[test]
+    fn binary_frames_round_trip_bit_exactly(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("frame_bits", seed);
+        for _ in 0..4 {
+            let frame = random_frame(&mut rng, false);
+            let decoded = GridFrame::decode(&frame.encode()).unwrap();
+            prop_assert_eq!(&decoded.dtype, &frame.dtype);
+            prop_assert_eq!(&decoded.dims, &frame.dims);
+            prop_assert_eq!(&decoded.shape, &frame.shape);
+            let narrow = frame.dtype == "float32";
+            for (a, b) in decoded.values.iter().zip(&frame.values) {
+                if narrow {
+                    prop_assert_eq!((*a as f32).to_bits(), (*b as f32).to_bits());
+                } else {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    /// The text escape hatch agrees with the binary path for finite
+    /// values: encode → print → parse → frame is the identity.
+    #[test]
+    fn text_escape_hatch_matches_binary_for_finite_values(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("frame_text", seed);
+        for _ in 0..4 {
+            let frame = random_frame(&mut rng, true);
+            let via_binary = GridFrame::decode(&frame.encode()).unwrap();
+            let text = frame.to_json().to_string_compact();
+            let via_text = GridFrame::from_json(&parse(&text).unwrap()).unwrap();
+            prop_assert_eq!(&via_text, &via_binary);
+        }
+    }
+
+    /// Grid-set containers round-trip names, order, and frames.
+    #[test]
+    fn grid_sets_round_trip(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("frame_set", seed);
+        let count = rng.below(4) as usize;
+        let entries: Vec<(String, GridFrame)> = (0..count)
+            .map(|ix| (format!("g{ix}"), random_frame(&mut rng, true)))
+            .collect();
+        let bytes = encode_grid_set(&entries).unwrap();
+        prop_assert_eq!(detect(&bytes), Encoding::BinaryGridSet);
+        let decoded = decode_grid_set(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &entries);
+        prop_assert_eq!(&decode_grid_set_auto(&bytes).unwrap(), &entries);
+    }
+
+    /// Every truncation of a valid frame errors; no prefix may decode.
+    #[test]
+    fn truncated_frames_error_never_panic(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("frame_trunc", seed);
+        let bytes = random_frame(&mut rng, false).encode();
+        let cut = rng.below(bytes.len() as u64) as usize;
+        prop_assert!(GridFrame::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Random byte flips in a valid container either decode (flips inside
+    /// the payload are just different numbers) or error — never panic.
+    #[test]
+    fn corrupted_grid_sets_never_panic(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("frame_corrupt", seed);
+        let entries = vec![
+            ("u".to_string(), random_frame(&mut rng, false)),
+            ("v".to_string(), random_frame(&mut rng, false)),
+        ];
+        let mut bytes = encode_grid_set(&entries).unwrap();
+        for _ in 0..1 + rng.below(4) {
+            let at = rng.below(bytes.len() as u64) as usize;
+            bytes[at] ^= 1 << rng.below(8);
+        }
+        let _ = decode_grid_set(&bytes);
+        let _ = decode_grid_set_auto(&bytes);
+    }
+
+    /// Pure byte soup through the auto-detecting reader: errors only.
+    #[test]
+    fn random_bytes_never_panic(seed in any::<u32>()) {
+        let mut rng = TestRng::for_case("frame_soup", seed);
+        let len = rng.below(256) as usize;
+        let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        if rng.below(2) == 0 && bytes.len() >= 4 {
+            // Half the cases wear a valid magic so the structured decoders
+            // get exercised past the first four bytes.
+            let magic = if rng.below(2) == 0 { b"SFGB" } else { b"SFGS" };
+            bytes[..4].copy_from_slice(magic);
+        }
+        let _ = GridFrame::decode(&bytes);
+        let _ = decode_grid_set(&bytes);
+        let _ = decode_grid_set_auto(&bytes);
+    }
+}

@@ -35,6 +35,23 @@ fn schema_error(message: impl Into<String>) -> ProgramError {
     }
 }
 
+/// Reject duplicate keys in a schema object. The JSON layer preserves
+/// duplicates (`get` returns the first), which for a program description
+/// would silently drop the later definition — e.g. two stencils with the
+/// same name, where ignoring one changes program semantics. Every object
+/// the schema consumes is checked.
+fn check_unique_keys(value: &Json, context: &str) -> Result<()> {
+    let Some(members) = value.as_object() else {
+        return Ok(());
+    };
+    for (ix, (key, _)) in members.iter().enumerate() {
+        if members[..ix].iter().any(|(seen, _)| seen == key) {
+            return Err(schema_error(format!("duplicate key `{key}` in {context}")));
+        }
+    }
+    Ok(())
+}
+
 fn expect_str<'a>(value: &'a Json, context: &str) -> Result<&'a str> {
     value.as_str().ok_or_else(|| {
         schema_error(format!(
@@ -68,6 +85,7 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
     if root.as_object().is_none() {
         return Err(schema_error("program description must be a JSON object"));
     }
+    check_unique_keys(&root, "the program description")?;
 
     let name = match root.get("name") {
         Some(v) => expect_str(v, "`name`")?.to_string(),
@@ -105,7 +123,9 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
         .get("inputs")
         .and_then(Json::as_object)
         .ok_or_else(|| schema_error("missing or non-object `inputs`"))?;
+    check_unique_keys(root.get("inputs").expect("checked above"), "`inputs`")?;
     for (field, decl) in inputs {
+        check_unique_keys(decl, &format!("input `{field}`"))?;
         let dtype_name = decl
             .get("dtype")
             .ok_or_else(|| schema_error(format!("input `{field}` is missing `dtype`")))
@@ -131,7 +151,9 @@ pub fn from_json(text: &str) -> Result<StencilProgram> {
         .get("program")
         .and_then(Json::as_object)
         .ok_or_else(|| schema_error("missing or non-object `program`"))?;
+    check_unique_keys(root.get("program").expect("checked above"), "`program`")?;
     for (stencil, entry) in stencils {
+        check_unique_keys(entry, &format!("stencil `{stencil}`"))?;
         // The paper's format allows either a bare code string or an object
         // with `code`, `boundary_condition`, and `data_type`.
         let (code, boundary, data_type) = match entry {
@@ -194,6 +216,7 @@ fn parse_boundary(stencil: &str, value: &Json) -> Result<BoundarySpec> {
             "boundary condition of `{stencil}` must be `\"shrink\"` or a per-field map, got `{other}`"
         ))),
         Json::Object(members) => {
+            check_unique_keys(value, &format!("boundary condition of `{stencil}`"))?;
             let mut spec = BoundarySpec::new();
             for (field, condition) in members {
                 if field == "shrink" {

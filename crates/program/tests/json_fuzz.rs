@@ -242,6 +242,50 @@ fn regression_deep_nesting_is_rejected_not_a_stack_overflow() {
 }
 
 #[test]
+fn regression_duplicate_keys_are_rejected_not_first_wins() {
+    // The JSON layer preserves duplicate members and `get` returns the
+    // first, so before the schema-level uniqueness check a duplicated
+    // stencil, input, or top-level key silently dropped the later
+    // definition — a semantic change, not a parse error. Pinned per
+    // object the schema consumes.
+    let cases: &[&str] = &[
+        // Two stencils with the same name: which body runs?
+        r#"{"shape": [8], "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["b"], "program": {"b": "a[i]", "b": "a[i] + 1.0"}}"#,
+        // Two declarations of the same input with different dtypes.
+        r#"{"shape": [8], "inputs": {"a": {"dtype": "float32", "dims": ["i"]},
+                                      "a": {"dtype": "float64", "dims": ["i"]}},
+            "outputs": ["b"], "program": {"b": "a[i]"}}"#,
+        // Conflicting top-level shapes.
+        r#"{"shape": [8], "shape": [4],
+            "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["b"], "program": {"b": "a[i]"}}"#,
+        // Duplicate key inside one input declaration.
+        r#"{"shape": [8],
+            "inputs": {"a": {"dtype": "float32", "dtype": "float64", "dims": ["i"]}},
+            "outputs": ["b"], "program": {"b": "a[i]"}}"#,
+        // Duplicate key inside a stencil entry.
+        r#"{"shape": [8], "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["b"],
+            "program": {"b": {"code": "a[i]", "code": "a[i] * 2.0"}}}"#,
+        // Duplicate field in a boundary-condition map.
+        r#"{"shape": [8], "inputs": {"a": {"dtype": "float32", "dims": ["i"]}},
+            "outputs": ["b"],
+            "program": {"b": {"code": "a[i-1]",
+                               "boundary_condition": {"a": {"type": "copy"},
+                                                       "a": {"type": "constant", "value": 0}}}}}"#,
+    ];
+    for case in cases {
+        let err = from_json(case).expect_err("duplicate keys must be rejected");
+        assert!(
+            matches!(err, ProgramError::Json { .. }),
+            "expected a schema error, got {err:?}"
+        );
+        assert!(err.to_string().contains("duplicate key"), "{err}");
+    }
+}
+
+#[test]
 fn regression_schema_edge_cases_yield_named_errors() {
     // Shapes the generators hit that must map to named variants, pinned so
     // they stay errors (not panics) as the schema evolves.

@@ -150,10 +150,17 @@ pub struct CompiledProgram {
     /// Tile-fusion analysis: the fused tier's plan, or the reason the
     /// program stays on the materializing path.
     fuse: std::result::Result<crate::fuse::FusePlan, String>,
-    /// Exact structural fingerprint of the source program (the executor
-    /// cache key). Also keys the Tier-4 disk code cache, salted with the
-    /// compiler identity — see `stencilflow-jit`.
-    fingerprint: String,
+    /// Hashed structural fingerprint of the source program (the executor
+    /// cache key): FNV-1a streamed over the program's `Debug` rendering, so
+    /// computing it allocates nothing. Its hex rendering also keys the
+    /// Tier-4 disk code cache, salted with the compiler identity — see
+    /// `stencilflow-jit`. (A 64-bit collision between structurally
+    /// different programs would alias two cache entries; with the cache
+    /// capped at [`COMPILED_CACHE_CAPACITY`] entries the odds are
+    /// astronomically against it, and the service hot path — thousands of
+    /// small jobs hashing on every submit — must not pay an O(program-size)
+    /// `String` render per hit.)
+    fingerprint: u64,
     /// Tier-4 analysis: the emitted C translation unit for the fused
     /// plan's live stages, or the reason native execution falls back to
     /// the fused tier.
@@ -229,10 +236,38 @@ impl CompiledProgram {
         self.jit.as_ref().ok().map(|unit| unit.source.as_str())
     }
 
-    /// The structural program fingerprint (also the Tier-4 code-cache
-    /// key, before salting).
-    pub(crate) fn fingerprint(&self) -> &str {
-        &self.fingerprint
+    /// The hashed structural program fingerprint (the executor cache key;
+    /// the service tier keys its tier-choice cache off it too).
+    pub(crate) fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Hex rendering of the fingerprint: the Tier-4 code-cache key (before
+    /// salting) and the identity shown in service-layer reports. Moving
+    /// from the exact debug render to this hash deliberately bumped every
+    /// JIT disk-cache key once (stale entries are simply rebuilt).
+    pub(crate) fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint)
+    }
+
+    /// The program output names (service-tier internal).
+    pub(crate) fn output_names(&self) -> &[String] {
+        &self.outputs
+    }
+
+    /// Number of cells of the full iteration space (service-tier internal).
+    pub(crate) fn cell_count(&self) -> usize {
+        self.num_cells
+    }
+
+    /// Dimension names of the iteration space (service-tier internal).
+    pub(crate) fn dim_names(&self) -> &[String] {
+        &self.dims
+    }
+
+    /// Extents of the iteration space (service-tier internal).
+    pub(crate) fn space_shape(&self) -> &[usize] {
+        &self.shape
     }
 
     /// The Tier-4 emission result (JIT-internal).
@@ -375,14 +410,22 @@ pub struct ReferenceExecutor {
     /// Explicit fused tile height (outermost-dimension slices); `None`
     /// picks a cache-budget heuristic.
     fusion_tile_rows: Option<usize>,
-    /// Compiled programs keyed by a structural fingerprint; hits skip
-    /// compilation entirely.
-    cache: Mutex<BTreeMap<String, Arc<CompiledProgram>>>,
+    /// Compiled programs keyed by the hashed structural fingerprint; hits
+    /// skip compilation entirely.
+    cache: Mutex<BTreeMap<u64, Arc<CompiledProgram>>>,
     /// Number of program compilations performed (cache misses).
     compiles: AtomicUsize,
     /// Reusable scratch/state buffers for the fused tier: steady-state
     /// `run_steps_fused` calls allocate nothing once the pool is warm.
     pool: Mutex<BufferPool>,
+    /// Reusable validity-mask buffers (only used when `pool_results` is
+    /// set; see [`ReferenceExecutor::with_pooled_results`]).
+    mask_pool: Mutex<MaskPool>,
+    /// Whether result grids and masks are drawn from the pools instead of
+    /// freshly allocated. Off by default: callers of the plain `run_*` API
+    /// never return their results, so pooling them would only drain the
+    /// pool. The service tier turns this on and recycles results.
+    pool_results: bool,
 }
 
 impl Default for ReferenceExecutor {
@@ -397,6 +440,8 @@ impl Default for ReferenceExecutor {
             cache: Mutex::new(BTreeMap::new()),
             compiles: AtomicUsize::new(0),
             pool: Mutex::new(BufferPool::default()),
+            mask_pool: Mutex::new(MaskPool::default()),
+            pool_results: false,
         }
     }
 }
@@ -412,8 +457,15 @@ impl Clone for ReferenceExecutor {
             fusion_tile_rows: self.fusion_tile_rows,
             cache: Mutex::new(self.cache.lock().expect("executor cache poisoned").clone()),
             compiles: AtomicUsize::new(self.compiles.load(Ordering::Relaxed)),
-            // Buffer pools hold no semantic state; clones warm up their own.
-            pool: Mutex::new(BufferPool::default()),
+            // Buffer pools hold no semantic state; clones warm up their own
+            // (but keep the configured retention capacity).
+            pool: Mutex::new(BufferPool::with_capacity(
+                self.pool.lock().expect("buffer pool poisoned").capacity,
+            )),
+            mask_pool: Mutex::new(MaskPool::with_capacity(
+                self.mask_pool.lock().expect("mask pool poisoned").capacity,
+            )),
+            pool_results: self.pool_results,
         }
     }
 }
@@ -422,7 +474,7 @@ impl Clone for ReferenceExecutor {
 /// spawn overhead dominates below roughly a quarter-million cell·accesses.
 /// Scaling by the per-cell access count lets small-but-heavy stencils
 /// parallelize while light sweeps stay sequential.
-const PARALLEL_THRESHOLD_CELL_ACCESSES: usize = 1 << 18;
+pub(crate) const PARALLEL_THRESHOLD_CELL_ACCESSES: usize = 1 << 18;
 
 /// Compiled-program cache entries kept per executor before the cache is
 /// reset (a safety valve for program-generating loops, not a tuned policy).
@@ -430,7 +482,9 @@ const COMPILED_CACHE_CAPACITY: usize = 64;
 
 /// Buffers kept in the fused tier's pool before further releases are
 /// dropped (a safety valve, not a tuned policy: one fused `run_steps`
-/// needs a handful of buffers per worker).
+/// needs a handful of buffers per worker). The service tier raises the
+/// retention cap via [`ReferenceExecutor::with_pool_capacity`] because it
+/// keeps many jobs' grids in flight at once.
 const BUFFER_POOL_CAPACITY: usize = 64;
 
 /// A best-fit pool of reusable `f64` buffers backing the fused tier's
@@ -439,14 +493,30 @@ const BUFFER_POOL_CAPACITY: usize = 64;
 /// identical requests is allocation-free; the miss counter (exposed as
 /// [`ReferenceExecutor::pool_miss_count`]) increments only when an
 /// allocation was unavoidable.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct BufferPool {
     buffers: Vec<Vec<f64>>,
+    capacity: usize,
     pub(crate) acquires: usize,
     pub(crate) misses: usize,
 }
 
+impl Default for BufferPool {
+    fn default() -> Self {
+        BufferPool::with_capacity(BUFFER_POOL_CAPACITY)
+    }
+}
+
 impl BufferPool {
+    pub(crate) fn with_capacity(capacity: usize) -> BufferPool {
+        BufferPool {
+            buffers: Vec::new(),
+            capacity: capacity.max(1),
+            acquires: 0,
+            misses: 0,
+        }
+    }
+
     pub(crate) fn acquire(&mut self, len: usize) -> Vec<f64> {
         self.acquires += 1;
         let best = self
@@ -470,7 +540,68 @@ impl BufferPool {
     }
 
     pub(crate) fn release(&mut self, buf: Vec<f64>) {
-        if self.buffers.len() < BUFFER_POOL_CAPACITY && buf.capacity() > 0 {
+        if self.buffers.len() < self.capacity && buf.capacity() > 0 {
+            self.buffers.push(buf);
+        }
+    }
+}
+
+/// Best-fit pool of reusable validity-mask buffers, mirroring
+/// [`BufferPool`]. Only engaged when result pooling is on
+/// ([`ReferenceExecutor::with_pooled_results`]): every result carries one
+/// `Vec<bool>` mask per output, so the service tier's zero-steady-state
+/// -allocation claim must cover masks too. Acquired masks come back
+/// all-`true` (the state result sweeps expect), whatever the previous
+/// user left in them.
+#[derive(Debug)]
+pub(crate) struct MaskPool {
+    buffers: Vec<Vec<bool>>,
+    capacity: usize,
+    pub(crate) acquires: usize,
+    pub(crate) misses: usize,
+}
+
+impl Default for MaskPool {
+    fn default() -> Self {
+        MaskPool::with_capacity(BUFFER_POOL_CAPACITY)
+    }
+}
+
+impl MaskPool {
+    pub(crate) fn with_capacity(capacity: usize) -> MaskPool {
+        MaskPool {
+            buffers: Vec::new(),
+            capacity: capacity.max(1),
+            acquires: 0,
+            misses: 0,
+        }
+    }
+
+    pub(crate) fn acquire(&mut self, len: usize) -> Vec<bool> {
+        self.acquires += 1;
+        let best = self
+            .buffers
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(ix, _)| ix);
+        match best {
+            Some(ix) => {
+                let mut buf = self.buffers.swap_remove(ix);
+                buf.clear();
+                buf.resize(len, true);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![true; len]
+            }
+        }
+    }
+
+    pub(crate) fn release(&mut self, buf: Vec<bool>) {
+        if self.buffers.len() < self.capacity && buf.capacity() > 0 {
             self.buffers.push(buf);
         }
     }
@@ -535,6 +666,30 @@ impl ReferenceExecutor {
         self
     }
 
+    /// Raise (or lower) the number of buffers the executor's pools retain
+    /// between runs (default: a handful, enough for one fused `run_steps`).
+    /// The service tier keeps many jobs' grids, masks, and band buffers in
+    /// flight concurrently and sets this high enough that sustained mixed
+    /// traffic never drops a released buffer.
+    pub fn with_pool_capacity(mut self, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        self.pool.get_mut().expect("buffer pool poisoned").capacity = capacity;
+        self.mask_pool
+            .get_mut()
+            .expect("mask pool poisoned")
+            .capacity = capacity;
+        self
+    }
+
+    /// Draw result grids and validity masks from the executor pools
+    /// instead of allocating them fresh (service-tier internal: only
+    /// meaningful for callers that *return* results to the pool, which the
+    /// plain `run_*` API has no way to do).
+    pub(crate) fn with_pooled_results(mut self, enabled: bool) -> Self {
+        self.pool_results = enabled;
+        self
+    }
+
     /// Number of program compilations this executor has performed. Cache
     /// hits in [`ReferenceExecutor::prepare`] (and therefore in repeated
     /// [`ReferenceExecutor::run`] / [`ReferenceExecutor::run_steps`] calls)
@@ -572,6 +727,53 @@ impl ReferenceExecutor {
         self.pool.lock().expect("buffer pool poisoned").release(buf);
     }
 
+    /// Number of validity-mask buffer allocations (mask-pool misses). Only
+    /// moves when result pooling is on; the service tier folds it into its
+    /// zero-steady-state-allocation assertion.
+    pub fn mask_pool_miss_count(&self) -> usize {
+        self.mask_pool.lock().expect("mask pool poisoned").misses
+    }
+
+    /// Number of validity-mask buffer acquisitions (hits and misses).
+    pub fn mask_pool_acquire_count(&self) -> usize {
+        self.mask_pool.lock().expect("mask pool poisoned").acquires
+    }
+
+    /// A zeroed cell buffer for a result grid: pooled (and explicitly
+    /// zero-filled — pooled buffers come back dirty) when result pooling
+    /// is on, freshly allocated otherwise. Either way the caller sees
+    /// exactly the `vec![0.0; len]` the sweeps were written against.
+    pub(crate) fn alloc_result_cells(&self, len: usize) -> Vec<f64> {
+        if self.pool_results {
+            let mut buf = self.pool_acquire(len);
+            buf.fill(0.0);
+            buf
+        } else {
+            vec![0.0; len]
+        }
+    }
+
+    /// An all-`true` validity mask for a result: pooled when result
+    /// pooling is on, freshly allocated otherwise.
+    pub(crate) fn alloc_result_mask(&self, len: usize) -> Vec<bool> {
+        if self.pool_results {
+            self.mask_pool
+                .lock()
+                .expect("mask pool poisoned")
+                .acquire(len)
+        } else {
+            vec![true; len]
+        }
+    }
+
+    /// Return a mask buffer to the mask pool.
+    pub(crate) fn release_mask(&self, buf: Vec<bool>) {
+        self.mask_pool
+            .lock()
+            .expect("mask pool poisoned")
+            .release(buf);
+    }
+
     /// Worker-thread count for a sweep of `cells` cells with
     /// `accesses_per_cell` reads each, at most `rows` independent work
     /// units (shared by the materializing row sweep and the fused tile
@@ -585,7 +787,10 @@ impl ReferenceExecutor {
         self.worker_threads(rows, cells, accesses_per_cell)
     }
 
-    fn check_inputs(compiled: &CompiledProgram, inputs: &BTreeMap<String, Grid>) -> Result<()> {
+    pub(crate) fn check_inputs(
+        compiled: &CompiledProgram,
+        inputs: &BTreeMap<String, Grid>,
+    ) -> Result<()> {
         for spec in &compiled.inputs {
             let grid = inputs
                 .get(&spec.name)
@@ -620,19 +825,20 @@ impl ReferenceExecutor {
     /// executor's cross-run cache first. Repeated calls with a structurally
     /// identical program return the cached compilation.
     ///
-    /// The cache key is an exact structural fingerprint of the program, so
-    /// every `prepare` (and therefore every [`ReferenceExecutor::run`])
-    /// pays an O(program-size) fingerprint render even on hits — small
-    /// against a sweep, but for the tightest loops hold the returned
-    /// [`CompiledProgram`] and call [`ReferenceExecutor::run_compiled`]
-    /// directly ([`ReferenceExecutor::run_steps`] does exactly that
-    /// internally: one fingerprint for all steps).
+    /// The cache key is a hashed structural fingerprint (FNV-1a streamed
+    /// over the program's `Debug` rendering), so a `prepare` hit walks the
+    /// program once but allocates nothing — cheap enough for the service
+    /// tier's per-job hot path. For the very tightest loops hold the
+    /// returned [`CompiledProgram`] and call
+    /// [`ReferenceExecutor::run_compiled`] directly
+    /// ([`ReferenceExecutor::run_steps`] does exactly that internally: one
+    /// fingerprint for all steps).
     ///
     /// # Errors
     ///
     /// Propagates kernel compilation and validation failures.
     pub fn prepare(&self, program: &StencilProgram) -> Result<Arc<CompiledProgram>> {
-        let fingerprint = format!("{program:?}");
+        let fingerprint = program_fingerprint(program);
         // Compilation happens under the cache lock: concurrent prepares of
         // the same program must not compile twice (the zero-recompilation
         // guarantee), and serializing the rare compile is cheap next to the
@@ -641,7 +847,7 @@ impl ReferenceExecutor {
         if let Some(hit) = cache.get(&fingerprint) {
             return Ok(Arc::clone(hit));
         }
-        let compiled = Arc::new(self.compile_program(program, fingerprint.clone())?);
+        let compiled = Arc::new(self.compile_program(program, fingerprint)?);
         if cache.len() >= COMPILED_CACHE_CAPACITY {
             cache.clear();
         }
@@ -652,7 +858,7 @@ impl ReferenceExecutor {
     fn compile_program(
         &self,
         program: &StencilProgram,
-        fingerprint: String,
+        fingerprint: u64,
     ) -> Result<CompiledProgram> {
         self.compiles.fetch_add(1, Ordering::Relaxed);
         let space = program.space();
@@ -1242,6 +1448,33 @@ impl ReferenceExecutor {
     }
 }
 
+/// Streams `fmt::Write` output through an FNV-1a accumulator, so hashing a
+/// `Debug` rendering never materializes the rendered `String`.
+struct FnvWriter(u64);
+
+impl std::fmt::Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Ok(())
+    }
+}
+
+/// The hashed structural fingerprint of a program: FNV-1a (64-bit) over
+/// the program's `Debug` rendering, streamed — the render is walked
+/// exactly once and never allocated. Two structurally identical programs
+/// hash identically; the executor cache, the service tier's tier-choice
+/// cache, and (hex-rendered, salted) the Tier-4 disk code cache all key
+/// off this value.
+pub(crate) fn program_fingerprint(program: &StencilProgram) -> u64 {
+    use std::fmt::Write as _;
+    let mut writer = FnvWriter(0xcbf2_9ce4_8422_2325);
+    write!(writer, "{program:?}").expect("FnvWriter::write_str never fails");
+    writer.0
+}
+
 /// Resolves field accesses for one cell of one stencil.
 struct CellResolver<'a> {
     program: &'a StencilProgram,
@@ -1691,5 +1924,51 @@ mod tests {
     /// threshold.
     fn min_heavy_accesses() -> usize {
         PARALLEL_THRESHOLD_CELL_ACCESSES / (1 << 12)
+    }
+
+    #[test]
+    fn fingerprint_hash_distinguishes_programs_and_is_stable() {
+        let a = laplace_program(&[4, 4]);
+        let b = laplace_program(&[8, 8]);
+        // Deterministic across calls, sensitive to the iteration space.
+        assert_eq!(program_fingerprint(&a), program_fingerprint(&a));
+        assert_ne!(program_fingerprint(&a), program_fingerprint(&b));
+        // The streamed hash equals FNV-1a over the materialized render
+        // (the hash is a pure optimization, not a different identity).
+        let rendered = format!("{a:?}");
+        let mut reference = 0xcbf2_9ce4_8422_2325u64;
+        for &byte in rendered.as_bytes() {
+            reference ^= byte as u64;
+            reference = reference.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(program_fingerprint(&a), reference);
+    }
+
+    #[test]
+    fn pool_capacity_bounds_retention() {
+        let mut pool = BufferPool::with_capacity(2);
+        pool.release(vec![0.0; 8]);
+        pool.release(vec![0.0; 8]);
+        pool.release(vec![0.0; 8]); // dropped: over capacity
+        assert_eq!(pool.buffers.len(), 2);
+        // Both retained buffers serve hits; the third acquire misses.
+        let a = pool.acquire(8);
+        let b = pool.acquire(8);
+        assert_eq!(pool.misses, 0);
+        let c = pool.acquire(8);
+        assert_eq!(pool.misses, 1);
+        drop((a, b, c));
+    }
+
+    #[test]
+    fn mask_pool_returns_all_true_masks() {
+        let mut pool = MaskPool::with_capacity(4);
+        let mut mask = pool.acquire(6);
+        assert_eq!(pool.misses, 1);
+        mask[3] = false;
+        pool.release(mask);
+        let again = pool.acquire(6);
+        assert_eq!(pool.misses, 1, "steady state hits the pool");
+        assert!(again.iter().all(|&v| v), "pooled masks are reset to true");
     }
 }

@@ -919,12 +919,26 @@ pub(crate) fn execute_with(
 
     // Result grids and masks for the program outputs.
     let dim_refs: Vec<&str> = plan.dims.iter().map(String::as_str).collect();
+    // Under the service tier (pooled results) these buffers come from the
+    // executor pools — zero-filled / all-true exactly like the fresh
+    // allocations the sweeps below were written against.
     let mut out_grids: Vec<Grid> = plan
         .outputs
         .iter()
-        .map(|&(stage, _)| Grid::zeros(&dim_refs, &plan.shape, plan.stages[stage].out_dtype))
+        .map(|&(stage, _)| {
+            Grid::from_data(
+                &dim_refs,
+                &plan.shape,
+                plan.stages[stage].out_dtype,
+                executor.alloc_result_cells(num_cells),
+            )
+        })
         .collect();
-    let mut out_masks: Vec<Vec<bool>> = vec![vec![true; num_cells]; plan.outputs.len()];
+    let mut out_masks: Vec<Vec<bool>> = plan
+        .outputs
+        .iter()
+        .map(|_| executor.alloc_result_mask(num_cells))
+        .collect();
 
     // Window partition of the step count.
     let windows: Vec<usize> = {

@@ -130,6 +130,44 @@ impl Grid {
         grid
     }
 
+    /// Wrap an owned, already-populated cell buffer as a grid without
+    /// copying (service-tier internal: the buffer typically comes from the
+    /// executor's pool, and the values must already be rounded through
+    /// `dtype`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` and `shape` disagree in rank or the buffer length
+    /// does not match the shape.
+    pub(crate) fn from_data(
+        dims: &[&str],
+        shape: &[usize],
+        dtype: DataType,
+        data: Vec<f64>,
+    ) -> Self {
+        assert_eq!(dims.len(), shape.len(), "rank mismatch");
+        // Matches `try_zeros`: rank-0 and zero-extent grids store one slot.
+        let num_cells: usize = shape.iter().product::<usize>().max(1);
+        assert_eq!(data.len(), num_cells, "buffer length does not match shape");
+        let mut strides = vec![1usize; shape.len()];
+        for ix in (0..shape.len().saturating_sub(1)).rev() {
+            strides[ix] = strides[ix + 1] * shape[ix + 1];
+        }
+        Grid {
+            dims: dims.iter().map(|d| d.to_string()).collect(),
+            shape: shape.to_vec(),
+            strides,
+            dtype,
+            data,
+        }
+    }
+
+    /// Take the backing cell buffer out of the grid (service-tier
+    /// internal: returns the buffer to the executor's pool).
+    pub(crate) fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Create a grid by evaluating `f` at every index.
     pub fn from_fn(
         dims: &[&str],

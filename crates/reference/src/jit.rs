@@ -74,7 +74,7 @@ pub(crate) fn stage_fns(
     let Ok(engine) = engine() else {
         return Ok(None);
     };
-    let module = engine.load(compiled.fingerprint(), &unit.source)?;
+    let module = engine.load(&compiled.fingerprint_hex(), &unit.source)?;
     let mut fns = Vec::with_capacity(unit.symbols.len());
     for symbol in &unit.symbols {
         fns.push(match symbol {

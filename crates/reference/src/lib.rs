@@ -30,12 +30,16 @@ pub mod grid;
 pub mod input_data;
 mod jit;
 mod plan;
+pub mod serve;
 pub mod shard;
 
 pub use executor::{CompiledProgram, ExecutionResult, ReferenceExecutor};
 pub use grid::Grid;
 pub use input_data::{generate_inputs, InputGenerator};
 pub use jit::{jit_available, jit_cache_stats};
+pub use serve::{
+    JobOutcome, JobSpec, ServeConfig, ServeExecutor, ServeStats, Tier, TierChoice, TierPolicy,
+};
 pub use shard::{FaultPlan, ShardConfig, ShardReport, ShardStats, ShardedOutcome, WatchdogReport};
 pub use stencilflow_jit::CacheStats as JitCacheStats;
 

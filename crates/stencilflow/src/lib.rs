@@ -25,6 +25,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod ingest;
+
 pub use stencilflow_analysis as analysis;
 pub use stencilflow_codegen as codegen;
 pub use stencilflow_core as core;

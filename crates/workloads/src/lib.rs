@@ -24,6 +24,7 @@ pub mod chain;
 pub mod diffusion;
 pub mod horizontal_diffusion;
 pub mod jacobi;
+pub mod jobmix;
 pub mod listing1;
 pub mod membench;
 pub mod upwind;
@@ -32,6 +33,7 @@ pub use chain::{chain_program, ChainSpec};
 pub use diffusion::{diffusion2d, diffusion3d};
 pub use horizontal_diffusion::{horizontal_diffusion, HorizontalDiffusionSpec};
 pub use jacobi::{jacobi2d, jacobi3d, jacobi3d_typed};
+pub use jobmix::{JobClass, JobMixSpec, JobTemplate};
 pub use listing1::listing1;
 pub use membench::{membench_program, MembenchSpec};
 pub use upwind::{upwind3d, upwind3d_typed};

@@ -49,9 +49,20 @@
 #                                  rows, and the sharded zero-fault
 #                                  overhead floors conditioned on the
 #                                  recorded host thread count)
+#  12. bench_serve --quick + --check-floors
+#                                — the multi-tenant service-layer gate:
+#                                  runs the seeded job mix through the
+#                                  batch executor and fails the build if
+#                                  sustained throughput falls under the
+#                                  host-conditioned floor, the small-job
+#                                  p99 latency bound breaks (fairness),
+#                                  any job errors, or a measured
+#                                  steady-state batch allocates at all
+#                                  (pool/mask misses or recompiles != 0)
 #
 # The quick-mode JSON lands in $BENCH_JSON (default: bench_eval_ci.json in
-# the repository root), the fault log in $FAULT_JSON (default:
+# the repository root), the serve JSON in $SERVE_JSON (default:
+# bench_serve_ci.json), the fault log in $FAULT_JSON (default:
 # fault_sweep_ci.json), and the jit bundle in $JIT_ARTIFACTS (default:
 # jit_artifacts_ci/); CI uploads all of them as artifacts.
 
@@ -59,6 +70,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_JSON="${BENCH_JSON:-bench_eval_ci.json}"
+SERVE_JSON="${SERVE_JSON:-bench_serve_ci.json}"
 FAULT_JSON="${FAULT_JSON:-fault_sweep_ci.json}"
 ANALYSIS_JSON="${ANALYSIS_JSON:-analysis_ci.json}"
 JIT_ARTIFACTS="${JIT_ARTIFACTS:-jit_artifacts_ci}"
@@ -127,5 +139,11 @@ cargo run --release --bin report -- --quick
 
 echo "==> kernel-tier speedup floors"
 cargo run --release --bin bench_eval -- --check-floors "${BENCH_JSON}"
+
+echo "==> service-layer smoke run (quick mode) -> ${SERVE_JSON}"
+cargo run --release --bin bench_serve -- --quick "${SERVE_JSON}"
+
+echo "==> service-layer floors (throughput, p99 fairness, zero steady-state allocation)"
+cargo run --release --bin bench_serve -- --check-floors "${SERVE_JSON}"
 
 echo "verify.sh: all gates passed"
