@@ -58,6 +58,14 @@ pub fn jit_cache_stats() -> Option<CacheStats> {
     engine().ok().map(|e| e.stats())
 }
 
+/// The engine's compiler salt (compiler identity + flags), or `None` when
+/// native execution is unavailable. Folded into the build fingerprint
+/// that keys persisted tier decisions: a different compiler can rank the
+/// JIT tier differently, so its decisions must not survive the swap.
+pub(crate) fn jit_salt() -> Option<String> {
+    engine().ok().map(|e| e.salt().to_string())
+}
+
 /// Resolve the loaded stage functions for a compiled program.
 ///
 /// * `Ok(Some(fns))` — the program is statically eligible and the module

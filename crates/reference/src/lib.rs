@@ -37,8 +37,13 @@ pub use executor::{CompiledProgram, ExecutionResult, ReferenceExecutor};
 pub use grid::Grid;
 pub use input_data::{generate_inputs, InputGenerator};
 pub use jit::{jit_available, jit_cache_stats};
+pub use serve::daemon::{
+    CancelReason, Daemon, DaemonConfig, DaemonOutcome, DaemonRequest, DaemonStats, DrainReport,
+    JobStatus, RejectReason, TenantQuota,
+};
 pub use serve::{
-    JobOutcome, JobSpec, ServeConfig, ServeExecutor, ServeStats, Tier, TierChoice, TierPolicy,
+    CancelToken, JobError, JobFault, JobOutcome, JobResult, JobSpec, ServeConfig, ServeExecutor,
+    ServeStats, Tier, TierCacheLoad, TierChoice, TierPolicy,
 };
 pub use shard::{FaultPlan, ShardConfig, ShardReport, ShardStats, ShardedOutcome, WatchdogReport};
 pub use stencilflow_jit::CacheStats as JitCacheStats;

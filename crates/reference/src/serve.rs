@@ -45,10 +45,14 @@ use crate::executor::{
 };
 use crate::grid::Grid;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use stencilflow_program::{ProgramError, Result, StencilProgram};
+use stencilflow_json::Json;
+use stencilflow_program::{ProgramError, StencilProgram};
+
+pub mod daemon;
 
 /// Execution tiers the service schedules between (the interpreter and the
 /// plain bytecode tiers exist for reference/testing, not for serving).
@@ -155,6 +159,94 @@ impl ServeConfig {
     }
 }
 
+/// A cooperative cancellation handle shared between a job and whoever may
+/// need to stop it (the daemon's deadline watchdog, a draining caller).
+/// Cancellation is checked at band boundaries, so a cancelled job stops at
+/// the next band and its pooled buffers flow back through the normal error
+/// path — cancel + pool recycle, never a leak.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-fired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fire the token. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Deterministic fault injection for one job, extending the seed-driven
+/// fault-plan idiom of [`crate::shard`] to the service layer. Faults fire
+/// inside the per-job `catch_unwind` isolation boundary, so tests can
+/// prove a poison job is contained without any unsafety.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobFault {
+    /// Panic inside kernel execution (a poison job). The job must come
+    /// back as [`JobError::Panicked`] while the pool, scratch buffers, and
+    /// the rest of the batch keep running.
+    Poison,
+    /// Sleep this long inside the first band of each sweep before doing
+    /// the work — long enough for a hard-timeout watchdog to fire, so
+    /// mid-run cancellation is testable without wall-clock races.
+    Stall(Duration),
+}
+
+/// Why a job completed without a result. `Program` is the ordinary
+/// failure (validation or runtime error from the program itself); the
+/// other variants are the service-boundary outcomes the daemon's
+/// resilience contract is about.
+#[derive(Debug)]
+pub enum JobError {
+    /// The program failed to compile, validate, or run.
+    Program(ProgramError),
+    /// The job panicked inside execution. The panic was contained to this
+    /// job: pooled buffers were recycled and the rest of the batch ran.
+    Panicked(String),
+    /// The job's [`CancelToken`] fired before or during execution.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Program(e) => write!(f, "{e}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::Cancelled => write!(f, "job cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<ProgramError> for JobError {
+    fn from(e: ProgramError) -> Self {
+        JobError::Program(e)
+    }
+}
+
+/// A job's terminal state: its outputs or a structured [`JobError`].
+pub type JobResult = std::result::Result<ExecutionResult, JobError>;
+
+/// Render a `catch_unwind` payload as the human-readable panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One queued job: a program, its input grids, and an optional time-step
 /// count. Programs and inputs are `Arc`-shared so thousands of jobs over
 /// the same tenant data stay cheap to clone and enqueue.
@@ -168,6 +260,13 @@ pub struct JobSpec {
     pub steps: usize,
     /// Per-job tier override; `None` defers to the service policy.
     pub tier: Option<Tier>,
+    /// Tenant identity for the daemon's quota accounting. The batch
+    /// executor itself ignores it.
+    pub tenant: Option<String>,
+    /// Cooperative cancellation handle (checked at band boundaries).
+    pub cancel: Option<CancelToken>,
+    /// Deterministic fault injection for resilience tests.
+    pub fault: Option<JobFault>,
 }
 
 impl JobSpec {
@@ -178,6 +277,9 @@ impl JobSpec {
             inputs,
             steps: 1,
             tier: None,
+            tenant: None,
+            cancel: None,
+            fault: None,
         }
     }
 
@@ -193,6 +295,29 @@ impl JobSpec {
         self.tier = Some(tier);
         self
     }
+
+    /// Tag the job with a tenant id (daemon quota accounting).
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> JobSpec {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> JobSpec {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Inject a deterministic fault (resilience tests only).
+    pub fn with_fault(mut self, fault: JobFault) -> JobSpec {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Whether the job's token (if any) has fired.
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// The completion record of one job.
@@ -204,9 +329,10 @@ pub struct JobOutcome {
     pub tier: Tier,
     /// Batch-start → completion latency (queue wait included).
     pub latency: Duration,
-    /// The program outputs (only), or the job's failure. Return successful
-    /// results to the pool via [`ServeExecutor::recycle`] when done.
-    pub result: Result<ExecutionResult>,
+    /// The program outputs (only), or the job's structured failure.
+    /// Return successful results to the pool via
+    /// [`ServeExecutor::recycle`] when done.
+    pub result: JobResult,
 }
 
 /// Aggregate service counters (monotonic across batches).
@@ -243,9 +369,23 @@ pub struct TierChoice {
     pub tier: Tier,
 }
 
+/// What importing a persisted tier-decision cache did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierCacheLoad {
+    /// Decisions loaded into the live cache.
+    pub loaded: usize,
+    /// True when the persisted salt did not match this build's
+    /// [`ServeExecutor::build_fingerprint`] and every decision was
+    /// discarded as stale.
+    pub stale: bool,
+}
+
 /// Tier decisions kept before the cache is reset (safety valve, mirroring
 /// the compiled-program cache policy).
 const TIER_CACHE_CAPACITY: usize = 1024;
+
+/// Format tag of the persisted tier-decision cache.
+const TIER_CACHE_FORMAT: &str = "stencilflow-tier-cache-v1";
 
 /// Stealable bands per worker on a large sweep: small enough to bound
 /// per-band bind overhead, large enough that a late-arriving idle worker
@@ -305,7 +445,11 @@ struct SweepShared {
     next: AtomicUsize,
     done: AtomicUsize,
     results: Mutex<Vec<BandOut>>,
-    error: Mutex<Option<ProgramError>>,
+    error: Mutex<Option<JobError>>,
+    /// The owning job's cancellation token, visible to thieves too.
+    cancel: Option<CancelToken>,
+    /// The owning job's injected fault (fires in band 0 of the sweep).
+    fault: Option<JobFault>,
 }
 
 impl SweepShared {
@@ -389,6 +533,123 @@ impl ServeExecutor {
             .collect()
     }
 
+    /// The bench-relevant build fingerprint that salts persisted tier
+    /// decisions: anything that can shift the measured tier ranking —
+    /// crate version, kernel lane widths, debug vs release codegen, and
+    /// the native compiler behind the JIT tier — invalidates the cache.
+    pub fn build_fingerprint() -> String {
+        let jit = crate::jit::jit_salt().unwrap_or_else(|| "jit-unavailable".to_string());
+        format!(
+            "v{} lanes{}/{} {} [{jit}]",
+            env!("CARGO_PKG_VERSION"),
+            stencilflow_expr::KERNEL_LANES,
+            stencilflow_expr::KERNEL_LANES_WIDE,
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            },
+        )
+    }
+
+    /// Serialize the measured tier decisions (plus the build salt) as a
+    /// text-JSON document suitable for a cache file. Round-trips through
+    /// [`import_tier_decisions`](ServeExecutor::import_tier_decisions).
+    pub fn export_tier_decisions(&self) -> String {
+        let decisions: Vec<Json> = self
+            .tier_choices()
+            .into_iter()
+            .map(|choice| {
+                Json::Object(vec![
+                    ("fingerprint".to_string(), Json::String(choice.fingerprint)),
+                    ("program".to_string(), Json::String(choice.program)),
+                    ("stepped".to_string(), Json::Bool(choice.stepped)),
+                    (
+                        "tier".to_string(),
+                        Json::String(choice.tier.as_str().to_string()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            (
+                "format".to_string(),
+                Json::String(TIER_CACHE_FORMAT.to_string()),
+            ),
+            ("salt".to_string(), Json::String(Self::build_fingerprint())),
+            ("decisions".to_string(), Json::Array(decisions)),
+        ])
+        .to_string_pretty()
+    }
+
+    /// Load previously exported tier decisions into the live cache.
+    ///
+    /// A salt that does not match this build discards every decision
+    /// (`stale: true`, nothing loaded) — a restart on a different
+    /// compiler, lane width, or crate version must re-measure rather than
+    /// trust stale rankings. Malformed documents are errors; individual
+    /// decisions never override a decision already measured live.
+    pub fn import_tier_decisions(&self, text: &str) -> std::result::Result<TierCacheLoad, String> {
+        let doc = stencilflow_json::parse(text).map_err(|e| format!("tier cache: {e}"))?;
+        let format = doc
+            .get("format")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "tier cache: missing `format`".to_string())?;
+        if format != TIER_CACHE_FORMAT {
+            return Err(format!("tier cache: unknown format `{format}`"));
+        }
+        let salt = doc
+            .get("salt")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "tier cache: missing `salt`".to_string())?;
+        let decisions = doc
+            .get("decisions")
+            .and_then(Json::as_array)
+            .ok_or_else(|| "tier cache: missing `decisions` array".to_string())?;
+        if salt != Self::build_fingerprint() {
+            return Ok(TierCacheLoad {
+                loaded: 0,
+                stale: true,
+            });
+        }
+        let mut loaded = 0usize;
+        let mut tiers = self.tiers.lock().expect("tier cache poisoned");
+        for (ix, entry) in decisions.iter().enumerate() {
+            let fail = |msg: &str| format!("tier cache decision {ix}: {msg}");
+            let fingerprint = entry
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("missing `fingerprint`"))?;
+            let fingerprint = u64::from_str_radix(fingerprint, 16)
+                .map_err(|_| fail("`fingerprint` is not a hex u64"))?;
+            let program = entry
+                .get("program")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("missing `program`"))?;
+            let stepped = entry
+                .get("stepped")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| fail("missing `stepped`"))?;
+            let tier: Tier = entry
+                .get("tier")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("missing `tier`"))?
+                .parse()
+                .map_err(|e: String| fail(&e))?;
+            if tiers.len() >= TIER_CACHE_CAPACITY {
+                break;
+            }
+            tiers
+                .entry((fingerprint, stepped))
+                .or_insert_with(|| (tier, program.to_string()));
+            loaded += 1;
+        }
+        Ok(TierCacheLoad {
+            loaded,
+            stale: false,
+        })
+    }
+
     /// Return a finished result's grids and masks to the shared pools.
     /// Sustained traffic must recycle results (or keep them — recycling is
     /// what makes the steady state allocation-free).
@@ -456,8 +717,18 @@ impl ServeExecutor {
             let handles: Vec<_> = (0..workers)
                 .map(|_| scope.spawn(|| self.worker_loop(&shared, started)))
                 .collect();
+            // Job panics are isolated per job inside the workers, so the
+            // only panic that can reach a join is one thrown by the
+            // caller's own sink — that is the caller's bug, and it
+            // propagates after every worker has parked.
+            let mut sink_panic = None;
             for handle in handles {
-                handle.join().expect("serve workers do not panic");
+                if let Err(payload) = handle.join() {
+                    sink_panic = Some(payload);
+                }
+            }
+            if let Some(payload) = sink_panic {
+                std::panic::resume_unwind(payload);
             }
         });
         self.jobs.fetch_add(count, Ordering::Relaxed);
@@ -468,14 +739,26 @@ impl ServeExecutor {
             // 1. Fairness: a queued job always beats helping a big one.
             let job = shared.queue.lock().expect("job queue poisoned").pop_front();
             if let Some((ix, job)) = job {
-                let (result, tier) = self.execute_job(shared, &job);
+                // Outer isolation net: the fine-grained boundaries inside
+                // `execute_job` recycle buffers precisely; this catch
+                // guarantees that even a panic in the scheduler glue
+                // between them downgrades to a per-job outcome instead of
+                // aborting the batch.
+                let (result, tier) = match catch_unwind(AssertUnwindSafe(|| {
+                    self.execute_job(shared, &job)
+                })) {
+                    Ok(pair) => pair,
+                    Err(payload) => (Err(JobError::Panicked(panic_message(payload))), Tier::Simd),
+                };
+                // Decrement before the sink so a panicking sink cannot
+                // leave the other workers waiting on `remaining` forever.
+                shared.remaining.fetch_sub(1, Ordering::AcqRel);
                 (shared.sink)(JobOutcome {
                     job: ix,
                     tier,
                     latency: started.elapsed(),
                     result,
                 });
-                shared.remaining.fetch_sub(1, Ordering::AcqRel);
                 shared.wake.notify_all();
                 continue;
             }
@@ -513,6 +796,13 @@ impl ServeExecutor {
 
     /// Claim and execute one band of `sweep`. Returns false when no bands
     /// are left to claim.
+    ///
+    /// This is the per-job isolation boundary for the banded SIMD path:
+    /// the kernel runs inside `catch_unwind`, and the band's pooled
+    /// buffers are owned *outside* the closure, so a panicking (or
+    /// injected-poison) band releases them back to the pools exactly like
+    /// an ordinary kernel error — the steady-state 0-miss invariant
+    /// survives a poison job.
     fn run_band(&self, shared: &BatchShared<'_>, sweep: &SweepShared, stolen: bool) -> bool {
         let ix = sweep.next.fetch_add(1, Ordering::Relaxed);
         if ix >= sweep.bands.len() {
@@ -527,9 +817,31 @@ impl ServeExecutor {
         let mut mask = self.executor.alloc_result_mask(len);
         let stencil = &sweep.compiled.stencil_plans()[sweep.stencil_ix];
         let (inputs, computed) = sweep.maps();
-        let outcome = stencil
-            .bind(inputs, computed, true, true, true)
-            .and_then(|bound| bound.run_rows(row_start, row_end, &mut data, &mut mask));
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            if ix == 0 {
+                match sweep.fault {
+                    Some(JobFault::Poison) => panic!("injected poison-job fault"),
+                    Some(JobFault::Stall(delay)) => std::thread::sleep(delay),
+                    None => {}
+                }
+            }
+            if sweep.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(JobError::Cancelled);
+            }
+            stencil
+                .bind(inputs, computed, true, true, true)
+                .and_then(|bound| bound.run_rows(row_start, row_end, &mut data, &mut mask))
+                .map_err(|source| {
+                    JobError::Program(ProgramError::Code {
+                        stencil: stencil.name().to_string(),
+                        source,
+                    })
+                })
+        }));
+        let outcome = match attempt {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(JobError::Panicked(panic_message(payload))),
+        };
         match outcome {
             Ok(()) => sweep
                 .results
@@ -541,15 +853,12 @@ impl ServeExecutor {
                     data,
                     mask,
                 }),
-            Err(source) => {
+            Err(error) => {
                 self.executor.pool_release(data);
                 self.executor.release_mask(mask);
                 let mut slot = sweep.error.lock().expect("band error slot poisoned");
                 if slot.is_none() {
-                    *slot = Some(ProgramError::Code {
-                        stencil: stencil.name().to_string(),
-                        source,
-                    });
+                    *slot = Some(error);
                 }
             }
         }
@@ -558,23 +867,22 @@ impl ServeExecutor {
         true
     }
 
-    fn execute_job(
-        &self,
-        shared: &BatchShared<'_>,
-        job: &JobSpec,
-    ) -> (Result<ExecutionResult>, Tier) {
+    fn execute_job(&self, shared: &BatchShared<'_>, job: &JobSpec) -> (JobResult, Tier) {
+        if job.is_cancelled() {
+            return (Err(JobError::Cancelled), Tier::Simd);
+        }
         let compiled = match self.executor.prepare(&job.program) {
             Ok(compiled) => compiled,
-            Err(err) => return (Err(err), Tier::Simd),
+            Err(err) => return (Err(err.into()), Tier::Simd),
         };
         if let Err(err) = ReferenceExecutor::check_inputs(&compiled, &job.inputs) {
-            return (Err(err), Tier::Simd);
+            return (Err(err.into()), Tier::Simd);
         }
         if job.steps == 0 {
             return (
-                Err(ProgramError::Invalid {
+                Err(JobError::Program(ProgramError::Invalid {
                     message: "serve jobs require at least one time step".into(),
-                }),
+                })),
                 Tier::Simd,
             );
         }
@@ -611,7 +919,7 @@ impl ServeExecutor {
         compiled: &Arc<CompiledProgram>,
         job: &JobSpec,
         key: (u64, bool),
-    ) -> (Result<ExecutionResult>, Tier) {
+    ) -> (JobResult, Tier) {
         let candidates = eligible_tiers(compiled, job.steps);
         if candidates.len() == 1 {
             let tier = candidates[0];
@@ -673,23 +981,49 @@ impl ServeExecutor {
         compiled: &Arc<CompiledProgram>,
         job: &JobSpec,
         tier: Tier,
-    ) -> Result<ExecutionResult> {
+    ) -> JobResult {
+        if job.is_cancelled() {
+            return Err(JobError::Cancelled);
+        }
         match tier {
             Tier::Simd => self.run_simd(shared, compiled, job),
-            Tier::Fused => {
-                if job.steps <= 1 {
-                    self.executor.run_fused_compiled(compiled, &job.inputs)
-                } else {
-                    self.executor
-                        .run_steps_fused_compiled(compiled, &job.inputs, job.steps)
-                }
-            }
-            Tier::Jit => {
-                if job.steps <= 1 {
-                    self.executor.run_jit_compiled(compiled, &job.inputs)
-                } else {
-                    self.executor
-                        .run_steps_jit_compiled(compiled, &job.inputs, job.steps)
+            // The fused and JIT tiers run whole-program inside one
+            // `catch_unwind` boundary. A panic there can strand the
+            // executor's *internal* scratch (unlike the banded path, whose
+            // buffers are owned outside the closure), so the isolation
+            // guarantee for these tiers is "the batch survives", not
+            // "zero pool misses after a panic" — the injected poison
+            // fault fires before entry precisely so tests can pin the
+            // stronger banded guarantee separately.
+            Tier::Fused | Tier::Jit => {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    match job.fault {
+                        Some(JobFault::Poison) => panic!("injected poison-job fault"),
+                        Some(JobFault::Stall(delay)) => std::thread::sleep(delay),
+                        None => {}
+                    }
+                    if job.is_cancelled() {
+                        return Err(JobError::Cancelled);
+                    }
+                    let run = match (tier, job.steps <= 1) {
+                        (Tier::Fused, true) => {
+                            self.executor.run_fused_compiled(compiled, &job.inputs)
+                        }
+                        (Tier::Fused, false) => {
+                            self.executor
+                                .run_steps_fused_compiled(compiled, &job.inputs, job.steps)
+                        }
+                        (_, true) => self.executor.run_jit_compiled(compiled, &job.inputs),
+                        (_, false) => {
+                            self.executor
+                                .run_steps_jit_compiled(compiled, &job.inputs, job.steps)
+                        }
+                    };
+                    run.map_err(JobError::Program)
+                }));
+                match attempt {
+                    Ok(result) => result,
+                    Err(payload) => Err(JobError::Panicked(panic_message(payload))),
                 }
             }
         }
@@ -705,7 +1039,7 @@ impl ServeExecutor {
         shared: &BatchShared<'_>,
         compiled: &Arc<CompiledProgram>,
         job: &JobSpec,
-    ) -> Result<ExecutionResult> {
+    ) -> JobResult {
         let steps = job.steps.max(1);
         let num_cells = compiled.cell_count();
         let stencil_count = compiled.stencil_count();
@@ -734,12 +1068,16 @@ impl ServeExecutor {
 
         let mut cells_evaluated = 0usize;
         let mut final_masks: BTreeMap<String, Vec<bool>> = BTreeMap::new();
-        let outcome = (|| {
+        let outcome = (|| -> std::result::Result<(), JobError> {
             for step in 0..steps {
+                if job.is_cancelled() {
+                    return Err(JobError::Cancelled);
+                }
                 let mut masks: BTreeMap<String, Vec<bool>> = BTreeMap::new();
                 for stencil_ix in 0..stencil_count {
                     let name = compiled.stencil_plans()[stencil_ix].name().to_string();
-                    let (grid, mask) = self.sweep_stencil(shared, compiled, stencil_ix, &mut io)?;
+                    let (grid, mask) =
+                        self.sweep_stencil(shared, compiled, stencil_ix, job, &mut io)?;
                     io.computed.insert(name.clone(), grid);
                     masks.insert(name, mask);
                 }
@@ -817,8 +1155,9 @@ impl ServeExecutor {
         shared: &BatchShared<'_>,
         compiled: &Arc<CompiledProgram>,
         stencil_ix: usize,
+        job: &JobSpec,
         io: &mut SweepIo,
-    ) -> Result<(Grid, Vec<bool>)> {
+    ) -> std::result::Result<(Grid, Vec<bool>), JobError> {
         let stencil = &compiled.stencil_plans()[stencil_ix];
         let rows = stencil.row_count();
         let row_len = stencil.row_len();
@@ -851,6 +1190,8 @@ impl ServeExecutor {
             done: AtomicUsize::new(0),
             results: Mutex::new(Vec::new()),
             error: Mutex::new(None),
+            cancel: job.cancel.clone(),
+            fault: job.fault,
         });
         let stealable = sweep.bands.len() > 1;
         if stealable {

@@ -11,20 +11,33 @@
 //!   allocation statistics. The manifest is a JSON array of
 //!   `{"program": ..., "grids": ..., "steps": ..., "tier": ...,
 //!   "count": ...}` objects with paths relative to the manifest.
+//! * `stencilflow daemon [--workers N] [--queue N] [--batch N]
+//!   [--max-job-cells N] [--hard-timeout-ms N] [--drain-timeout-ms N]
+//!   [--tier-cache PATH]` — the long-lived resilient serving loop:
+//!   JSON-lines requests on stdin, responses on stdout (see the
+//!   `stencilflow::daemon` module docs for the protocol). End of input
+//!   drains gracefully; `--tier-cache` persists measured tier decisions
+//!   across restarts.
 //!
-//! Exit codes: 0 on success, 1 when any job fails, 2 on usage errors.
+//! Exit codes: 0 on success, 1 when any job fails (for `daemon`: when
+//! the drain was not clean), 2 on usage errors.
 
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use stencilflow::daemon::{self, DaemonLoopOptions};
 use stencilflow::ingest::{self, ManifestJob};
-use stencilflow::reference::{JobOutcome, JobSpec, ServeConfig, ServeExecutor, Tier, TierPolicy};
+use stencilflow::reference::{
+    DaemonConfig, JobOutcome, JobSpec, ServeConfig, ServeExecutor, Tier, TierPolicy,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage:\n  stencilflow run PROGRAM.json GRIDS [--steps N] [--tier TIER] [--out OUT.sfgs]\n  \
-         stencilflow serve MANIFEST.json [--workers N] [--tier TIER] [--repeat N]\n\
+         stencilflow serve MANIFEST.json [--workers N] [--tier TIER] [--repeat N]\n  \
+         stencilflow daemon [--workers N] [--queue N] [--batch N] [--max-job-cells N]\n                     \
+         [--hard-timeout-ms N] [--drain-timeout-ms N] [--tier-cache PATH]\n\
          tiers: simd, fused, jit (default: automatic selection)"
     );
     std::process::exit(2);
@@ -45,7 +58,100 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("run") => run_command(&args[1..]),
         Some("serve") => serve_command(&args[1..]),
+        Some("daemon") => daemon_command(&args[1..]),
         _ => usage(),
+    }
+}
+
+fn daemon_command(args: &[String]) {
+    daemon::quiet_injected_panics();
+    let mut workers: Option<usize> = None;
+    let mut queue: Option<usize> = None;
+    let mut batch: Option<usize> = None;
+    let mut max_job_cells: Option<u64> = None;
+    let mut hard_timeout_ms: Option<u64> = None;
+    let mut drain_timeout_ms: Option<u64> = None;
+    let mut tier_cache: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => match it.next().and_then(|v| v.parse().ok()).filter(|&w| w >= 1) {
+                Some(w) => workers = Some(w),
+                None => fail("--workers needs a positive integer"),
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()).filter(|&q| q >= 1) {
+                Some(q) => queue = Some(q),
+                None => fail("--queue needs a positive integer"),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(b) => batch = Some(b),
+                None => fail("--batch needs an integer (0 = per-worker default)"),
+            },
+            "--max-job-cells" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(c) => max_job_cells = Some(c),
+                None => fail("--max-job-cells needs an integer"),
+            },
+            "--hard-timeout-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => hard_timeout_ms = Some(t),
+                None => fail("--hard-timeout-ms needs an integer"),
+            },
+            "--drain-timeout-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => drain_timeout_ms = Some(t),
+                None => fail("--drain-timeout-ms needs an integer"),
+            },
+            "--tier-cache" => match it.next() {
+                Some(path) => tier_cache = Some(PathBuf::from(path)),
+                None => fail("--tier-cache needs a path"),
+            },
+            _ => usage(),
+        }
+    }
+    let mut serve = ServeConfig::new();
+    if let Some(workers) = workers {
+        serve = serve.with_workers(workers);
+    }
+    let mut config = DaemonConfig::new().with_serve(serve);
+    if let Some(queue) = queue {
+        config = config.with_queue_capacity(queue);
+    }
+    if let Some(batch) = batch {
+        config = config.with_batch_size(batch);
+    }
+    if let Some(limit) = max_job_cells {
+        config = config.with_max_job_cells(limit);
+    }
+    if let Some(ms) = hard_timeout_ms {
+        config = config.with_default_hard_timeout(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = drain_timeout_ms {
+        config = config.with_drain_timeout(std::time::Duration::from_millis(ms));
+    }
+    let mut options = DaemonLoopOptions::new().with_config(config);
+    if let Some(path) = tier_cache {
+        options = options.with_tier_cache(path);
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let summary = daemon::run_loop(stdin.lock(), &mut stdout.lock(), options)
+        .unwrap_or_else(|e| fail(format_args!("daemon I/O: {e}")));
+    eprintln!(
+        "daemon: {} submitted, {} admitted, {} rejected; {} completed, {} failed, \
+         {} panicked, {} cancelled; drain {}",
+        summary.stats.submitted,
+        summary.stats.admitted,
+        summary.stats.rejected,
+        summary.stats.completed,
+        summary.stats.failed,
+        summary.stats.panicked,
+        summary.stats.cancelled,
+        if summary.drain.clean {
+            "clean"
+        } else {
+            "unclean"
+        },
+    );
+    if !summary.drain.clean {
+        std::process::exit(1);
     }
 }
 

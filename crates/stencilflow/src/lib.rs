@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod daemon;
 pub mod ingest;
 
 pub use stencilflow_analysis as analysis;

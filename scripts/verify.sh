@@ -59,10 +59,24 @@
 #                                  any job errors, or a measured
 #                                  steady-state batch allocates at all
 #                                  (pool/mask misses or recompiles != 0)
+#  13. daemon gate               — the resilient-daemon smoke gate: pipes
+#                                  a seeded mixed-traffic script (normal
+#                                  + stepped jobs, a poison job, an
+#                                  over-quota tenant, a past-deadline
+#                                  job, a duplicate id, a mid-stream
+#                                  drain) through the JSON-lines loop and
+#                                  asserts every admitted job settles
+#                                  with a structured outcome, completed
+#                                  outputs are bitwise identical to the
+#                                  interpreter, the drain is clean, and a
+#                                  restarted daemon reuses the persisted
+#                                  tier cache with zero re-measurements;
+#                                  the stats JSON lands in $DAEMON_JSON
 #
 # The quick-mode JSON lands in $BENCH_JSON (default: bench_eval_ci.json in
 # the repository root), the serve JSON in $SERVE_JSON (default:
-# bench_serve_ci.json), the fault log in $FAULT_JSON (default:
+# bench_serve_ci.json), the daemon JSON in $DAEMON_JSON (default:
+# daemon_gate_ci.json), the fault log in $FAULT_JSON (default:
 # fault_sweep_ci.json), and the jit bundle in $JIT_ARTIFACTS (default:
 # jit_artifacts_ci/); CI uploads all of them as artifacts.
 
@@ -71,6 +85,7 @@ cd "$(dirname "$0")/.."
 
 BENCH_JSON="${BENCH_JSON:-bench_eval_ci.json}"
 SERVE_JSON="${SERVE_JSON:-bench_serve_ci.json}"
+DAEMON_JSON="${DAEMON_JSON:-daemon_gate_ci.json}"
 FAULT_JSON="${FAULT_JSON:-fault_sweep_ci.json}"
 ANALYSIS_JSON="${ANALYSIS_JSON:-analysis_ci.json}"
 JIT_ARTIFACTS="${JIT_ARTIFACTS:-jit_artifacts_ci}"
@@ -145,5 +160,8 @@ cargo run --release --bin bench_serve -- --quick "${SERVE_JSON}"
 
 echo "==> service-layer floors (throughput, p99 fairness, zero steady-state allocation)"
 cargo run --release --bin bench_serve -- --check-floors "${SERVE_JSON}"
+
+echo "==> resilient-daemon gate (chaos script + restart tier-cache reuse) -> ${DAEMON_JSON}"
+cargo run --release --bin daemon_gate -- --out "${DAEMON_JSON}"
 
 echo "verify.sh: all gates passed"
